@@ -1,0 +1,107 @@
+"""Ablations (Sections 4 and 6): coroutine-frame recycling and
+hardware-supported conditional switching.
+
+* Frame recycling — the paper's optimized CORO "avoids memory
+  allocations by using the same coroutine frame for subsequent binary
+  searches". Disabling recycling charges an allocation per lookup.
+* Conditional switch — Section 6 wishes for "an instruction [that]
+  tells if a memory address is cached; with such an instruction, we
+  could avoid suspension when the data is cached". The engine's
+  prefetch outcome plays that instruction.
+"""
+
+import numpy as np
+
+from repro.analysis import bench_scale, format_table, warm_llc_resident
+from repro.config import HASWELL
+from repro.indexes.binary_search import (
+    binary_search_coro,
+    binary_search_coro_conditional,
+)
+from repro.indexes.sorted_array import int_array_of_bytes
+from repro.interleaving import run_interleaved
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.memory import MemorySystem
+
+
+def _measure(array, probes, warm, factory, **scheduler_kw):
+    memory = MemorySystem(HASWELL)
+    if array.nbytes <= HASWELL.l3.size:
+        warm_llc_resident(memory, [array.region])
+    run_interleaved(ExecutionEngine(HASWELL, memory), factory, warm, 6, **scheduler_kw)
+    engine = ExecutionEngine(HASWELL, memory)
+    results = run_interleaved(engine, factory, probes, 6, **scheduler_kw)
+    return engine.clock / len(probes), results
+
+
+def test_ablation_frame_recycling(benchmark, record_table):
+    def compute():
+        n = 3_000 if bench_scale() == "full" else 400
+        allocator = AddressSpaceAllocator()
+        array = int_array_of_bytes(allocator, "array", 256 << 20)
+        rng = np.random.RandomState(0)
+        probes = [int(v) for v in rng.randint(0, array.size, n)]
+        warm = [int(v) for v in rng.randint(0, array.size, n)]
+        factory = lambda v, il: binary_search_coro(array, v, il)
+        recycled, r1 = _measure(array, probes, warm, factory, recycle_frames=True)
+        fresh, r2 = _measure(array, probes, warm, factory, recycle_frames=False)
+        assert r1 == r2
+        return recycled, fresh
+
+    recycled, fresh = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "ablation_frame_recycling",
+        format_table(
+            ["frames", "cycles/search"],
+            [["recycled", round(recycled)], ["allocated per lookup", round(fresh)]],
+            title="Ablation: coroutine-frame recycling (256 MB array)",
+        ),
+    )
+    alloc_cost = HASWELL.cost.frame_alloc_cycles
+    assert recycled < fresh
+    # The gap is roughly one frame allocation per lookup.
+    assert 0.4 * alloc_cost < fresh - recycled < 2.5 * alloc_cost
+
+
+def test_ablation_conditional_switch(benchmark, record_table):
+    def compute():
+        n = 3_000 if bench_scale() == "full" else 400
+        rows = []
+        for size in (1 << 20, 256 << 20):
+            allocator = AddressSpaceAllocator()
+            array = int_array_of_bytes(allocator, "array", size)
+            rng = np.random.RandomState(0)
+            probes = [int(v) for v in rng.randint(0, array.size, n)]
+            warm = [int(v) for v in rng.randint(0, array.size, n)]
+            plain, r1 = _measure(
+                array, probes, warm, lambda v, il: binary_search_coro(array, v, il)
+            )
+            conditional, r2 = _measure(
+                array,
+                probes,
+                warm,
+                lambda v, il: binary_search_coro_conditional(array, v, il),
+            )
+            assert r1 == r2
+            rows.append([size, plain, conditional])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    from repro.analysis import format_size
+
+    record_table(
+        "ablation_conditional_switch",
+        format_table(
+            ["size", "always suspend", "suspend on miss only"],
+            [[format_size(s), round(p), round(c)] for s, p, c in rows],
+            title="Ablation: hardware-supported conditional switching",
+        ),
+    )
+    for size, plain, conditional in rows:
+        # Skipping suspensions for cached lines always helps — most for
+        # cache-resident data, where every suspension is overhead.
+        assert conditional < plain
+    small_gain = rows[0][1] / rows[0][2]
+    large_gain = rows[1][1] / rows[1][2]
+    assert small_gain > large_gain

@@ -1,0 +1,73 @@
+"""Ablation (Section 3): interleaving under multi-threaded execution.
+
+"Given an amount of work, interleaving techniques reduce the necessary
+execution cycles in both single- and multi-threaded execution." Four
+cores with private L1/L2 and a shared LLC split one lookup list; the
+makespan comparison shows interleaving's benefit is per-core and
+composes with thread-level parallelism.
+"""
+
+import numpy as np
+
+from repro.analysis import bench_scale, format_table
+from repro.config import HASWELL
+from repro.indexes.binary_search import binary_search_baseline, binary_search_coro
+from repro.indexes.sorted_array import int_array_of_bytes
+from repro.interleaving import run_interleaved, run_sequential
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.multicore import MultiCoreSystem
+
+ARRAY_BYTES = 256 << 20
+
+
+def test_ablation_multicore_scaling(benchmark, record_table):
+    def compute():
+        n = 4_000 if bench_scale() == "full" else 320
+        allocator = AddressSpaceAllocator()
+        array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
+        rng = np.random.RandomState(0)
+        probes = [int(v) for v in rng.randint(0, array.size, n)]
+        warm = [int(v) for v in rng.randint(0, array.size, n)]
+
+        runners = {
+            "Baseline": lambda engine, shard: run_sequential(
+                engine, lambda v, il: binary_search_baseline(array, v), shard
+            ),
+            "CORO G=6": lambda engine, shard: run_interleaved(
+                engine, lambda v, il: binary_search_coro(array, v, il), shard, 6
+            ),
+        }
+        rows = []
+        makespans = {}
+        for n_cores in (1, 2, 4):
+            for label, runner in runners.items():
+                system = MultiCoreSystem(n_cores)
+                system.run(runner, warm)  # warm the shared LLC and TLBs
+                result = system.run(runner, probes)
+                assert result.results_in_order() == probes
+                makespans[(n_cores, label)] = result.makespan
+                rows.append(
+                    [
+                        n_cores,
+                        label,
+                        round(result.makespan / (n / n_cores)),
+                        round(result.throughput * 1000, 2),
+                    ]
+                )
+        return rows, makespans
+
+    rows, makespans = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "ablation_multicore",
+        format_table(
+            ["cores", "technique", "cycles/search", "lookups/kcycle"],
+            rows,
+            title="Ablation: multi-core scaling (256 MB array, shared LLC)",
+        ),
+    )
+    # Interleaving wins at every core count.
+    for n_cores in (1, 2, 4):
+        assert makespans[(n_cores, "CORO G=6")] < makespans[(n_cores, "Baseline")]
+    # And thread-level parallelism composes with it: 4 interleaved cores
+    # beat 1 interleaved core by well over 2x.
+    assert makespans[(4, "CORO G=6")] < makespans[(1, "CORO G=6")] / 2.5

@@ -1,0 +1,91 @@
+"""Ablation (Section 6): interleaving under remote-NUMA memory latency.
+
+Paper: "the idea of interleaved execution applies also to cases with
+remote memory accesses; interleaving could be even more beneficial,
+assuming there is enough work to hide the increased memory latency."
+We raise the DRAM latency by a remote-socket hop (~120 cycles) and
+check both that interleaving still wins and that the *absolute* benefit
+grows, while the optimal group size rises with the latency (Inequality
+1 with a larger T_stall).
+"""
+
+import numpy as np
+
+from repro.analysis import bench_scale, format_table, warm_llc_resident
+from repro.config import HASWELL
+from repro.indexes.binary_search import binary_search_baseline, binary_search_coro
+from repro.indexes.sorted_array import int_array_of_bytes
+from repro.interleaving import run_interleaved, run_sequential
+from repro.interleaving.model import InterleavingParams, optimal_group_size
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.memory import MemorySystem
+
+REMOTE_EXTRA = 120  # cycles added per DRAM access on the remote socket
+
+
+def _measure(extra_dram, runner, probes, warm, array):
+    memory = MemorySystem(HASWELL)
+    memory.extra_dram_latency = extra_dram
+    runner(ExecutionEngine(HASWELL, memory), warm)
+    engine = ExecutionEngine(HASWELL, memory)
+    results = runner(engine, probes)
+    return engine.clock / len(probes), results
+
+
+def test_ablation_numa_remote_memory(benchmark, record_table):
+    def compute():
+        n = 3_000 if bench_scale() == "full" else 350
+        allocator = AddressSpaceAllocator()
+        array = int_array_of_bytes(allocator, "array", 256 << 20)
+        rng = np.random.RandomState(0)
+        probes = [int(v) for v in rng.randint(0, array.size, n)]
+        warm = [int(v) for v in rng.randint(0, array.size, n)]
+
+        seq = lambda e, vs: run_sequential(
+            e, lambda v, il: binary_search_baseline(array, v), vs
+        )
+        # Remote latency raises T_stall: interleave wider.
+        group = {0: 6, REMOTE_EXTRA: 9}
+        rows = []
+        for extra in (0, REMOTE_EXTRA):
+            coro = lambda e, vs: run_interleaved(
+                e, lambda v, il: binary_search_coro(array, v, il), vs, group[extra]
+            )
+            seq_cycles, r1 = _measure(extra, seq, probes, warm, array)
+            coro_cycles, r2 = _measure(extra, coro, probes, warm, array)
+            assert r1 == r2
+            rows.append([extra, seq_cycles, coro_cycles])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "ablation_numa",
+        format_table(
+            ["extra DRAM cycles", "sequential", "CORO", "saved"],
+            [
+                [extra, round(s), round(c), round(s - c)]
+                for extra, s, c in rows
+            ],
+            title="Ablation: remote-NUMA latency (256 MB array)",
+        ),
+    )
+    (local_extra, local_seq, local_coro), (remote_extra, remote_seq, remote_coro) = rows
+    assert local_coro < local_seq
+    assert remote_coro < remote_seq
+    # Absolute cycles saved per lookup grow with the remote latency.
+    assert (remote_seq - remote_coro) > (local_seq - local_coro)
+
+    # Inequality 1 predicts a wider group under higher T_stall.
+    cost = HASWELL.cost
+    local_params = InterleavingParams(
+        t_compute=cost.search_iter_cycles + cost.prefetch_issue_cycles,
+        t_stall=HASWELL.dram_latency - cost.ooo_hide,
+        t_switch=cost.coro_switch[0],
+    )
+    remote_params = InterleavingParams(
+        t_compute=local_params.t_compute,
+        t_stall=local_params.t_stall + REMOTE_EXTRA,
+        t_switch=local_params.t_switch,
+    )
+    assert optimal_group_size(remote_params) > optimal_group_size(local_params)

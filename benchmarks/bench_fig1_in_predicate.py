@@ -1,0 +1,49 @@
+"""Figure 1: IN-predicate query response time, Main vs Main-Interleaved.
+
+The paper's motivating figure: sequential execution degrades once the
+dictionary outgrows the 25 MB LLC; interleaved execution is affected
+much less, making the response time robust to dictionary size.
+"""
+
+from repro.analysis import format_size, series_table
+
+LLC = 25 << 20
+
+
+def test_fig1_main_query_response(benchmark, record_table, query_sweep):
+    def compute():
+        sizes = query_sweep["sizes"]
+        main = query_sweep["points"][("main", "sequential")]
+        inter = query_sweep["points"][("main", "interleaved")]
+        return sizes, {
+            "Main": [round(p.response_ms, 2) for p in main],
+            "Main-Interleaved": [round(p.response_ms, 2) for p in inter],
+        }
+
+    sizes, series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig1_in_predicate",
+        series_table(
+            "dict size",
+            [format_size(s) for s in sizes],
+            series,
+            title="Figure 1: IN-predicate response time (ms), "
+            f"{query_sweep['n_predicates']} INTEGER values "
+            f"({query_sweep['scale']} scale)",
+        ),
+    )
+    sequential = series["Main"]
+    interleaved = series["Main-Interleaved"]
+    beyond = [i for i, s in enumerate(sizes) if s > LLC]
+    within = [i for i, s in enumerate(sizes) if s <= LLC]
+    assert beyond and within
+
+    # Sequential response grows much more than interleaved across the
+    # LLC boundary (the figure's visual claim).
+    seq_growth = sequential[beyond[-1]] / sequential[within[0]]
+    inter_growth = interleaved[beyond[-1]] / interleaved[within[0]]
+    assert seq_growth > 1.5 * inter_growth
+
+    # Interleaving wins at every size beyond the LLC.
+    for index in beyond:
+        assert interleaved[index] < sequential[index]

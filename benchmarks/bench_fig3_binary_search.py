@@ -1,0 +1,125 @@
+"""Figure 3: cycles per binary search, five implementations, int & string.
+
+Paper claims reproduced here:
+* sequential implementations (std, Baseline) degrade sharply once the
+  array outgrows the 25 MB LLC; interleaved ones degrade gently;
+* beyond the LLC: GP fastest (2.7–3.7x over Baseline for ints in the
+  paper), CORO and AMAC close together with CORO slightly ahead;
+* std (speculative) loses to Baseline in-cache but wins beyond ~16 MB;
+* string comparisons de-emphasize cache misses: smaller interleaving
+  speedups, smoother growth.
+"""
+
+from repro.analysis import format_size, series_table
+
+LLC = 25 << 20
+
+
+def _series(sweep):
+    sizes = sweep["sizes"]
+    return sizes, {
+        technique: [round(p.cycles_per_search) for p in points]
+        for technique, points in sweep["points"].items()
+    }
+
+
+def _beyond_llc(sizes, series, technique):
+    return [
+        value
+        for size, value in zip(sizes, series[technique])
+        if size > LLC
+    ]
+
+
+def test_fig3a_int_arrays(benchmark, record_table, int_sweep):
+    sizes, series = benchmark.pedantic(
+        lambda: _series(int_sweep), rounds=1, iterations=1
+    )
+    record_table(
+        "fig3a_binary_search_int",
+        series_table(
+            "size",
+            [format_size(s) for s in sizes],
+            series,
+            title="Figure 3a: cycles/search, int arrays "
+            f"({int_sweep['scale']} scale)",
+        ),
+    )
+    baseline = _beyond_llc(sizes, series, "Baseline")
+    for technique in ("GP", "AMAC", "CORO"):
+        curve = _beyond_llc(sizes, series, technique)
+        speedups = [b / t for b, t in zip(baseline, curve)]
+        # Interleaving wins beyond the LLC (paper: 1.8-3.7x depending on
+        # technique).
+        assert min(speedups) > 1.4, technique
+    gp = _beyond_llc(sizes, series, "GP")
+    coro = _beyond_llc(sizes, series, "CORO")
+    amac = _beyond_llc(sizes, series, "AMAC")
+    assert all(g < c for g, c in zip(gp, coro)), "GP is fastest beyond LLC"
+    assert all(c <= a for c, a in zip(coro, amac)), "CORO edges out AMAC"
+    # std crosses Baseline near the LLC boundary.
+    std = _beyond_llc(sizes, series, "std")
+    assert all(s < b for s, b in zip(std, baseline))
+
+
+def test_fig3b_string_arrays(benchmark, record_table, string_sweep, int_sweep):
+    sizes, series = benchmark.pedantic(
+        lambda: _series(string_sweep), rounds=1, iterations=1
+    )
+    record_table(
+        "fig3b_binary_search_string",
+        series_table(
+            "size",
+            [format_size(s) for s in sizes],
+            series,
+            title="Figure 3b: cycles/search, 15-char string arrays "
+            f"({string_sweep['scale']} scale)",
+        ),
+    )
+    baseline = _beyond_llc(sizes, series, "Baseline")
+    coro = _beyond_llc(sizes, series, "CORO")
+    string_speedups = [b / c for b, c in zip(baseline, coro)]
+    assert min(string_speedups) > 1.2
+
+    # Strings de-emphasize cache misses: the interleaving speedup is
+    # smaller than for integers at comparable sizes (Section 5.3).
+    _, int_series = _series(int_sweep)
+    int_baseline = _beyond_llc(sizes, int_series, "Baseline")
+    int_coro = _beyond_llc(sizes, int_series, "CORO")
+    int_speedups = [b / c for b, c in zip(int_baseline, int_coro)]
+    assert sum(string_speedups) / len(string_speedups) < (
+        sum(int_speedups) / len(int_speedups)
+    )
+
+
+def test_fig3_robustness_ratio(benchmark, record_table, int_sweep):
+    """Growth from the smallest to the largest size, per implementation."""
+
+    def compute():
+        rows = []
+        for technique, points in int_sweep["points"].items():
+            first, last = points[0], points[-1]
+            rows.append(
+                [
+                    technique,
+                    round(first.cycles_per_search),
+                    round(last.cycles_per_search),
+                    f"{last.cycles_per_search / first.cycles_per_search:.1f}x",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    from repro.analysis import format_table
+
+    record_table(
+        "fig3_robustness",
+        format_table(
+            ["technique", "smallest", "largest", "growth"],
+            rows,
+            title="Figure 3 takeaway: runtime growth across the sweep",
+        ),
+    )
+    growth = {row[0]: float(row[3][:-1]) for row in rows}
+    assert growth["CORO"] < growth["Baseline"]
+    assert growth["GP"] < growth["Baseline"]

@@ -1,0 +1,96 @@
+"""Figure 4: binary searches with **sorted** lookup values.
+
+Sorting the (cheap-to-sort) lookup list makes subsequent lookups probe
+monotonically increasing positions: the shared prefix of consecutive
+search paths stays hot, cutting sequential runtimes up to 2.6x and
+still helping the interleaved techniques — but compulsory misses on the
+divergent path tails remain, so interleaving keeps its edge.
+
+Methodology note: the benefit is about reuse distance under the paper's
+repeated-execution measurement, so this sweep warms with the *same*
+lookup list. At quick scale a proportionally scaled cache hierarchy
+recreates the capacity relationship (10 K lookup paths vs a 25 MB LLC);
+full scale (``REPRO_BENCH_SCALE=full``) uses the real hierarchy.
+"""
+
+from repro.analysis import (
+    DEFAULT_GROUP_SIZES,
+    TECHNIQUES,
+    bench_scale,
+    format_size,
+    lookups_per_point,
+    measure_binary_search,
+    series_table,
+    size_grid,
+)
+from repro.config import HASWELL, scaled
+
+
+def _arch():
+    return HASWELL if bench_scale() == "full" else scaled(64)
+
+
+def _sweep(sort_lookups: bool):
+    arch = _arch()
+    n_lookups = lookups_per_point()
+    sizes = size_grid()
+    out = {}
+    for technique in TECHNIQUES:
+        out[technique] = [
+            measure_binary_search(
+                size,
+                technique,
+                n_lookups=n_lookups,
+                group_size=DEFAULT_GROUP_SIZES[technique],
+                sort_lookups=sort_lookups,
+                warm_with_same_values=True,
+                arch=arch,
+            ).cycles_per_search
+            for size in sizes
+        ]
+    return sizes, out
+
+
+def test_fig4_sorted_lookup_values(benchmark, record_table):
+    def compute():
+        sizes, unsorted = _sweep(sort_lookups=False)
+        _, sorted_ = _sweep(sort_lookups=True)
+        return sizes, unsorted, sorted_
+
+    sizes, unsorted, sorted_ = benchmark.pedantic(compute, rounds=1, iterations=1)
+    series = {}
+    for technique in TECHNIQUES:
+        series[technique] = [round(v) for v in sorted_[technique]]
+        series[f"{technique}-gain"] = [
+            f"{u / s:.2f}x" for u, s in zip(unsorted[technique], sorted_[technique])
+        ]
+    record_table(
+        "fig4_sorted_lookups",
+        series_table(
+            "size",
+            [format_size(s) for s in sizes],
+            series,
+            title="Figure 4: cycles/search with sorted lookup values "
+            "(gain vs unsorted lookups)",
+        ),
+    )
+
+    # Sorting helps every implementation at the large end (paper: up to
+    # 2.6x sequential, 1.3-2.2x interleaved)...
+    large = len(sizes) - 1
+    for technique in TECHNIQUES:
+        gain = unsorted[technique][large] / sorted_[technique][large]
+        assert gain > 1.25, technique
+    # ...and does not eliminate compulsory misses: interleaving still
+    # wins on sorted lookups at the large end.
+    assert sorted_["CORO"][large] < sorted_["Baseline"][large]
+    assert sorted_["GP"][large] < sorted_["Baseline"][large]
+    if bench_scale() == "full":
+        # On the real hierarchy the sequential implementations gain the
+        # most (the paper's ordering). Under the scaled quick hierarchy
+        # translation stalls — which sorting also fixes — weigh more on
+        # the interleaved floor, inverting the relative gains; see
+        # EXPERIMENTS.md.
+        coro_gain = unsorted["CORO"][large] / sorted_["CORO"][large]
+        baseline_gain = unsorted["Baseline"][large] / sorted_["Baseline"][large]
+        assert coro_gain < baseline_gain

@@ -1,0 +1,71 @@
+"""Figure 5: TMAM execution-time breakdown per implementation and size.
+
+Paper claims: memory stalls dominate std/Baseline beyond the LLC and
+are largely removed by interleaving; AMAC and CORO trade them for more
+retiring cycles (their switch instructions); GP's residual stalls grow
+from ~32 MB because ten line-fill buffers cannot cover its group.
+"""
+
+from repro.analysis import format_size, format_table
+from repro.sim.tmam import CATEGORIES
+
+LLC = 25 << 20
+
+
+def test_fig5_execution_breakdown(benchmark, record_table, int_sweep):
+    def compute():
+        rows = []
+        per_point = {}
+        for technique, points in int_sweep["points"].items():
+            for point in points:
+                cats = point.cycles_by_category_per_search
+                per_point[(technique, point.size_bytes)] = cats
+                rows.append(
+                    [
+                        technique,
+                        format_size(point.size_bytes),
+                        *(round(cats[c]) for c in CATEGORIES),
+                        round(point.cycles_per_search),
+                    ]
+                )
+        return rows, per_point
+
+    rows, per_point = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig5_breakdown",
+        format_table(
+            ["technique", "size", *CATEGORIES, "total"],
+            rows,
+            title="Figure 5: cycles/search by TMAM category",
+        ),
+    )
+
+    sizes = int_sweep["sizes"]
+    large = sizes[-1]
+    small = sizes[0]
+
+    # Memory stalls dominate sequential execution beyond the LLC.
+    for technique in ("std", "Baseline"):
+        cats = per_point[(technique, large)]
+        assert cats["Memory"] > 0.55 * sum(cats.values()), technique
+
+    # Interleaving removes most of them...
+    baseline_memory = per_point[("Baseline", large)]["Memory"]
+    for technique in ("GP", "AMAC", "CORO"):
+        assert per_point[(technique, large)]["Memory"] < 0.55 * baseline_memory
+
+    # ...at the price of more retiring cycles for AMAC/CORO (their
+    # instruction overhead, Section 5.4.4).
+    baseline_retiring = per_point[("Baseline", large)]["Retiring"]
+    for technique in ("AMAC", "CORO"):
+        assert per_point[(technique, large)]["Retiring"] > 2 * baseline_retiring
+
+    # GP's retiring overhead is the smallest of the three techniques.
+    assert (
+        per_point[("GP", large)]["Retiring"]
+        < per_point[("AMAC", large)]["Retiring"]
+    )
+
+    # std wastes slots on bad speculation; Baseline does not.
+    assert per_point[("std", small)]["Bad Speculation"] > 10
+    assert per_point[("Baseline", small)]["Bad Speculation"] == 0

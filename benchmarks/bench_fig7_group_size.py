@@ -1,0 +1,88 @@
+"""Figure 7: the effect of group size on runtime (256 MB int array).
+
+Paper claims: best group sizes are ~10 for GP (the Inequality-1
+estimate of 12 is cut by the ten line-fill buffers) and 5-6 for
+AMAC/CORO (matching their estimates); at group size 1 every technique
+is slower than Baseline (pure switch overhead); performance varies
+little past the optimum.
+"""
+
+from repro.analysis import (
+    bench_scale,
+    estimate_best_group_sizes,
+    format_table,
+    measure_binary_search,
+    series_table,
+)
+from repro.config import HASWELL
+
+ARRAY_BYTES = 256 << 20
+
+
+def _n_lookups():
+    return 2_000 if bench_scale() == "full" else 300
+
+
+def test_fig7_group_size_sweep(benchmark, record_table):
+    groups = list(range(1, 13))
+
+    def compute():
+        n = _n_lookups()
+        baseline = measure_binary_search(
+            ARRAY_BYTES, "Baseline", n_lookups=n
+        ).cycles_per_search
+        curves = {
+            technique: [
+                measure_binary_search(
+                    ARRAY_BYTES, technique, group_size=g, n_lookups=n
+                ).cycles_per_search
+                for g in groups
+            ]
+            for technique in ("GP", "AMAC", "CORO")
+        }
+        estimates = estimate_best_group_sizes(
+            size_bytes=ARRAY_BYTES, n_lookups=n
+        )
+        return baseline, curves, estimates
+
+    baseline, curves, estimates = benchmark.pedantic(compute, rounds=1, iterations=1)
+    series = {t: [round(v) for v in c] for t, c in curves.items()}
+    series["Baseline"] = [round(baseline)] * len(groups)
+    record_table(
+        "fig7_group_size",
+        series_table(
+            "G", groups, series,
+            title="Figure 7: cycles/search vs group size (256 MB int array)",
+        )
+        + "\n"
+        + format_table(
+            ["technique", "estimated G*", "measured best G", "LFB-capped"],
+            [
+                [
+                    t,
+                    estimates[t].estimate,
+                    groups[curves[t].index(min(curves[t]))],
+                    "yes" if estimates[t].lfb_capped else "no",
+                ]
+                for t in curves
+            ],
+            title="Inequality 1 estimates vs measurement",
+        ),
+    )
+
+    best = {t: groups[c.index(min(c))] for t, c in curves.items()}
+    # Best group sizes match the paper: GP around 9-10 (LFB bound),
+    # AMAC/CORO around 5-6.
+    assert 8 <= best["GP"] <= 11
+    assert 4 <= best["AMAC"] <= 7
+    assert 4 <= best["CORO"] <= 7
+    # The analytical estimate is within one of the measured optimum.
+    for technique in curves:
+        assert abs(estimates[technique].estimate - best[technique]) <= 2, technique
+    # Group size 1 is pure overhead: slower than Baseline for all three.
+    for technique, curve in curves.items():
+        assert curve[0] > baseline, technique
+    # Performance varies little past the optimum (no catastrophic cliff).
+    for technique, curve in curves.items():
+        tail = curve[best[technique] - 1 :]
+        assert max(tail) < 1.35 * min(tail), technique

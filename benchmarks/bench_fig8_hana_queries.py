@@ -1,0 +1,65 @@
+"""Figure 8: IN-predicate queries on the full column store, Main & Delta.
+
+Paper claims: interleaving reduces Main runtime beyond the LLC (9% at
+32 MB up to 40% at 2 GB) and Delta runtime at *all* sizes (10%-30%),
+because Delta's tree traversal plus dictionary dereferences miss even
+for small dictionaries.
+"""
+
+from repro.analysis import format_size, series_table
+
+LLC = 25 << 20
+
+
+def test_fig8_main_and_delta(benchmark, record_table, query_sweep):
+    def compute():
+        sizes = query_sweep["sizes"]
+        series = {}
+        for store, strategy in query_sweep["points"]:
+            label = store.capitalize() + (
+                "-Interleaved" if strategy == "interleaved" else ""
+            )
+            series[label] = [
+                round(p.response_ms, 2)
+                for p in query_sweep["points"][(store, strategy)]
+            ]
+        return sizes, series
+
+    sizes, series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "fig8_hana_queries",
+        series_table(
+            "dict size",
+            [format_size(s) for s in sizes],
+            series,
+            title="Figure 8: IN-predicate response time (ms), Main & Delta "
+            f"({query_sweep['scale']} scale)",
+        ),
+    )
+
+    # Main: interleaving wins beyond the LLC.
+    for size, seq, inter in zip(sizes, series["Main"], series["Main-Interleaved"]):
+        if size > LLC:
+            assert inter < seq, format_size(size)
+
+    # Delta: locate improves from a few MB on (the paper reports gains
+    # from 1 MB; in our model the coroutine switch cost roughly cancels
+    # the hidden L3 latency for fully cache-resident trees — documented
+    # as a deviation in EXPERIMENTS.md). Compare locate cycles to
+    # exclude the size-independent scan/overhead phases.
+    delta_seq = query_sweep["points"][("delta", "sequential")]
+    delta_inter = query_sweep["points"][("delta", "interleaved")]
+    for size, seq_point, inter_point in zip(sizes, delta_seq, delta_inter):
+        if size >= 8 << 20:
+            assert inter_point.locate_cycles < seq_point.locate_cycles, (
+                format_size(size)
+            )
+        else:
+            # Never worse than a modest overhead in-cache.
+            assert inter_point.locate_cycles < 1.3 * seq_point.locate_cycles, (
+                format_size(size)
+            )
+
+    # Delta is the slower store (tree + dictionary dereferences).
+    for seq_main, seq_delta in zip(series["Main"], series["Delta"]):
+        assert seq_delta >= 0.8 * seq_main

@@ -1,0 +1,68 @@
+"""Table 1: execution details of ``locate`` at the sweep extremes.
+
+Paper: locate's share of query runtime surges from 21.4% (Main) /
+34.3% (Delta) at 1 MB to 65.7% / 78.8% at 2 GB, driven by a ~7x/6x CPI
+increase. We reproduce the direction and rough magnitudes: small share
+and low CPI in-cache, dominant share and several-fold CPI beyond.
+"""
+
+from repro.analysis import format_pct, format_table
+
+
+def test_table1_locate_runtime_and_cpi(benchmark, record_table, query_sweep):
+    def compute():
+        sizes = query_sweep["sizes"]
+        small, large = 0, len(sizes) - 1
+        cells = {}
+        for store in ("main", "delta"):
+            points = query_sweep["points"][(store, "sequential")]
+            cells[store] = {
+                "small": points[small],
+                "large": points[large],
+            }
+        return sizes, cells
+
+    sizes, cells = benchmark.pedantic(compute, rounds=1, iterations=1)
+    from repro.analysis import format_size
+
+    small_label = format_size(sizes[0])
+    large_label = format_size(sizes[-1])
+    rows = [
+        [
+            "Runtime %",
+            format_pct(cells["main"]["small"].locate_fraction),
+            format_pct(cells["main"]["large"].locate_fraction),
+            format_pct(cells["delta"]["small"].locate_fraction),
+            format_pct(cells["delta"]["large"].locate_fraction),
+        ],
+        [
+            "Cycles per Instruction",
+            f"{cells['main']['small'].locate_tmam.cpi:.1f}",
+            f"{cells['main']['large'].locate_tmam.cpi:.1f}",
+            f"{cells['delta']['small'].locate_tmam.cpi:.1f}",
+            f"{cells['delta']['large'].locate_tmam.cpi:.1f}",
+        ],
+    ]
+    record_table(
+        "table1_locate_profile",
+        format_table(
+            [
+                "",
+                f"Main {small_label}",
+                f"Main {large_label}",
+                f"Delta {small_label}",
+                f"Delta {large_label}",
+            ],
+            rows,
+            title="Table 1: execution details of locate (sequential)",
+        ),
+    )
+
+    for store in ("main", "delta"):
+        small = cells[store]["small"]
+        large = cells[store]["large"]
+        # locate's runtime share surges with dictionary size...
+        assert large.locate_fraction > 1.5 * small.locate_fraction, store
+        assert large.locate_fraction > 0.5, store
+        # ...because CPI degrades several-fold.
+        assert large.locate_tmam.cpi > 2.5 * small.locate_tmam.cpi, store

@@ -1,0 +1,64 @@
+"""Table 2: TMAM pipeline-slot breakdown of ``locate``.
+
+Paper: at 2 GB, Memory stalls dominate locate for both stores (46.0%
+Main, 85.9% Delta); at 1 MB they are minor. Main's sequential locate is
+the speculative binary search, so Bad Speculation takes a large share
+in-cache (43.3% in the paper); Delta uses conditional moves and shows
+essentially none.
+"""
+
+from repro.analysis import format_pct, format_table
+from repro.sim.tmam import CATEGORIES
+
+
+def test_table2_pipeline_slot_breakdown(benchmark, record_table, query_sweep):
+    def compute():
+        sizes = query_sweep["sizes"]
+        breakdowns = {}
+        for store in ("main", "delta"):
+            points = query_sweep["points"][(store, "sequential")]
+            breakdowns[(store, "small")] = points[0].locate_tmam.breakdown()
+            breakdowns[(store, "large")] = points[-1].locate_tmam.breakdown()
+        return sizes, breakdowns
+
+    sizes, breakdowns = benchmark.pedantic(compute, rounds=1, iterations=1)
+    from repro.analysis import format_size
+
+    columns = [
+        ("main", "small"),
+        ("main", "large"),
+        ("delta", "small"),
+        ("delta", "large"),
+    ]
+    labels = {
+        ("main", "small"): f"Main {format_size(sizes[0])}",
+        ("main", "large"): f"Main {format_size(sizes[-1])}",
+        ("delta", "small"): f"Delta {format_size(sizes[0])}",
+        ("delta", "large"): f"Delta {format_size(sizes[-1])}",
+    }
+    rows = [
+        [category, *(format_pct(breakdowns[c][category]) for c in columns)]
+        for category in CATEGORIES
+    ]
+    record_table(
+        "table2_pipeline_slots",
+        format_table(
+            ["", *(labels[c] for c in columns)],
+            rows,
+            title="Table 2: pipeline-slot breakdown of locate (sequential)",
+        ),
+    )
+
+    # Memory stalls dominate at the large end for both stores...
+    assert breakdowns[("main", "large")]["Memory"] > 0.45
+    assert breakdowns[("delta", "large")]["Memory"] > 0.6
+    # ...and are much smaller in-cache.
+    assert (
+        breakdowns[("main", "small")]["Memory"]
+        < breakdowns[("main", "large")]["Memory"] / 2
+    )
+    # Main's speculative search wastes slots in-cache; Delta's
+    # conditional-move search does not (Section 2.2).
+    assert breakdowns[("main", "small")]["Bad Speculation"] > 0.15
+    assert breakdowns[("delta", "small")]["Bad Speculation"] < 0.01
+    assert breakdowns[("delta", "large")]["Bad Speculation"] < 0.01

@@ -1,0 +1,64 @@
+"""Table 5: implementation complexity and code footprint (LoC metrics).
+
+Computed over *this repository's* implementations with difflib (the
+absolute numbers differ from the paper's C++, the ordering is the
+claim): CORO-U needs the fewest changes to the original sequential code
+and the smallest total footprint; AMAC needs the most changes; every
+technique except CORO-U must maintain two code paths.
+"""
+
+from repro.analysis import format_table, table5_metrics
+from repro.analysis.loc import second_index_metrics
+
+
+def test_table5_loc_metrics(benchmark, record_table):
+    metrics = benchmark.pedantic(table5_metrics, rounds=1, iterations=1)
+    by_name = {m.technique: m for m in metrics}
+    record_table(
+        "table5_loc",
+        format_table(
+            ["technique", "interleaved LoC", "diff-to-original", "total footprint"],
+            [
+                [m.technique, m.interleaved_loc, m.diff_to_original, m.total_footprint]
+                for m in metrics
+            ],
+            title="Table 5: LoC metrics over this repository's implementations",
+        ),
+    )
+
+    assert by_name["CORO-U"].diff_to_original == min(
+        m.diff_to_original for m in metrics if m.technique != "CORO-S"
+    )
+    assert by_name["CORO-U"].total_footprint == min(
+        m.total_footprint for m in metrics
+    )
+    assert by_name["AMAC"].diff_to_original == max(
+        m.diff_to_original for m in metrics
+    )
+    # Both CORO variants need less code than GP and AMAC.
+    for coro in ("CORO-U", "CORO-S"):
+        for heavy in ("GP", "AMAC"):
+            assert (
+                by_name[coro].diff_to_original < by_name[heavy].diff_to_original
+            )
+
+
+def test_table5_extension_second_index(benchmark, record_table):
+    """The maintainability gap compounds per supported index: the
+    CSB+-tree costs AMAC a fresh state machine, the coroutine only its
+    suspension points."""
+    metrics = benchmark.pedantic(second_index_metrics, rounds=1, iterations=1)
+    by_name = {m.technique: m for m in metrics}
+    record_table(
+        "table5_second_index",
+        format_table(
+            ["technique", "interleaved LoC", "diff-to-original", "total footprint"],
+            [
+                [m.technique, m.interleaved_loc, m.diff_to_original, m.total_footprint]
+                for m in metrics
+            ],
+            title="Table 5 extension: adding CSB+-tree support",
+        ),
+    )
+    assert by_name["CORO-U"].diff_to_original < by_name["AMAC"].diff_to_original
+    assert by_name["CORO-U"].total_footprint < by_name["AMAC"].total_footprint

@@ -1,0 +1,67 @@
+"""Section 5.4.3: address translation and the runtime jumps.
+
+Paper claims: the 4->8 MB jump matches the STLB span (1024 entries x
+4 KB = 4 MB); beyond it page walks appear, first hitting L1/L2 (small
+jumps, partially hidden), and from ~128 MB on hitting L3, which cannot
+be hidden — the most visible increases. Translation stalls survive
+interleaving: a prefetch still blocks until its address translates.
+"""
+
+from repro.analysis import format_size, format_table
+
+STLB_SPAN = 1024 * 4096
+
+
+def test_tlb_walk_levels_across_sizes(benchmark, record_table, int_sweep):
+    def compute():
+        rows = []
+        per_size = {}
+        for point in int_sweep["points"]["Baseline"]:
+            walks = point.walks_per_search
+            per_size[point.size_bytes] = point
+            rows.append(
+                [
+                    format_size(point.size_bytes),
+                    round(sum(walks.values()), 2),
+                    *(
+                        round(walks.get(level, 0.0), 2)
+                        for level in ("PW-L1", "PW-L2", "PW-L3", "PW-DRAM")
+                    ),
+                    round(point.translation_stall_per_search),
+                ]
+            )
+        return rows, per_size
+
+    rows, per_size = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_table(
+        "tlb_jumps",
+        format_table(
+            ["size", "walks", "PW-L1", "PW-L2", "PW-L3", "PW-DRAM", "xlat stall"],
+            rows,
+            title="Section 5.4.3: page walks per search (Baseline)",
+        ),
+    )
+
+    sizes = sorted(per_size)
+    within_stlb = [s for s in sizes if s <= STLB_SPAN]
+    beyond_stlb = [s for s in sizes if s > STLB_SPAN]
+    assert within_stlb and beyond_stlb
+
+    # Within the STLB span translation is nearly free; beyond it walks
+    # appear in numbers.
+    for size in within_stlb:
+        assert sum(per_size[size].walks_per_search.values()) < 2.0
+    assert sum(per_size[beyond_stlb[-1]].walks_per_search.values()) > 5.0
+
+    # The largest sizes walk into L3 or beyond (the un-hideable jumps).
+    big = per_size[sizes[-1]].walks_per_search
+    assert big.get("PW-L3", 0) + big.get("PW-DRAM", 0) > 1.0
+
+    # Translation stalls survive interleaving (compare CORO vs Baseline
+    # translation stall per search at the largest size).
+    coro_large = int_sweep["points"]["CORO"][-1]
+    baseline_large = int_sweep["points"]["Baseline"][-1]
+    assert (
+        coro_large.translation_stall_per_search
+        > 0.5 * baseline_large.translation_stall_per_search
+    )

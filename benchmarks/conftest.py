@@ -1,0 +1,116 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Conventions:
+
+* every benchmark reproduces one table or figure from the paper and
+  renders it as an ASCII table via ``record_table`` — tables are written
+  to ``benchmarks/results/`` and echoed in the terminal summary, so the
+  output of ``pytest benchmarks/ --benchmark-only`` contains the
+  reproduced artifacts, not just timings;
+* heavy sweeps that several figures share (Figures 3, 5, 6 all come
+  from one sweep) are session-scoped fixtures, computed once;
+* ``REPRO_BENCH_SCALE=full`` switches to the paper's full 1 MB–2 GB
+  grid with 10 K lookups; the default quick grid brackets the 25 MB LLC
+  boundary with fewer points.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_GROUP_SIZES,
+    TECHNIQUES,
+    bench_scale,
+    lookups_per_point,
+    measure_binary_search,
+    size_grid,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_RECORDED: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Record a reproduced table/figure for the terminal summary."""
+
+    def _record(name: str, text: str) -> None:
+        _RECORDED.append((name, text))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RECORDED:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name, text in _RECORDED:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def _sweep(element: str) -> dict:
+    """The Figure 3 sweep: all five techniques across the size grid."""
+    sizes = size_grid()
+    n_lookups = lookups_per_point()
+    points = {}
+    for technique in TECHNIQUES:
+        points[technique] = [
+            measure_binary_search(
+                size,
+                technique,
+                element=element,
+                n_lookups=n_lookups,
+                group_size=DEFAULT_GROUP_SIZES[technique],
+            )
+            for size in sizes
+        ]
+    return {"sizes": sizes, "points": points, "scale": bench_scale()}
+
+
+@pytest.fixture(scope="session")
+def int_sweep():
+    """Shared sweep over integer arrays (Figures 3a, 5, 6, TLB analysis)."""
+    return _sweep("int")
+
+
+@pytest.fixture(scope="session")
+def string_sweep():
+    """Shared sweep over 15-char string arrays (Figure 3b)."""
+    return _sweep("string")
+
+
+def _query_sweep() -> dict:
+    """Shared IN-predicate query sweep (Figures 1 and 8, Tables 1-2)."""
+    from repro.analysis import measure_query
+
+    sizes = size_grid()
+    n_predicates = lookups_per_point(default_quick=400, default_full=10_000)
+    points: dict[tuple[str, str], list] = {}
+    for store in ("main", "delta"):
+        for strategy in ("sequential", "interleaved"):
+            points[(store, strategy)] = [
+                measure_query(
+                    size, store, strategy, n_predicates=n_predicates
+                )
+                for size in sizes
+            ]
+    return {
+        "sizes": sizes,
+        "points": points,
+        "n_predicates": n_predicates,
+        "scale": bench_scale(),
+    }
+
+
+@pytest.fixture(scope="session")
+def query_sweep():
+    return _query_sweep()

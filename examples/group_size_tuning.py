@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Choosing the group size with the interleaving model (Section 5.4.5).
+
+Profiles Baseline (for T_stall / T_compute) and each technique at group
+size 1 (for T_switch), applies Inequality 1, then validates the
+analytical estimate against a measured group-size sweep — a miniature
+Figure 7.
+
+Run:  python examples/group_size_tuning.py
+"""
+
+from repro import HASWELL
+from repro.analysis import (
+    estimate_best_group_sizes,
+    format_table,
+    measure_binary_search,
+)
+
+ARRAY_BYTES = 256 << 20  # the size Figure 7 uses
+N_LOOKUPS = 400
+GROUPS = list(range(1, 13))
+
+
+def main() -> None:
+    print("extracting model parameters from profiles "
+          f"({ARRAY_BYTES >> 20} MB int array)...")
+    estimates = estimate_best_group_sizes(
+        size_bytes=ARRAY_BYTES, n_lookups=N_LOOKUPS
+    )
+    rows = []
+    for technique, estimate in estimates.items():
+        params = estimate.params
+        rows.append([
+            technique,
+            f"{params.t_compute:.1f}",
+            f"{params.t_stall:.1f}",
+            f"{params.t_switch:.1f}",
+            estimate.estimate,
+            "yes" if estimate.lfb_capped else "no",
+        ])
+    print(format_table(
+        ["technique", "T_compute", "T_stall", "T_switch", "G*", "LFB-capped"],
+        rows,
+        title="Inequality 1 estimates",
+    ))
+
+    print("\nvalidating against a measured sweep (cycles/search):")
+    series = {}
+    for technique in ("GP", "AMAC", "CORO"):
+        series[technique] = [
+            round(
+                measure_binary_search(
+                    ARRAY_BYTES, technique, group_size=g, n_lookups=N_LOOKUPS
+                ).cycles_per_search
+            )
+            for g in GROUPS
+        ]
+    from repro.analysis import series_table
+
+    print(series_table("G", GROUPS, series))
+    for technique, curve in series.items():
+        best = GROUPS[curve.index(min(curve))]
+        print(f"{technique}: measured best G = {best}, "
+              f"model estimate = {estimates[technique].estimate}")
+
+
+if __name__ == "__main__":
+    main()

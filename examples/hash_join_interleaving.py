@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Interleaving a hash-join probe phase (Section 6, "other targets").
+
+The paper argues coroutine interleaving applies to any pointer-based
+index — hash tables with bucket chains being the canonical case (the
+workload AMAC was originally designed for). This example builds a
+hash join: the build side populates a chained hash table, the probe
+side streams keys through it, sequentially and interleaved.
+
+Run:  python examples/hash_join_interleaving.py
+"""
+
+import numpy as np
+
+from repro import (
+    HASWELL,
+    INVALID_CODE,
+    AddressSpaceAllocator,
+    ChainedHashTable,
+    ExecutionEngine,
+    hash_probe_stream,
+    run_interleaved,
+    run_sequential,
+)
+
+BUILD_ROWS = 400_000
+PROBE_ROWS = 1_500
+MATCH_RATE = 0.75
+
+
+def main() -> None:
+    rng = np.random.RandomState(0)
+    allocator = AddressSpaceAllocator()
+
+    # Build side: R(key, payload). One bucket per ~1.5 keys.
+    build_keys = rng.choice(10 * BUILD_ROWS, BUILD_ROWS, replace=False)
+    table = ChainedHashTable(allocator, "join", n_buckets=BUILD_ROWS * 2 // 3)
+    table.build(build_keys, build_keys * 7)
+    print(f"built hash table: {table.n_entries} entries, "
+          f"{table.n_buckets} buckets")
+
+    # Probe side: S(key) — 75% of probes find a match.
+    hits = rng.choice(build_keys, int(PROBE_ROWS * MATCH_RATE), replace=False)
+    misses = rng.choice(
+        np.setdiff1d(np.arange(20 * BUILD_ROWS), build_keys),
+        PROBE_ROWS - hits.size,
+        replace=False,
+    )
+    probes = np.concatenate([hits, misses])
+    rng.shuffle(probes)
+    probes = [int(p) for p in probes]
+
+    factory = lambda key, interleave: hash_probe_stream(table, key, interleave)
+
+    engine = ExecutionEngine(HASWELL)
+    sequential = run_sequential(engine, factory, probes)
+    seq_cycles = engine.clock / len(probes)
+
+    engine = ExecutionEngine(HASWELL)
+    interleaved = run_interleaved(engine, factory, probes, group_size=8)
+    inter_cycles = engine.clock / len(probes)
+
+    assert sequential == interleaved
+    matches = sum(r != INVALID_CODE for r in sequential)
+    print(f"probed {len(probes)} keys -> {matches} matches")
+    print(f"sequential:  {seq_cycles:7.0f} cycles/probe")
+    print(f"interleaved: {inter_cycles:7.0f} cycles/probe  "
+          f"({seq_cycles / inter_cycles:.2f}x)")
+    print("the same two-line change (prefetch + suspend before each "
+          "pointer dereference) that worked for binary search works here")
+
+
+if __name__ == "__main__":
+    main()

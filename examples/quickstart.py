@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: hide cache misses in binary searches with coroutines.
+
+Builds a 256 MB sorted dictionary (too big for the 25 MB last-level
+cache), runs 2,000 random lookups sequentially and interleaved, and
+prints the cycles-per-search comparison plus the policy the library
+would choose automatically.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    HASWELL,
+    AddressSpaceAllocator,
+    ExecutionEngine,
+    binary_search_coro,
+    choose_policy,
+    int_array_of_bytes,
+    run_interleaved,
+    run_sequential,
+)
+from repro.workloads.generators import lookup_values
+
+
+def main() -> None:
+    allocator = AddressSpaceAllocator()
+    table = int_array_of_bytes(allocator, "dictionary", 256 << 20)
+    values = lookup_values(2_000, table, seed=0)
+
+    # Ask the library what it would do for this table and lookup count.
+    policy = choose_policy(HASWELL, table, len(values))
+    print(f"policy: {policy.describe()}")
+
+    # Sequential execution: one lookup at a time, every deep probe pays
+    # a DRAM round trip.
+    engine = ExecutionEngine(HASWELL)
+    sequential = run_sequential(
+        engine,
+        lambda value, interleave: binary_search_coro(table, value, interleave),
+        values,
+    )
+    seq_cycles = engine.clock / len(values)
+
+    # Interleaved execution: the SAME coroutine, scheduled in a group —
+    # suspensions after each prefetch let other lookups run while the
+    # cache line is in flight.
+    engine = ExecutionEngine(HASWELL)
+    interleaved = run_interleaved(
+        engine,
+        lambda value, interleave: binary_search_coro(table, value, interleave),
+        values,
+        group_size=policy.group_size,
+    )
+    inter_cycles = engine.clock / len(values)
+
+    assert sequential == interleaved, "interleaving is a pure execution policy"
+    print(f"sequential:  {seq_cycles:8.0f} cycles/search")
+    print(f"interleaved: {inter_cycles:8.0f} cycles/search  "
+          f"({seq_cycles / inter_cycles:.2f}x speedup, group={policy.group_size})")
+    print(f"memory-level parallelism did the work: same results, same code path")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation --no-use-pep517` uses this legacy
+path; all metadata lives in pyproject.toml and is mirrored here.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Interleaving with Coroutines: reproduction of Psaropoulos et al., "
+        "VLDB 2017, on a simulated memory hierarchy"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

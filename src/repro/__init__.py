@@ -1,0 +1,147 @@
+"""repro — Interleaving with Coroutines, reproduced on a simulated core.
+
+A faithful reproduction of Psaropoulos, Legler, May, and Ailamaki,
+"Interleaving with Coroutines: A Practical Approach for Robust Index
+Joins" (PVLDB 11(2), 2017), built on a simulated Haswell-class core and
+memory hierarchy because the technique's effect is purely
+micro-architectural and unobservable from pure Python.
+
+Layers (bottom-up):
+
+* :mod:`repro.sim` — caches, line-fill buffers, TLB/page walker, and a
+  cycle-cost execution engine with TMAM accounting.
+* :mod:`repro.indexes` — sorted arrays, binary-search variants
+  (speculative ``std``, branch-free ``Baseline``, the coroutine of
+  Listing 5), CSB+-trees, hash tables, a page-blocked B+-tree.
+* :mod:`repro.interleaving` — the paper's contribution: coroutine
+  handles, the sequential/interleaved schedulers of Listing 7, plus
+  Group Prefetching and AMAC for comparison, and the Inequality-1
+  group-size model.
+* :mod:`repro.columnstore` — SAP HANA-like substrate: Main/Delta
+  dictionaries, encoded columns, IN-predicate queries.
+* :mod:`repro.workloads` / :mod:`repro.analysis` — workload generation,
+  measurement harness, reporting, Table-5 LoC analysis.
+
+Quick start::
+
+    from repro import (
+        HASWELL, ExecutionEngine, AddressSpaceAllocator,
+        int_array_of_bytes, binary_search_coro, run_interleaved,
+    )
+
+    alloc = AddressSpaceAllocator()
+    table = int_array_of_bytes(alloc, "dict", 256 << 20)  # 256 MB
+    engine = ExecutionEngine(HASWELL)
+    results = run_interleaved(
+        engine,
+        lambda value, interleave: binary_search_coro(table, value, interleave),
+        [12345, 67890],
+        group_size=6,
+    )
+"""
+
+from repro.config import HASWELL, ArchSpec, CacheSpec, CostModel, TlbSpec, scaled
+from repro.errors import (
+    ColumnStoreError,
+    ConfigurationError,
+    CoroutineStateError,
+    IndexStructureError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.indexes import (
+    INVALID_CODE,
+    BlockedBTree,
+    ChainedHashTable,
+    CSBTree,
+    ImplicitCSBTree,
+    ImplicitSortedArray,
+    SortedIntArray,
+    SortedStringArray,
+    binary_search_baseline,
+    binary_search_coro,
+    binary_search_std,
+    blocked_lookup_stream,
+    csb_lookup_stream,
+    hash_probe_stream,
+    int_array_of_bytes,
+    locate_stream,
+    string_array_of_bytes,
+)
+from repro.interleaving import (
+    CoroutineHandle,
+    FramePool,
+    amac_binary_search_bulk,
+    choose_policy,
+    default_group_size,
+    gp_binary_search_bulk,
+    optimal_group_size,
+    run_interleaved,
+    run_sequential,
+)
+from repro.columnstore import (
+    ColumnTable,
+    DeltaDictionary,
+    DeltaStore,
+    EncodedColumn,
+    MainDictionary,
+    run_in_predicate,
+)
+from repro.sim import AddressSpaceAllocator, ExecutionEngine, MemorySystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "HASWELL",
+    "ArchSpec",
+    "CacheSpec",
+    "CostModel",
+    "TlbSpec",
+    "scaled",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulerError",
+    "CoroutineStateError",
+    "IndexStructureError",
+    "ColumnStoreError",
+    "WorkloadError",
+    "AddressSpaceAllocator",
+    "ExecutionEngine",
+    "MemorySystem",
+    "INVALID_CODE",
+    "SortedIntArray",
+    "SortedStringArray",
+    "ImplicitSortedArray",
+    "int_array_of_bytes",
+    "string_array_of_bytes",
+    "binary_search_std",
+    "binary_search_baseline",
+    "binary_search_coro",
+    "locate_stream",
+    "CSBTree",
+    "ImplicitCSBTree",
+    "csb_lookup_stream",
+    "ChainedHashTable",
+    "hash_probe_stream",
+    "BlockedBTree",
+    "blocked_lookup_stream",
+    "CoroutineHandle",
+    "FramePool",
+    "run_sequential",
+    "run_interleaved",
+    "gp_binary_search_bulk",
+    "amac_binary_search_bulk",
+    "optimal_group_size",
+    "default_group_size",
+    "choose_policy",
+    "MainDictionary",
+    "DeltaDictionary",
+    "EncodedColumn",
+    "DeltaStore",
+    "ColumnTable",
+    "run_in_predicate",
+]

@@ -1,0 +1,49 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table5 fig7          # run and print experiments
+    REPRO_BENCH_SCALE=full python -m repro fig3a   # paper's full grid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import available_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce tables and figures from 'Interleaving with "
+            "Coroutines' (VLDB 2017) on the simulated memory hierarchy."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (or 'list' to enumerate them)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    for name in args.experiments:
+        try:
+            print(run_experiment(name))
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

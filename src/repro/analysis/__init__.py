@@ -1,0 +1,73 @@
+"""Measurement harness, reporting, calibration, and LoC analysis."""
+
+from repro.analysis.calibration import (
+    GroupSizeEstimate,
+    estimate_best_group_sizes,
+    switch_points_for,
+)
+from repro.analysis.experiments import (
+    DEFAULT_GROUP_SIZES,
+    TECHNIQUES,
+    BinarySearchPoint,
+    QueryPoint,
+    bench_scale,
+    lookups_per_point,
+    measure_binary_search,
+    measure_query,
+    run_binary_search_technique,
+    size_grid,
+    warm_llc_resident,
+)
+from repro.analysis.loc import LocMetrics, code_lines, diff_lines, table5_metrics
+from repro.analysis.reporting import (
+    ascii_chart,
+    banner,
+    format_pct,
+    format_size,
+    format_table,
+    series_table,
+)
+
+__all__ = [
+    "GroupSizeEstimate",
+    "estimate_best_group_sizes",
+    "switch_points_for",
+    "DEFAULT_GROUP_SIZES",
+    "TECHNIQUES",
+    "BinarySearchPoint",
+    "QueryPoint",
+    "bench_scale",
+    "lookups_per_point",
+    "measure_binary_search",
+    "measure_query",
+    "run_binary_search_technique",
+    "size_grid",
+    "warm_llc_resident",
+    "LocMetrics",
+    "code_lines",
+    "diff_lines",
+    "table5_metrics",
+    "ascii_chart",
+    "banner",
+    "format_pct",
+    "format_size",
+    "format_table",
+    "series_table",
+]
+
+from repro.analysis.figures import available_experiments, run_experiment
+from repro.analysis.results_io import (
+    binary_search_csv,
+    query_csv,
+    read_csv_rows,
+    write_csv,
+)
+
+__all__ += [
+    "available_experiments",
+    "run_experiment",
+    "binary_search_csv",
+    "query_csv",
+    "read_csv_rows",
+    "write_csv",
+]

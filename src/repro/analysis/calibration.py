@@ -1,0 +1,68 @@
+"""Model-parameter extraction from simulated profiles (Section 5.4.5).
+
+The paper estimates best group sizes by profiling ``Baseline`` (for
+``T_stall`` and ``T_compute``) and each interleaved implementation at
+group size 1 (for ``T_switch``), then applying Inequality 1. This module
+automates that procedure against the simulator, so Figure 7's analytical
+estimates come from measurement, not hard-coded constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import HASWELL, ArchSpec
+from repro.interleaving.model import (
+    InterleavingParams,
+    estimate_group_size,
+    params_from_profiles,
+)
+
+from repro.analysis.experiments import measure_binary_search
+
+__all__ = ["GroupSizeEstimate", "estimate_best_group_sizes", "switch_points_for"]
+
+
+@dataclass(frozen=True)
+class GroupSizeEstimate:
+    """Inequality-1 estimate for one technique."""
+
+    technique: str
+    params: InterleavingParams
+    estimate: int
+    lfb_capped: bool
+
+
+def switch_points_for(size_bytes: int, element_size: int = 4) -> int:
+    """Memory accesses per search = binary-search iterations."""
+    return max(1, math.ceil(math.log2(size_bytes // element_size)))
+
+
+def estimate_best_group_sizes(
+    *,
+    size_bytes: int = 256 << 20,
+    n_lookups: int | None = None,
+    arch: ArchSpec = HASWELL,
+) -> dict[str, GroupSizeEstimate]:
+    """Profile Baseline and each technique at G=1; apply Inequality 1."""
+    baseline = measure_binary_search(
+        size_bytes, "Baseline", n_lookups=n_lookups, arch=arch
+    )
+    iterations = switch_points_for(size_bytes)
+    estimates: dict[str, GroupSizeEstimate] = {}
+    for technique in ("GP", "AMAC", "CORO"):
+        g1 = measure_binary_search(
+            size_bytes, technique, group_size=1, n_lookups=n_lookups, arch=arch
+        )
+        switch_points = baseline.n_lookups * iterations
+        params = params_from_profiles(baseline.tmam, g1.tmam, switch_points)
+        uncapped = estimate_group_size(baseline.tmam, g1.tmam, switch_points)
+        capped = min(uncapped, arch.n_line_fill_buffers)
+        estimates[technique] = GroupSizeEstimate(
+            technique=technique,
+            params=params,
+            estimate=capped,
+            lfb_capped=uncapped > arch.n_line_fill_buffers,
+        )
+    return estimates

@@ -1,0 +1,262 @@
+"""One-call regeneration of each paper artifact (backs the CLI).
+
+Every function returns the reproduced table/figure as an ASCII string.
+The benchmark suite under ``benchmarks/`` is the asserted, recorded
+version of the same experiments; these entry points exist for
+interactive use::
+
+    python -m repro fig3a
+    python -m repro table5 fig7
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.calibration import estimate_best_group_sizes
+from repro.analysis.experiments import (
+    DEFAULT_GROUP_SIZES,
+    TECHNIQUES,
+    measure_binary_search,
+    measure_query,
+    size_grid,
+    lookups_per_point,
+)
+from repro.analysis.loc import table5_metrics
+from repro.analysis.reporting import ascii_chart, format_pct, format_size, format_table, series_table
+from repro.sim.memory import HIT_LEVELS
+from repro.sim.tmam import CATEGORIES
+
+__all__ = ["EXPERIMENTS", "run_experiment", "available_experiments"]
+
+
+def _binary_sweep(element: str, sort_lookups: bool = False) -> tuple[list, dict]:
+    sizes = size_grid()
+    n = lookups_per_point()
+    points = {
+        technique: [
+            measure_binary_search(
+                size,
+                technique,
+                element=element,
+                n_lookups=n,
+                group_size=DEFAULT_GROUP_SIZES[technique],
+                sort_lookups=sort_lookups,
+                warm_with_same_values=sort_lookups,
+            )
+            for size in sizes
+        ]
+        for technique in TECHNIQUES
+    }
+    return sizes, points
+
+
+def fig1() -> str:
+    sizes = size_grid()
+    n = lookups_per_point()
+    series = {}
+    for strategy, label in (("sequential", "Main"), ("interleaved", "Main-Interleaved")):
+        series[label] = [
+            round(measure_query(size, "main", strategy, n_predicates=n).response_ms, 2)
+            for size in sizes
+        ]
+    labels = [format_size(s) for s in sizes]
+    return (
+        series_table(
+            "dict size", labels, series,
+            title=f"Figure 1: IN-predicate response time (ms), {n} INTEGER values",
+        )
+        + "\n\n"
+        + ascii_chart(labels, series)
+    )
+
+
+def _fig3(element: str) -> str:
+    sizes, points = _binary_sweep(element)
+    series = {
+        technique: [round(p.cycles_per_search) for p in column]
+        for technique, column in points.items()
+    }
+    labels = [format_size(s) for s in sizes]
+    return (
+        series_table(
+            "size", labels, series,
+            title=f"Figure 3 ({element} arrays): cycles/search",
+        )
+        + "\n\n"
+        + ascii_chart(labels, series)
+    )
+
+
+def fig3a() -> str:
+    return _fig3("int")
+
+
+def fig3b() -> str:
+    return _fig3("string")
+
+
+def fig5() -> str:
+    sizes, points = _binary_sweep("int")
+    rows = []
+    for technique, column in points.items():
+        for point in column:
+            cats = point.cycles_by_category_per_search
+            rows.append(
+                [technique, format_size(point.size_bytes)]
+                + [round(cats[c]) for c in CATEGORIES]
+            )
+    return format_table(
+        ["technique", "size", *CATEGORIES], rows,
+        title="Figure 5: cycles/search by TMAM category",
+    )
+
+
+def fig6() -> str:
+    sizes, points = _binary_sweep("int")
+    rows = []
+    for technique, column in points.items():
+        for point in column:
+            rows.append(
+                [technique, format_size(point.size_bytes)]
+                + [round(point.loads_per_search[level], 1) for level in HIT_LEVELS]
+            )
+    return format_table(
+        ["technique", "size", *HIT_LEVELS], rows,
+        title="Figure 6: loads/search by serving level",
+    )
+
+
+def fig7() -> str:
+    groups = list(range(1, 13))
+    n = min(lookups_per_point(), 400)
+    curves = {
+        technique: [
+            round(
+                measure_binary_search(
+                    256 << 20, technique, group_size=g, n_lookups=n
+                ).cycles_per_search
+            )
+            for g in groups
+        ]
+        for technique in ("GP", "AMAC", "CORO")
+    }
+    estimates = estimate_best_group_sizes(size_bytes=256 << 20, n_lookups=n)
+    body = series_table(
+        "G", groups, curves,
+        title="Figure 7: cycles/search vs group size (256 MB int array)",
+    ) + "\n\n" + ascii_chart(groups, curves)
+    footer = format_table(
+        ["technique", "estimated G*", "measured best G"],
+        [
+            [t, estimates[t].estimate, groups[c.index(min(c))]]
+            for t, c in curves.items()
+        ],
+    )
+    return body + "\n" + footer
+
+
+def fig8() -> str:
+    sizes = size_grid()
+    n = lookups_per_point()
+    series = {}
+    for store in ("main", "delta"):
+        for strategy in ("sequential", "interleaved"):
+            label = store.capitalize() + (
+                "-Interleaved" if strategy == "interleaved" else ""
+            )
+            series[label] = [
+                round(
+                    measure_query(size, store, strategy, n_predicates=n).response_ms,
+                    2,
+                )
+                for size in sizes
+            ]
+    labels = [format_size(s) for s in sizes]
+    return (
+        series_table(
+            "dict size", labels, series,
+            title="Figure 8: IN-predicate response time (ms), Main & Delta",
+        )
+        + "\n\n"
+        + ascii_chart(labels, series)
+    )
+
+
+def table1() -> str:
+    sizes = size_grid()
+    n = lookups_per_point()
+    cells = {
+        store: [
+            measure_query(size, store, "sequential", n_predicates=n)
+            for size in (sizes[0], sizes[-1])
+        ]
+        for store in ("main", "delta")
+    }
+    labels = [format_size(sizes[0]), format_size(sizes[-1])]
+    return format_table(
+        ["", f"Main {labels[0]}", f"Main {labels[1]}",
+         f"Delta {labels[0]}", f"Delta {labels[1]}"],
+        [
+            ["Runtime %"]
+            + [format_pct(q.locate_fraction) for q in cells["main"] + cells["delta"]],
+            ["CPI"]
+            + [f"{q.locate_tmam.cpi:.1f}" for q in cells["main"] + cells["delta"]],
+        ],
+        title="Table 1: execution details of locate",
+    )
+
+
+def table2() -> str:
+    sizes = size_grid()
+    n = lookups_per_point()
+    columns = []
+    headers = [""]
+    for store in ("main", "delta"):
+        for size in (sizes[0], sizes[-1]):
+            point = measure_query(size, store, "sequential", n_predicates=n)
+            columns.append(point.locate_tmam.breakdown())
+            headers.append(f"{store.capitalize()} {format_size(size)}")
+    rows = [
+        [category] + [format_pct(col[category]) for col in columns]
+        for category in CATEGORIES
+    ]
+    return format_table(headers, rows, title="Table 2: pipeline slots of locate")
+
+
+def table5() -> str:
+    return format_table(
+        ["technique", "interleaved LoC", "diff-to-original", "total footprint"],
+        [
+            [m.technique, m.interleaved_loc, m.diff_to_original, m.total_footprint]
+            for m in table5_metrics()
+        ],
+        title="Table 5: LoC metrics over this repository's implementations",
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "fig1": fig1,
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "table1": table1,
+    "table2": table2,
+    "table5": table5,
+}
+
+
+def available_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> str:
+    try:
+        return EXPERIMENTS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
+        ) from None

@@ -1,0 +1,138 @@
+"""Plain-text reporting: the tables and figure series the paper prints.
+
+Benchmarks render their results through these helpers so every run of
+``pytest benchmarks/`` reproduces the paper's tables/figures as aligned
+ASCII, and EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ascii_chart",
+    "format_table",
+    "format_size",
+    "format_pct",
+    "series_table",
+    "banner",
+]
+
+
+def format_size(nbytes: int) -> str:
+    """1048576 -> "1MB", matching the paper's axis labels."""
+    for unit, factor in (("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10)):
+        if nbytes >= factor:
+            value = nbytes / factor
+            return f"{value:g}{unit}"
+    return f"{nbytes}B"
+
+
+def format_pct(fraction: float) -> str:
+    return f"{100 * fraction:.1f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}" if abs(value) >= 10 else f"{value:.2f}"
+    return str(value)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one row per x, one column per series."""
+    headers = [x_label, *series.keys()]
+    columns = list(series.values())
+    rows = [
+        [x, *(column[index] for column in columns)]
+        for index, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(40, len(text) + 4)
+    return f"\n{bar}\n  {text}\n{bar}"
+
+
+def ascii_chart(
+    x_labels: Sequence[object],
+    series: "dict[str, Sequence[float]]",
+    *,
+    height: int = 14,
+    title: str | None = None,
+) -> str:
+    """Render series as a monospaced scatter chart (a printable figure).
+
+    One column per x position, one marker per series; collisions show
+    the later series' marker. The y axis is linear from zero to the
+    maximum value, annotated on the left.
+    """
+    if not series:
+        return title or ""
+    markers = "*o+x#@%&"
+    n_points = len(x_labels)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(f"series {name!r} length != len(x_labels)")
+    peak = max((max(values) for values in series.values()), default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    col_width = 6
+    grid = [[" "] * (n_points * col_width) for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, value in enumerate(values):
+            row = height - 1 - int(round((value / peak) * (height - 1)))
+            grid[row][x * col_width + col_width // 2] = marker
+
+    label_width = len(f"{peak:.0f}")
+    out = []
+    if title:
+        out.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{peak:.0f}"
+        elif row_index == height - 1:
+            label = "0"
+        else:
+            label = ""
+        out.append(label.rjust(label_width) + " |" + "".join(row))
+    out.append(" " * label_width + " +" + "-" * (n_points * col_width))
+    x_axis = "".join(str(x).center(col_width) for x in x_labels)
+    out.append(" " * label_width + "  " + x_axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    out.append(" " * label_width + "  " + legend)
+    return "\n".join(out)

@@ -1,0 +1,105 @@
+"""CSV persistence for sweep results.
+
+Benchmarks print ASCII tables; downstream plotting (gnuplot, pandas,
+spreadsheets) wants CSV. These helpers flatten
+:class:`~repro.analysis.experiments.BinarySearchPoint` and
+:class:`~repro.analysis.experiments.QueryPoint` records into rows with
+stable headers and write/read them losslessly enough to re-plot.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.sim.memory import HIT_LEVELS
+from repro.sim.tmam import CATEGORIES
+
+from repro.analysis.experiments import BinarySearchPoint, QueryPoint
+
+__all__ = [
+    "binary_search_csv",
+    "query_csv",
+    "write_csv",
+    "read_csv_rows",
+]
+
+_BS_HEADER = (
+    ["technique", "element", "size_bytes", "group_size", "n_lookups",
+     "cycles_per_search", "translation_stall_per_search"]
+    + [f"loads_{level}" for level in HIT_LEVELS]
+    + [f"slots_{category}" for category in CATEGORIES]
+)
+
+_QUERY_HEADER = [
+    "store", "strategy", "dict_bytes", "n_predicates", "n_rows",
+    "total_cycles", "locate_cycles", "scan_cycles", "response_ms",
+    "locate_fraction", "locate_cpi",
+]
+
+
+def binary_search_csv(points: Iterable[BinarySearchPoint]) -> str:
+    """Render microbenchmark sweep points as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_BS_HEADER)
+    for point in points:
+        breakdown = point.tmam.breakdown()
+        writer.writerow(
+            [
+                point.technique,
+                point.element,
+                point.size_bytes,
+                point.group_size,
+                point.n_lookups,
+                f"{point.cycles_per_search:.2f}",
+                f"{point.translation_stall_per_search:.2f}",
+            ]
+            + [f"{point.loads_per_search[level]:.3f}" for level in HIT_LEVELS]
+            + [f"{breakdown[category]:.4f}" for category in CATEGORIES]
+        )
+    return buffer.getvalue()
+
+
+def query_csv(points: Iterable[QueryPoint]) -> str:
+    """Render query sweep points as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_QUERY_HEADER)
+    for point in points:
+        writer.writerow(
+            [
+                point.store,
+                point.strategy,
+                point.dict_bytes,
+                point.n_predicates,
+                point.n_rows,
+                point.total_cycles,
+                point.locate_cycles,
+                point.scan_cycles,
+                f"{point.response_ms:.4f}",
+                f"{point.locate_fraction:.4f}",
+                f"{point.locate_tmam.cpi:.3f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_csv(path: "str | pathlib.Path", text: str) -> pathlib.Path:
+    """Write CSV text; parents are created; returns the resolved path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def read_csv_rows(path: "str | pathlib.Path") -> list[dict[str, str]]:
+    """Read a CSV written by this module back into dict rows."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ReproError(f"no such results file: {path}")
+    with path.open(newline="") as handle:
+        return list(csv.DictReader(handle))

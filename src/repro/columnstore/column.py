@@ -1,0 +1,183 @@
+"""Dictionary-encoded columns: a dictionary plus a code vector.
+
+The encoded representation of Section 2.1: the dictionary maps values to
+a dense integer range, and the column body is the vector of codes. Bulk
+``locate`` over a list of values is the index join S |><| D this paper is
+about; :meth:`EncodedColumn.encode_values` exposes it under every
+execution strategy (sequential, GP, AMAC, coroutines).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ColumnStoreError
+from repro.indexes.base import INVALID_CODE
+from repro.indexes.binary_search import DEFAULT_COSTS, SearchCosts
+from repro.interleaving.amac import amac_run_bulk
+from repro.interleaving.gp import gp_binary_search_bulk
+from repro.interleaving.interleaved import run_interleaved
+from repro.interleaving.sequential import run_sequential
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.engine import ExecutionEngine
+
+from repro.columnstore.dictionary import DeltaDictionary, MainDictionary
+
+__all__ = ["EncodedColumn", "ENCODE_STRATEGIES"]
+
+#: Execution strategies understood by :meth:`EncodedColumn.encode_values`.
+ENCODE_STRATEGIES = ("sequential", "interleaved", "gp", "amac")
+
+
+class EncodedColumn:
+    """A dictionary plus a numpy code vector in simulated memory."""
+
+    def __init__(
+        self,
+        dictionary: "MainDictionary | DeltaDictionary",
+        codes: np.ndarray,
+        allocator: AddressSpaceAllocator,
+        name: str,
+        code_size: int = 4,
+    ) -> None:
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise ColumnStoreError("code vector must be one-dimensional")
+        if codes.size and (
+            codes.min() < 0 or codes.max() >= dictionary.n_values
+        ):
+            raise ColumnStoreError("code vector references out-of-range codes")
+        self.dictionary = dictionary
+        self.codes = codes
+        self.code_size = code_size
+        self.region = allocator.allocate(
+            f"{name}/codes", max(1, codes.size) * code_size
+        )
+
+    @classmethod
+    def from_values(
+        cls,
+        allocator: AddressSpaceAllocator,
+        name: str,
+        values: Sequence[int],
+    ) -> "EncodedColumn":
+        """Build a Main-style column: sorted dictionary + encoded rows."""
+        if len(values) == 0:
+            raise ColumnStoreError("column needs at least one row")
+        dictionary = MainDictionary.from_values(allocator, f"{name}/dict", values)
+        codes = np.array([dictionary.locate(int(v)) for v in values], dtype=np.int64)
+        return cls(dictionary, codes, allocator, name)
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.codes.size)
+
+    def decode_row(self, row: int) -> int:
+        """Value of one row (pure Python)."""
+        return self.dictionary.extract(int(self.codes[row]))
+
+    def decode_rows(
+        self,
+        engine: ExecutionEngine,
+        rows: Sequence[int],
+        *,
+        strategy: str = "sequential",
+        group_size: int = 8,
+    ) -> list[int]:
+        """Materialize row values via ``extract`` (the decode-side join).
+
+        Scattered row decodes over a large dictionary are themselves
+        pointer-chasing; ``strategy="interleaved"`` hides their misses
+        with the same scheduler the encode side uses.
+        """
+        codes = [int(self.codes[row]) for row in rows]
+        dictionary = self.dictionary
+        if strategy == "sequential":
+            return run_sequential(
+                engine, lambda c, il: dictionary.extract_stream(c, il), codes
+            )
+        if strategy == "interleaved":
+            return run_interleaved(
+                engine,
+                lambda c, il: dictionary.extract_stream(c, il),
+                codes,
+                group_size,
+            )
+        raise ColumnStoreError(
+            f"unknown strategy {strategy!r}; decode supports sequential/interleaved"
+        )
+
+    # ------------------------------------------------------------------
+    # The index join: bulk locate
+    # ------------------------------------------------------------------
+
+    def encode_values(
+        self,
+        engine: ExecutionEngine,
+        values: Sequence[int],
+        *,
+        strategy: str = "sequential",
+        group_size: int = 6,
+        costs: SearchCosts = DEFAULT_COSTS,
+    ) -> list[int]:
+        """Locate every value, with the chosen execution strategy.
+
+        Returns one code per input (``INVALID_CODE`` for absent values).
+        GP and AMAC are only available for Main dictionaries (they are
+        binary-search rewrites); the coroutine strategies work for both
+        stores — the paper's practicality argument.
+        """
+        dictionary = self.dictionary
+        if strategy == "sequential":
+            return run_sequential(
+                engine,
+                lambda v, il: dictionary.locate_stream(v, il, costs),
+                values,
+            )
+        if strategy == "interleaved":
+            return run_interleaved(
+                engine,
+                lambda v, il: dictionary.locate_stream(v, il, costs),
+                values,
+                group_size,
+            )
+        if strategy in ("gp", "amac"):
+            if not isinstance(dictionary, MainDictionary):
+                raise ColumnStoreError(
+                    f"{strategy} was only implemented for the sorted Main "
+                    "dictionary; rewriting it for the Delta tree is exactly "
+                    "the cost the paper's coroutines avoid"
+                )
+            lows = (
+                gp_binary_search_bulk(
+                    engine, dictionary.array, values, group_size, costs
+                )
+                if strategy == "gp"
+                else _amac_locate(engine, dictionary, values, group_size, costs)
+            )
+            if strategy == "gp":
+                return [
+                    low if dictionary.array.value_at(low) == value else INVALID_CODE
+                    for low, value in zip(lows, values)
+                ]
+            return lows
+        raise ColumnStoreError(
+            f"unknown strategy {strategy!r}; expected one of {ENCODE_STRATEGIES}"
+        )
+
+
+def _amac_locate(engine, dictionary, values, group_size, costs):
+    from repro.interleaving.amac import BinarySearchMachine
+
+    lows = amac_run_bulk(
+        engine,
+        lambda: BinarySearchMachine(dictionary.array, costs),
+        values,
+        group_size,
+    )
+    return [
+        low if dictionary.array.value_at(low) == value else INVALID_CODE
+        for low, value in zip(lows, values)
+    ]

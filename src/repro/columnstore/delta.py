@@ -1,0 +1,112 @@
+"""Delta store: update-friendly column fragment and Delta->Main merge.
+
+HANA splits each column into a read-optimized Main and a write-optimized
+Delta (Section 2.1). New rows append to the Delta: unseen values are
+added to the unsorted Delta dictionary (and its CSB+-tree index); the
+row's code is appended to the Delta code vector. A *merge* folds the
+Delta into a fresh Main: the union of both dictionaries is sorted into a
+new Main dictionary and every row is re-encoded.
+
+This module keeps Delta maintenance structural (not simulated) — the
+paper measures query execution; what matters for queries is the data
+layout the maintenance produces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ColumnStoreError
+from repro.indexes.base import INVALID_CODE
+from repro.sim.allocator import AddressSpaceAllocator
+
+from repro.columnstore.column import EncodedColumn
+from repro.columnstore.dictionary import DeltaDictionary, MainDictionary
+
+__all__ = ["DeltaStore", "merge_delta_into_main"]
+
+
+class DeltaStore:
+    """Accumulates appended rows with an unsorted dictionary."""
+
+    def __init__(self, allocator: AddressSpaceAllocator, name: str) -> None:
+        self._allocator = allocator
+        self._name = name
+        self._values: list[int] = []  # dictionary array, insertion order
+        self._code_of: dict[int, int] = {}
+        self._rows: list[int] = []  # code vector
+        self._generation = 0
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def n_values(self) -> int:
+        return len(self._values)
+
+    def append(self, value: int) -> int:
+        """Append one row; returns the code it was encoded with."""
+        value = int(value)
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._values)
+            self._values.append(value)
+            self._code_of[value] = code
+        self._rows.append(code)
+        return code
+
+    def append_many(self, values: Sequence[int]) -> list[int]:
+        return [self.append(v) for v in values]
+
+    def row_value(self, row: int) -> int:
+        return self._values[self._rows[row]]
+
+    def as_column(self) -> EncodedColumn:
+        """Materialize the Delta as an encoded column (for queries)."""
+        if not self._rows:
+            raise ColumnStoreError("empty delta store")
+        self._generation += 1
+        name = f"{self._name}/gen{self._generation}"
+        dictionary = DeltaDictionary.from_values(
+            self._allocator, f"{name}/dict", self._values
+        )
+        return EncodedColumn(
+            dictionary, np.array(self._rows, dtype=np.int64), self._allocator, name
+        )
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._code_of.clear()
+        self._rows.clear()
+
+
+def merge_delta_into_main(
+    allocator: AddressSpaceAllocator,
+    name: str,
+    main: EncodedColumn | None,
+    delta: DeltaStore,
+) -> EncodedColumn:
+    """Fold a Delta into a (possibly empty) Main; returns the new Main.
+
+    The merged dictionary is the sorted union of both value domains; all
+    rows — Main rows first, then Delta rows — are re-encoded against it.
+    """
+    main_values: list[int] = []
+    if main is not None:
+        main_values = [main.decode_row(r) for r in range(main.n_rows)]
+    delta_values = [delta.row_value(r) for r in range(delta.n_rows)]
+    all_row_values = main_values + delta_values
+    if not all_row_values:
+        raise ColumnStoreError("nothing to merge")
+    dictionary = MainDictionary.from_values(
+        allocator, f"{name}/dict", set(all_row_values)
+    )
+    codes = np.array(
+        [dictionary.locate(v) for v in all_row_values], dtype=np.int64
+    )
+    if np.any(codes == INVALID_CODE):  # pragma: no cover - defensive
+        raise ColumnStoreError("merge lost a value")
+    return EncodedColumn(dictionary, codes, allocator, name)

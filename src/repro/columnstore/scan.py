@@ -1,0 +1,55 @@
+"""Code-vector scan for IN-predicate evaluation.
+
+After the predicate values are encoded (the index join), the query scans
+the column's code vector and collects rows whose code is in the encoded
+set. The scan is sequential and vectorizable: hardware prefetchers hide
+its memory latency, so the simulator charges it as streaming computation
+— a fixed cost per cache line of codes plus a small per-row cost —
+rather than pushing a gigabyte of sequential lines through the cache
+model (which would only pollute the simulated caches in a way the
+real streaming loads avoid with non-temporal hints).
+
+This is why Figure 1's *interleaved* curve is nearly flat: the scan cost
+depends on the row count, not the dictionary size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.sim.engine import ExecutionEngine, InstructionStream
+from repro.sim.events import Compute
+
+from repro.columnstore.column import EncodedColumn
+
+__all__ = ["scan_stream", "scan_matching_rows", "SCAN_CYCLES_PER_LINE", "SCAN_CYCLES_PER_ROW"]
+
+#: Streaming cost per 64-byte line of codes (bandwidth-bound).
+SCAN_CYCLES_PER_LINE = 4
+#: Predicate check per row (vectorized membership test, amortized).
+SCAN_CYCLES_PER_ROW = 2.0
+
+
+def scan_stream(column: EncodedColumn, code_set: Iterable[int]) -> InstructionStream:
+    """Instruction stream of one full code-vector scan."""
+    code_set = set(int(c) for c in code_set)
+    n_rows = column.n_rows
+    lines = max(1, (n_rows * column.code_size + 63) // 64)
+    row_cycles = int(n_rows * SCAN_CYCLES_PER_ROW)
+    total_cycles = lines * SCAN_CYCLES_PER_LINE + row_cycles
+    # One instruction per row retires (vectorized: 4+ rows per cycle),
+    # plus the line-touch overhead.
+    yield Compute(total_cycles, n_rows + lines)
+    if not code_set:
+        return np.empty(0, dtype=np.int64)
+    matches = np.flatnonzero(np.isin(column.codes, list(code_set)))
+    return matches
+
+
+def scan_matching_rows(
+    engine: ExecutionEngine, column: EncodedColumn, code_set: Iterable[int]
+) -> np.ndarray:
+    """Run the scan on an engine; returns matching row indices."""
+    return engine.run(scan_stream(column, code_set))

@@ -1,0 +1,197 @@
+"""Architecture specifications for the simulated machine.
+
+The paper's evaluation machine is an Intel Xeon E5-2660 v3 (Haswell); the
+constants below come from the paper (Table 4, Section 5.4) and the Intel
+optimization manual it cites: a 182-cycle DRAM access, ten line-fill
+buffers, a 25 MB last-level cache, a 4-wide out-of-order core.
+
+:data:`HASWELL` is the default specification used by benchmarks. Tests use
+:func:`scaled` to shrink the hierarchy so that small data sets already
+overflow the caches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CacheSpec",
+    "TlbSpec",
+    "CostModel",
+    "ArchSpec",
+    "HASWELL",
+    "scaled",
+]
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size: int
+    associativity: int
+    latency: int  # load-to-use latency in cycles
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.associativity <= 0:
+            raise ConfigurationError(
+                f"cache {self.name!r}: size and associativity must be positive"
+            )
+        if self.latency < 0:
+            raise ConfigurationError(f"cache {self.name!r}: negative latency")
+
+    def n_sets(self, line_size: int) -> int:
+        sets, rem = divmod(self.size, line_size * self.associativity)
+        if sets == 0 or rem:
+            raise ConfigurationError(
+                f"cache {self.name!r}: size {self.size} is not a positive "
+                f"multiple of line_size*associativity"
+            )
+        return sets
+
+
+@dataclass(frozen=True)
+class TlbSpec:
+    """Geometry of one TLB level (entries, not bytes)."""
+
+    name: str
+    entries: int
+    associativity: int
+    latency: int  # extra cycles on a hit at this level
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.associativity <= 0:
+            raise ConfigurationError(
+                f"TLB {self.name!r}: entries and associativity must be positive"
+            )
+        if self.entries % self.associativity:
+            raise ConfigurationError(
+                f"TLB {self.name!r}: entries must be a multiple of associativity"
+            )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event cycle/instruction costs used by the execution engine.
+
+    The switch costs reproduce the instruction-overhead ratios the paper
+    measures against ``Baseline`` (Section 5.4.4): 1.8x for GP, 4.4x for
+    AMAC, and 5.4x for CORO, with CORO slightly cheaper in cycles than AMAC
+    thanks to compiler optimization. ``Baseline`` retires ~10 instructions
+    in ~10 cycles per binary-search iteration, so Inequality (1) yields the
+    paper's best-group-size estimates (GP >= 12, AMAC/CORO >= 6).
+    """
+
+    issue_width: int = 4  # pipeline slots (uops) per cycle
+    ooo_hide: int = 12  # cycles of load latency hidden by out-of-order exec
+    # A dependent-chain load behind a *branch* (not a cmov) lets the core
+    # speculate ahead, so more latency hides — enough to cover L3 hits
+    # but not DRAM. This is why HANA's speculative Main locate shows
+    # almost no memory stalls at 1 MB (Table 2) while the branch-free
+    # Baseline serializes its L3 accesses.
+    ooo_hide_speculative: int = 16
+    mispredict_penalty: int = 24
+    # Speculative execution ahead of an unresolved branch issues the
+    # predicted next load this many cycles after the stall begins (models
+    # limited fetch/decode bandwidth and ROB pressure while stalled).
+    spec_issue_delay: int = 150
+    # Binary search iteration (Listing 2 loop body, branch-free form).
+    search_iter_cycles: int = 10
+    search_iter_instructions: int = 10
+    # Extra cycles for one fixed-width string comparison versus an integer
+    # comparison (Section 5.3: strings de-emphasize cache misses).
+    string_compare_extra_cycles: int = 12
+    string_compare_extra_instructions: int = 10
+    # Instruction-stream switch costs (cycles, instructions) per switch.
+    gp_switch: tuple[int, int] = (5, 8)
+    amac_switch: tuple[int, int] = (24, 34)
+    coro_switch: tuple[int, int] = (22, 44)
+    # Coroutine frame allocation when no recycled frame is available
+    # (Section 4, "performance considerations").
+    frame_alloc_cycles: int = 30
+    frame_alloc_instructions: int = 40
+    # Issuing one software prefetch (address computation + PREFETCHNTA).
+    prefetch_issue_cycles: int = 1
+    prefetch_issue_instructions: int = 2
+    # Page-walk fixed overhead before the leaf-PTE access.
+    page_walk_base_cycles: int = 5
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Complete description of the simulated core and memory hierarchy."""
+
+    name: str = "haswell-2660v3"
+    frequency_ghz: float = 2.6
+    line_size: int = 64
+    page_size: int = 4096
+    l1d: CacheSpec = CacheSpec("L1D", 32 * 1024, 8, 4)
+    l2: CacheSpec = CacheSpec("L2", 256 * 1024, 8, 12)
+    l3: CacheSpec = CacheSpec("L3", 25 * 1024 * 1024, 20, 38)
+    dram_latency: int = 182
+    n_line_fill_buffers: int = 10
+    dtlb: TlbSpec = TlbSpec("DTLB", 64, 4, 0)
+    stlb: TlbSpec = TlbSpec("STLB", 1024, 8, 7)
+    cost: CostModel = CostModel()
+
+    def __post_init__(self) -> None:
+        if self.line_size & (self.line_size - 1) or self.line_size <= 0:
+            raise ConfigurationError("line_size must be a positive power of two")
+        if self.page_size % self.line_size:
+            raise ConfigurationError("page_size must be a multiple of line_size")
+        if self.n_line_fill_buffers <= 0:
+            raise ConfigurationError("need at least one line fill buffer")
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        # Validate cache geometry eagerly so misconfiguration fails at
+        # construction, not on the first memory access.
+        for cache in (self.l1d, self.l2, self.l3):
+            cache.n_sets(self.line_size)
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert simulated cycles to milliseconds at this clock rate."""
+        return cycles / (self.frequency_ghz * 1e6)
+
+    def replace(self, **changes: object) -> "ArchSpec":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+HASWELL = ArchSpec()
+
+
+def scaled(factor: int, name: str | None = None) -> ArchSpec:
+    """Return a Haswell-like spec with caches and TLBs shrunk by ``factor``.
+
+    Latencies and the cost model are unchanged; only capacities shrink, so
+    small test inputs exercise the same miss behaviour that gigabyte inputs
+    exercise on the full hierarchy. ``factor`` must divide the smallest
+    structure down to at least one set/entry.
+    """
+    if factor <= 0:
+        raise ConfigurationError("scale factor must be positive")
+
+    def shrink_cache(spec: CacheSpec) -> CacheSpec:
+        size = spec.size // factor
+        if size < HASWELL.line_size * spec.associativity:
+            raise ConfigurationError(
+                f"factor {factor} shrinks {spec.name} below one set"
+            )
+        return dataclasses.replace(spec, size=size)
+
+    def shrink_tlb(spec: TlbSpec) -> TlbSpec:
+        entries = max(spec.associativity, spec.entries // factor)
+        return dataclasses.replace(spec, entries=entries)
+
+    return HASWELL.replace(
+        name=name or f"haswell-scaled-{factor}x",
+        l1d=shrink_cache(HASWELL.l1d),
+        l2=shrink_cache(HASWELL.l2),
+        l3=shrink_cache(HASWELL.l3),
+        dtlb=shrink_tlb(HASWELL.dtlb),
+        stlb=shrink_tlb(HASWELL.stlb),
+    )

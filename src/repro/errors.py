@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Subclasses mark the subsystem that
+detected the problem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture or component was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (a bug or misuse)."""
+
+
+class AddressError(SimulationError):
+    """An address fell outside the allocated simulated address space."""
+
+
+class AllocationError(SimulationError):
+    """The simulated address-space allocator could not satisfy a request."""
+
+
+class SchedulerError(ReproError):
+    """An interleaving scheduler was driven incorrectly."""
+
+
+class CoroutineStateError(SchedulerError):
+    """A coroutine handle was resumed after completion or queried too early."""
+
+
+class IndexStructureError(ReproError):
+    """An index structure invariant was violated or misused."""
+
+
+class KeyNotFoundError(IndexStructureError):
+    """An exact-match lookup did not find the requested key.
+
+    Most lookup paths report absence with a sentinel (``INVALID_CODE``)
+    rather than an exception; this error is reserved for APIs where absence
+    is a caller bug (e.g. ``extract`` of an out-of-range code).
+    """
+
+
+class ColumnStoreError(ReproError):
+    """Schema or data error in the column-store substrate."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for an impossible configuration."""

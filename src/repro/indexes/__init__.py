@@ -1,0 +1,61 @@
+"""Index structures and lookup algorithms over simulated memory."""
+
+from repro.indexes.base import INVALID_CODE, SearchableTable
+from repro.indexes.binary_search import (
+    DEFAULT_COSTS,
+    SearchCosts,
+    binary_search_baseline,
+    binary_search_coro,
+    binary_search_coro_interleaved,
+    binary_search_coro_sequential,
+    binary_search_std,
+    locate_stream,
+    reference_search,
+)
+from repro.indexes.sorted_array import (
+    ImplicitSortedArray,
+    SortedIntArray,
+    SortedStringArray,
+    int_array_of_bytes,
+    string_array_of_bytes,
+)
+
+__all__ = [
+    "INVALID_CODE",
+    "SearchableTable",
+    "DEFAULT_COSTS",
+    "SearchCosts",
+    "binary_search_baseline",
+    "binary_search_coro",
+    "binary_search_coro_interleaved",
+    "binary_search_coro_sequential",
+    "binary_search_std",
+    "locate_stream",
+    "reference_search",
+    "ImplicitSortedArray",
+    "SortedIntArray",
+    "SortedStringArray",
+    "int_array_of_bytes",
+    "string_array_of_bytes",
+]
+
+from repro.indexes.btree_blocked import BlockedBTree, blocked_lookup_stream
+from repro.indexes.csb_tree import CSBTree, TreeInterface, csb_lookup_stream
+from repro.indexes.csb_tree_synthetic import ImplicitCSBTree
+from repro.indexes.hash_table import ChainedHashTable, hash_probe_stream, mix64
+
+__all__ += [
+    "BlockedBTree",
+    "blocked_lookup_stream",
+    "CSBTree",
+    "TreeInterface",
+    "csb_lookup_stream",
+    "ImplicitCSBTree",
+    "ChainedHashTable",
+    "hash_probe_stream",
+    "mix64",
+]
+
+from repro.indexes.skip_list import SkipList, skip_lookup_stream
+
+__all__ += ["SkipList", "skip_lookup_stream"]

@@ -1,0 +1,55 @@
+"""Common protocol for searchable tables laid out in simulated memory.
+
+A *searchable table* is an ordered sequence of fixed-width elements living
+at simulated addresses. Lookup algorithms only need three things from it:
+how many elements there are, where element ``i`` lives (to emit ``Load``
+events), and what element ``i`` compares as (to steer the search). Values
+may be Python ints or bytes — anything totally ordered.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import IndexStructureError
+
+__all__ = ["INVALID_CODE", "SearchableTable", "check_index"]
+
+#: Sentinel returned by exact-match lookups when the key is absent
+#: (the paper's "special code that denotes absence").
+INVALID_CODE = -1
+
+
+@runtime_checkable
+class SearchableTable(Protocol):
+    """An ordered, fixed-width element array in simulated memory."""
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+
+    @property
+    def element_size(self) -> int:
+        """Bytes per element (determines lines touched per access)."""
+
+    @property
+    def compare_extra(self) -> tuple[int, int]:
+        """Extra (cycles, instructions) per comparison beyond an int compare.
+
+        Zero for machine-word keys; positive for string keys, whose
+        comparisons are computationally heavier (paper Section 5.3).
+        """
+
+    def address_of(self, index: int) -> int:
+        """Simulated byte address of element ``index``."""
+
+    def value_at(self, index: int) -> object:
+        """Comparison value of element ``index`` (no cycles charged here)."""
+
+
+def check_index(table: SearchableTable, index: int) -> None:
+    """Raise :class:`IndexStructureError` unless ``index`` is in range."""
+    if not 0 <= index < table.size:
+        raise IndexStructureError(
+            f"index {index} out of range for table of {table.size} elements"
+        )

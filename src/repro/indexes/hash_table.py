@@ -1,0 +1,192 @@
+"""Bucket-chain hash table and its probe coroutine (Section 6).
+
+The paper argues interleaving with coroutines applies to "the lookup
+methods of any pointer-based index. A hash-table with bucket lists is
+such an index, so the probe phases of hash joins ... are straightforward
+candidates". This module provides that index: a directory of bucket
+heads plus fixed-size chain nodes, both in simulated memory, and probe
+coroutines in the Listing 5 style (prefetch + suspend before each
+pointer dereference).
+
+Storage is numpy-backed so multi-million-entry tables stay cheap; the
+chain layout (who points to whom) is what determines the simulated
+access pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexStructureError
+from repro.indexes.base import INVALID_CODE
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.engine import InstructionStream
+from repro.sim.events import SUSPEND, Compute, Load, Prefetch, Store
+
+__all__ = ["ChainedHashTable", "hash_probe_stream", "hash_insert_stream", "mix64"]
+
+#: Bytes per directory slot (bucket head pointer).
+SLOT_SIZE = 8
+#: Bytes per chain node: key (8) + value (8) + next pointer (8).
+NODE_SIZE = 24
+
+_EMPTY = -1
+
+
+def mix64(key: int) -> int:
+    """SplitMix64 finalizer — a deterministic, well-spread hash."""
+    h = (key + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return h ^ (h >> 31)
+
+
+class ChainedHashTable:
+    """Separate-chaining hash table in simulated memory."""
+
+    def __init__(
+        self,
+        allocator: AddressSpaceAllocator,
+        name: str,
+        n_buckets: int,
+    ) -> None:
+        if n_buckets <= 0:
+            raise IndexStructureError("need at least one bucket")
+        self.n_buckets = n_buckets
+        self.directory = allocator.allocate(f"{name}/dir", n_buckets * SLOT_SIZE)
+        self._nodes_name = f"{name}/nodes"
+        self._allocator = allocator
+        self._capacity = 1024
+        self.nodes_region = allocator.allocate(
+            self._nodes_name, self._capacity * NODE_SIZE
+        )
+        self._heads = np.full(n_buckets, _EMPTY, dtype=np.int64)
+        self._keys = np.zeros(self._capacity, dtype=np.int64)
+        self._values = np.zeros(self._capacity, dtype=np.int64)
+        self._next = np.full(self._capacity, _EMPTY, dtype=np.int64)
+        self.n_entries = 0
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    def bucket_of(self, key: int) -> int:
+        return mix64(int(key)) % self.n_buckets
+
+    def slot_address(self, bucket: int) -> int:
+        return self.directory.base + bucket * SLOT_SIZE
+
+    def node_address(self, node: int) -> int:
+        return self.nodes_region.base + node * NODE_SIZE
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        self._allocator.free(self._nodes_name)
+        self.nodes_region = self._allocator.allocate(
+            self._nodes_name, self._capacity * NODE_SIZE
+        )
+        for array_name in ("_keys", "_values", "_next"):
+            old = getattr(self, array_name)
+            new = np.full(self._capacity, _EMPTY, dtype=np.int64)
+            new[: old.size] = old
+            setattr(self, array_name, new)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        """Prepend an entry to its bucket chain (structural; not simulated)."""
+        if self.n_entries >= self._capacity:
+            self._grow()
+        node = self.n_entries
+        self.n_entries += 1
+        self._keys[node] = key
+        self._values[node] = value
+        bucket = self.bucket_of(key)
+        self._next[node] = self._heads[bucket]
+        self._heads[bucket] = node
+
+    def build(self, keys, values) -> None:
+        for key, value in zip(keys, values):
+            self.insert(int(key), int(value))
+
+    def lookup(self, key: int) -> int:
+        """Pure-Python probe (oracle); INVALID_CODE when absent."""
+        node = int(self._heads[self.bucket_of(key)])
+        while node != _EMPTY:
+            if int(self._keys[node]) == key:
+                return int(self._values[node])
+            node = int(self._next[node])
+        return INVALID_CODE
+
+    def chain_length(self, bucket: int) -> int:
+        length = 0
+        node = int(self._heads[bucket])
+        while node != _EMPTY:
+            length += 1
+            node = int(self._next[node])
+        return length
+
+
+def hash_insert_stream(
+    table: ChainedHashTable,
+    key: int,
+    value: int,
+    interleave: bool = False,
+) -> InstructionStream:
+    """Build-phase coroutine: insert one entry, prepending to its chain.
+
+    Kocberber et al. demonstrated AMAC on the hash-join *build* phase;
+    the coroutine equivalent needs the same two added lines. The insert
+    touches the directory slot (read old head, write new head) and
+    writes one fresh chain node; only the directory access is a random
+    miss candidate — node allocation is sequential and write-allocated.
+    """
+    yield Compute(4, 6)  # hash computation
+    bucket = table.bucket_of(key)
+    slot = table.slot_address(bucket)
+    if interleave:
+        yield Prefetch(slot, SLOT_SIZE)
+        yield SUSPEND
+    yield Load(slot, SLOT_SIZE)  # old head pointer
+    node = table.n_entries  # position the structural insert will use
+    table.insert(key, value)
+    yield Store(table.node_address(node), NODE_SIZE)  # write the node
+    yield Store(slot, SLOT_SIZE)  # publish the new head
+    yield Compute(3, 4)
+    return node
+
+
+def hash_probe_stream(
+    table: ChainedHashTable,
+    key: int,
+    interleave: bool = False,
+    *,
+    node_cost: tuple[int, int] = (6, 6),
+) -> InstructionStream:
+    """Probe coroutine: hash, load the bucket head, walk the chain.
+
+    Each pointer dereference (directory slot and every chain node) is a
+    potential cache miss, so in interleaved mode each is preceded by a
+    prefetch and a suspension — the same two-line change Listing 5 makes
+    to binary search.
+    """
+    yield Compute(4, 6)  # hash computation
+    slot = table.slot_address(table.bucket_of(key))
+    if interleave:
+        yield Prefetch(slot, SLOT_SIZE)
+        yield SUSPEND
+    yield Load(slot, SLOT_SIZE)
+    node = int(table._heads[table.bucket_of(key)])
+    while node != _EMPTY:
+        addr = table.node_address(node)
+        if interleave:
+            yield Prefetch(addr, NODE_SIZE)
+            yield SUSPEND
+        yield Load(addr, NODE_SIZE)
+        yield Compute(*node_cost)
+        if int(table._keys[node]) == key:
+            return int(table._values[node])
+        node = int(table._next[node])
+    return INVALID_CODE

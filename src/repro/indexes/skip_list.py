@@ -1,0 +1,229 @@
+"""Skip list index and its lookup coroutine (a Section 6 "other target").
+
+The paper argues interleaving with coroutines applies to "the lookup
+methods of any pointer-based index". Skip lists are a staple of
+main-memory engines (e.g. MemSQL/SingleStore's row store): towers of
+forward pointers over a sorted linked list, probabilistically balanced.
+A lookup descends from the highest level, following forward pointers —
+every hop an unpredictable dereference, i.e. a prefetch+suspend
+candidate, exactly like a chain node or a tree level.
+
+Nodes live in simulated memory: a node with height ``h`` occupies a
+header (key + value) plus ``h`` forward pointers. Tower heights come
+from a deterministic per-key hash, so a given key set always builds the
+same structure (reproducibility over randomness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexStructureError
+from repro.indexes.base import INVALID_CODE
+from repro.indexes.hash_table import mix64
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.engine import InstructionStream
+from repro.sim.events import SUSPEND, Compute, Load, Prefetch
+
+__all__ = ["SkipList", "skip_lookup_stream", "MAX_LEVEL"]
+
+#: Tallest tower supported (2^32 expected elements at p = 1/2).
+MAX_LEVEL = 32
+
+#: Bytes: key (8) + value (8).
+_NODE_HEADER = 16
+#: Bytes per forward pointer.
+_POINTER_SIZE = 8
+
+_NIL = -1
+
+
+def _height_of(key: int) -> int:
+    """Deterministic tower height: geometric(1/2) from the key's hash."""
+    h = mix64(key ^ 0xC0FFEE)
+    height = 1
+    while (h & 1) and height < MAX_LEVEL:
+        height += 1
+        h >>= 1
+    return height
+
+
+class SkipList:
+    """A skip list over int keys in simulated memory."""
+
+    def __init__(self, allocator: AddressSpaceAllocator, name: str,
+                 capacity_hint: int = 1024) -> None:
+        self._allocator = allocator
+        self._name = name
+        self._capacity = max(16, capacity_hint)
+        self.nodes_region = allocator.allocate(
+            f"{name}/nodes", self._capacity * self.node_size
+        )
+        self._keys = np.zeros(self._capacity, dtype=np.int64)
+        self._values = np.zeros(self._capacity, dtype=np.int64)
+        self._heights = np.zeros(self._capacity, dtype=np.int64)
+        # forward[level, node] = next node at that level (or _NIL).
+        self._forward = np.full((MAX_LEVEL, self._capacity), _NIL, dtype=np.int64)
+        self._head = np.full(MAX_LEVEL, _NIL, dtype=np.int64)  # sentinel tower
+        self.level = 1  # highest level in use
+        self.n_entries = 0
+
+    @property
+    def node_size(self) -> int:
+        """Worst-case node footprint (header + full tower)."""
+        return _NODE_HEADER + MAX_LEVEL * _POINTER_SIZE
+
+    def node_address(self, node: int) -> int:
+        return self.nodes_region.base + node * self.node_size
+
+    def node_extent(self, node: int) -> int:
+        """Bytes actually occupied: header + this node's tower."""
+        return _NODE_HEADER + int(self._heights[node]) * _POINTER_SIZE
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        self._allocator.free(f"{self._name}/nodes")
+        self.nodes_region = self._allocator.allocate(
+            f"{self._name}/nodes", self._capacity * self.node_size
+        )
+        for array_name in ("_keys", "_values", "_heights"):
+            old = getattr(self, array_name)
+            new = np.zeros(self._capacity, dtype=np.int64)
+            new[: old.size] = old
+            setattr(self, array_name, new)
+        forward = np.full((MAX_LEVEL, self._capacity), _NIL, dtype=np.int64)
+        forward[:, : self._forward.shape[1]] = self._forward
+        self._forward = forward
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert one entry (structural; duplicates rejected)."""
+        key = int(key)
+        update_head: list[int] = []
+        update_node: list[tuple[int, int]] = []
+        node = _NIL
+        for level in range(self.level - 1, -1, -1):
+            nxt = self._head[level] if node == _NIL else self._forward[level, node]
+            while nxt != _NIL and int(self._keys[nxt]) < key:
+                node = nxt
+                nxt = self._forward[level, node]
+            if nxt != _NIL and int(self._keys[nxt]) == key:
+                raise IndexStructureError(f"duplicate key {key}")
+            if node == _NIL:
+                update_head.append(level)
+            else:
+                update_node.append((level, node))
+
+        if self.n_entries >= self._capacity:
+            self._grow()
+        new = self.n_entries
+        self.n_entries += 1
+        height = _height_of(key)
+        self._keys[new] = key
+        self._values[new] = value
+        self._heights[new] = height
+        while self.level < height:
+            update_head.append(self.level)
+            self.level += 1
+        for level in range(height):
+            predecessor = next(
+                (n for l, n in update_node if l == level), _NIL
+            )
+            if predecessor == _NIL:
+                self._forward[level, new] = self._head[level]
+                self._head[level] = new
+            else:
+                self._forward[level, new] = self._forward[level, predecessor]
+                self._forward[level, predecessor] = new
+
+    def build(self, keys, values) -> None:
+        for key, value in zip(keys, values):
+            self.insert(int(key), int(value))
+
+    def lookup(self, key: int) -> int:
+        """Pure-Python search (oracle); INVALID_CODE when absent."""
+        key = int(key)
+        node = _NIL
+        for level in range(self.level - 1, -1, -1):
+            nxt = self._head[level] if node == _NIL else self._forward[level, node]
+            while nxt != _NIL and int(self._keys[nxt]) < key:
+                node = nxt
+                nxt = self._forward[level, node]
+            if nxt != _NIL and int(self._keys[nxt]) == key:
+                return int(self._values[nxt])
+        return INVALID_CODE
+
+    def iter_level0(self):
+        """Yield (key, value) in key order along the base level (tests)."""
+        node = int(self._head[0])
+        while node != _NIL:
+            yield int(self._keys[node]), int(self._values[node])
+            node = int(self._forward[0, node])
+
+    def check_invariants(self) -> None:
+        """Keys strictly increase along every level; towers nest."""
+        for level in range(self.level):
+            node = int(self._head[level])
+            previous_key = None
+            while node != _NIL:
+                key = int(self._keys[node])
+                if previous_key is not None and key <= previous_key:
+                    raise IndexStructureError(
+                        f"level {level}: keys not increasing"
+                    )
+                if int(self._heights[node]) <= level:
+                    raise IndexStructureError(
+                        f"node {node} on level {level} above its height"
+                    )
+                previous_key = key
+                node = int(self._forward[level, node])
+
+
+def skip_lookup_stream(
+    skiplist: SkipList,
+    key: int,
+    interleave: bool = False,
+    *,
+    hop_cost: tuple[int, int] = (6, 6),
+) -> InstructionStream:
+    """Skip-list lookup coroutine: one suspension per node dereference.
+
+    Descends the levels; on each level it follows forward pointers while
+    the next key is smaller. Each *new* node touched is a potential
+    cache miss (the first dereference loads the header and tower top).
+    """
+    key = int(key)
+    yield Compute(3, 4)  # set up the descent
+    node = _NIL
+    visited: set[int] = set()
+
+    def touch(target: int) -> InstructionStream:
+        if target in visited:
+            yield Compute(1, 1)  # pointer already in registers/cache
+            return None
+        visited.add(target)
+        addr = skiplist.node_address(target)
+        extent = min(skiplist.node_extent(target), 64)
+        if interleave:
+            yield Prefetch(addr, extent)
+            yield SUSPEND
+        yield Load(addr, extent)
+        yield Compute(*hop_cost)
+        return None
+
+    for level in range(skiplist.level - 1, -1, -1):
+        nxt = (
+            int(skiplist._head[level])
+            if node == _NIL
+            else int(skiplist._forward[level, node])
+        )
+        while nxt != _NIL:
+            yield from touch(nxt)
+            next_key = int(skiplist._keys[nxt])
+            if next_key < key:
+                node = nxt
+                nxt = int(skiplist._forward[level, node])
+            else:
+                break
+        if nxt != _NIL and int(skiplist._keys[nxt]) == key:
+            return int(skiplist._values[nxt])
+    return INVALID_CODE

@@ -1,0 +1,328 @@
+"""Asynchronous memory access chaining (AMAC) — Listing 4.
+
+AMAC encodes each lookup as an explicit finite state machine whose state
+lives in a circular buffer. The scheduler repeatedly pops the next state,
+advances its machine until it issues a prefetch (the switch point) or
+completes, and stores it back — so every stream progresses independently,
+unlike GP's lock-step groups.
+
+The cost the paper emphasizes: the traversal logic must be hand-rewritten
+as a state machine ("an implementation that has little resemblance to the
+original code"). The binary-search machine below is that rewrite; AMAC
+support for any further index requires another machine
+(:class:`HashProbeMachine` is provided for the Section 6 hash-join
+study).
+
+One buffer visit spans one memory access: a machine steps through
+*access, compare, next prefetch* and then yields the core to the next
+stream, exactly matching the round-robin the interleaving model of
+Section 3 assumes. The per-visit switch overhead (state load/store)
+comes from the architecture's cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Protocol, Sequence
+
+from repro.errors import SchedulerError
+from repro.indexes.base import SearchableTable
+from repro.indexes.binary_search import DEFAULT_COSTS, SearchCosts
+from repro.sim.engine import ExecutionEngine, StreamContext
+from repro.sim.events import Load, Prefetch
+
+__all__ = [
+    "StepOutcome",
+    "AmacMachine",
+    "BinarySearchMachine",
+    "HashProbeMachine",
+    "CsbLookupMachine",
+    "amac_run_bulk",
+    "amac_binary_search_bulk",
+    "amac_hash_probe_bulk",
+    "amac_csb_lookup_bulk",
+]
+
+
+class StepOutcome(enum.Enum):
+    """What one state-machine step did."""
+
+    CONTINUE = "continue"  # more work before the next switch point
+    SWITCH = "switch"  # prefetch issued; yield to the next stream
+    DONE = "done"  # lookup finished; result is available
+
+
+class AmacMachine(Protocol):
+    """One lookup's finite state machine."""
+
+    result: object
+
+    def start(self, value: object) -> None:
+        """Reset the machine for a new input value (Listing 4, stage A)."""
+
+    def step(self, engine: ExecutionEngine, ctx: StreamContext) -> StepOutcome:
+        """Advance one stage; report whether to switch streams."""
+
+
+class BinarySearchMachine:
+    """Stages B (prefetch) and C (access) of Listing 4."""
+
+    _PREFETCH = 0
+    _ACCESS = 1
+
+    def __init__(
+        self, table: SearchableTable, costs: SearchCosts = DEFAULT_COSTS
+    ) -> None:
+        self._table = table
+        self._costs = costs.for_table(table)
+        self.result: object = None
+        self._stage = self._PREFETCH
+        self._value: object = None
+        self._low = 0
+        self._size = 0
+        self._probe = 0
+
+    def start(self, value: object) -> None:
+        self._value = value
+        self._low = 0
+        self._size = self._table.size
+        self._stage = self._PREFETCH
+        self.result = None
+
+    def step(self, engine: ExecutionEngine, ctx: StreamContext) -> StepOutcome:
+        table = self._table
+        if self._stage == self._PREFETCH:
+            half = self._size // 2
+            if half > 0:
+                self._probe = self._low + half
+                engine.dispatch(
+                    Prefetch(table.address_of(self._probe), table.element_size), ctx
+                )
+                self._size -= half
+                self._stage = self._ACCESS
+                return StepOutcome.SWITCH
+            self.result = self._low
+            return StepOutcome.DONE
+        # Stage C: consume the prefetched probe.
+        engine.dispatch(Load(table.address_of(self._probe), table.element_size), ctx)
+        engine.compute(self._costs.iter_cycles, self._costs.iter_instructions)
+        if table.value_at(self._probe) <= self._value:
+            self._low = self._probe
+        self._stage = self._PREFETCH
+        return StepOutcome.CONTINUE
+
+
+class HashProbeMachine:
+    """AMAC state machine for a bucket-chain hash probe.
+
+    The rewrite AMAC demands for its second index: directory stage,
+    then one stage per chain node, each ending at a prefetch. Compare
+    with :func:`repro.indexes.hash_table.hash_probe_stream`, where the
+    coroutine needed only the prefetch+suspend pairs.
+    """
+
+    _HASH = 0
+    _DIRECTORY = 1
+    _NODE = 2
+
+    def __init__(self, table) -> None:  # ChainedHashTable
+        self._table = table
+        self.result: object = None
+        self._stage = self._HASH
+        self._key = 0
+        self._node = -1
+
+    def start(self, key: object) -> None:
+        self._key = int(key)
+        self._stage = self._HASH
+        self.result = None
+
+    def step(self, engine: ExecutionEngine, ctx: StreamContext) -> StepOutcome:
+        from repro.indexes.base import INVALID_CODE
+        from repro.indexes.hash_table import NODE_SIZE, SLOT_SIZE
+
+        table = self._table
+        if self._stage == self._HASH:
+            engine.compute(4, 6)
+            slot = table.slot_address(table.bucket_of(self._key))
+            engine.dispatch(Prefetch(slot, SLOT_SIZE), ctx)
+            self._stage = self._DIRECTORY
+            return StepOutcome.SWITCH
+        if self._stage == self._DIRECTORY:
+            slot = table.slot_address(table.bucket_of(self._key))
+            engine.dispatch(Load(slot, SLOT_SIZE), ctx)
+            self._node = int(table._heads[table.bucket_of(self._key)])
+            if self._node < 0:
+                self.result = INVALID_CODE
+                return StepOutcome.DONE
+            engine.dispatch(
+                Prefetch(table.node_address(self._node), NODE_SIZE), ctx
+            )
+            self._stage = self._NODE
+            return StepOutcome.SWITCH
+        # Node stage: consume the prefetched node, follow the chain.
+        engine.dispatch(Load(table.node_address(self._node), NODE_SIZE), ctx)
+        engine.compute(6, 6)
+        if int(table._keys[self._node]) == self._key:
+            self.result = int(table._values[self._node])
+            return StepOutcome.DONE
+        self._node = int(table._next[self._node])
+        if self._node < 0:
+            self.result = INVALID_CODE
+            return StepOutcome.DONE
+        engine.dispatch(Prefetch(table.node_address(self._node), NODE_SIZE), ctx)
+        return StepOutcome.SWITCH
+
+
+class CsbLookupMachine:
+    """AMAC state machine for a CSB+-tree lookup (Listing 6's rewrite).
+
+    Each buffer visit consumes the prefetched node — running the
+    non-suspending in-node binary search inline — routes to the child,
+    and prefetches it. Yet another hand-built machine: the maintenance
+    cost the paper's coroutines avoid.
+    """
+
+    _ROOT = 0
+    _NODE = 1
+
+    def __init__(self, tree, costs: SearchCosts = DEFAULT_COSTS) -> None:
+        self._tree = tree
+        self._costs = costs
+        self.result: object = None
+        self._stage = self._ROOT
+        self._value: object = None
+        self._node: object = None
+
+    def start(self, value: object) -> None:
+        self._value = value
+        self._node = self._tree.root_handle()
+        self._stage = self._ROOT
+        self.result = None
+
+    def _search_node(self, engine: ExecutionEngine) -> int:
+        from repro.indexes.binary_search import binary_search_coro
+
+        keys = self._tree.keys_table(self._node)
+        if keys.size == 0:
+            engine.compute(1, 1)
+            return 0
+        low = engine.run(binary_search_coro(keys, self._value, False, self._costs))
+        engine.compute(2, 2)
+        return low + 1 if keys.value_at(low) <= self._value else 0
+
+    def step(self, engine: ExecutionEngine, ctx: StreamContext) -> StepOutcome:
+        from repro.indexes.base import INVALID_CODE
+        from repro.indexes.binary_search import binary_search_coro
+
+        tree = self._tree
+        if not tree.is_leaf(self._node):
+            child = self._search_node(engine)
+            self._node = tree.child_of(self._node, child)
+            engine.dispatch(
+                Prefetch(tree.node_address(self._node), tree.node_size), ctx
+            )
+            self._stage = self._NODE
+            return StepOutcome.SWITCH
+        keys = tree.keys_table(self._node)
+        if keys.size == 0:
+            self.result = INVALID_CODE
+            return StepOutcome.DONE
+        low = engine.run(binary_search_coro(keys, self._value, False, self._costs))
+        engine.dispatch(
+            Load(tree.leaf_value_address(self._node, low), 4), ctx
+        )
+        engine.compute(2, 2)
+        if keys.value_at(low) == self._value:
+            self.result = tree.leaf_value(self._node, low)
+        else:
+            self.result = INVALID_CODE
+        return StepOutcome.DONE
+
+
+def amac_run_bulk(
+    engine: ExecutionEngine,
+    machine_factory: Callable[[], AmacMachine],
+    inputs: Sequence[object],
+    group_size: int,
+) -> list[object]:
+    """Drive machines over all inputs, ``group_size`` streams at a time."""
+    if group_size <= 0:
+        raise SchedulerError("group size must be positive")
+    inputs = list(inputs)
+    if not inputs:
+        return []
+    results: list[object] = [None] * len(inputs)
+    ctx = StreamContext()
+
+    group = min(group_size, len(inputs))
+    buffer: list[tuple[int, AmacMachine] | None] = []
+    for index in range(group):
+        machine = machine_factory()
+        machine.start(inputs[index])
+        buffer.append((index, machine))
+    next_input = group
+    not_done = group
+
+    while not_done > 0:
+        for position in range(len(buffer)):
+            slot = buffer[position]
+            if slot is None:
+                continue
+            index, machine = slot
+            engine.charge_switch("amac")
+            while True:
+                outcome = machine.step(engine, ctx)
+                if outcome is StepOutcome.SWITCH:
+                    break
+                if outcome is StepOutcome.DONE:
+                    results[index] = machine.result
+                    if next_input < len(inputs):
+                        index = next_input
+                        next_input += 1
+                        machine.start(inputs[index])
+                        buffer[position] = (index, machine)
+                        continue  # step the fresh lookup to its first prefetch
+                    buffer[position] = None
+                    not_done -= 1
+                    break
+    return results
+
+
+def amac_binary_search_bulk(
+    engine: ExecutionEngine,
+    table: SearchableTable,
+    values: Sequence[object],
+    group_size: int,
+    costs: SearchCosts = DEFAULT_COSTS,
+) -> list[int]:
+    """Binary-search every value with AMAC; results in input order."""
+    return amac_run_bulk(
+        engine,
+        lambda: BinarySearchMachine(table, costs),
+        values,
+        group_size,
+    )
+
+
+def amac_hash_probe_bulk(
+    engine: ExecutionEngine,
+    table,
+    keys: Sequence[int],
+    group_size: int,
+) -> list[object]:
+    """Probe a chained hash table with AMAC; results in input order."""
+    return amac_run_bulk(engine, lambda: HashProbeMachine(table), keys, group_size)
+
+
+def amac_csb_lookup_bulk(
+    engine: ExecutionEngine,
+    tree,
+    values: Sequence[object],
+    group_size: int,
+    costs: SearchCosts = DEFAULT_COSTS,
+) -> list[object]:
+    """Look up values in a CSB+-tree with AMAC; results in input order."""
+    return amac_run_bulk(
+        engine, lambda: CsbLookupMachine(tree, costs), values, group_size
+    )

@@ -1,0 +1,106 @@
+"""Coroutine handles and frame recycling.
+
+A :class:`CoroutineHandle` is the paper's handle object (Section 4):
+``resume`` continues execution until the next suspension point, ``is_done``
+reports completion, ``get_result`` retrieves the returned value. Python
+generators play the role of C++ stackless coroutines — the interpreter,
+like the C++ compiler, persists live locals across suspensions.
+
+Coroutine frames nominally live on the heap. The paper's optimized CORO
+implementation "avoids memory allocations by using the same coroutine
+frame for subsequent binary searches"; :class:`FramePool` models that
+recycling — a handle built with a pool that has a released frame skips
+the allocation charge.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CoroutineStateError
+from repro.sim.engine import ExecutionEngine, InstructionStream, StreamContext
+from repro.sim.events import Suspend
+
+__all__ = ["FramePool", "CoroutineHandle"]
+
+
+class FramePool:
+    """Counts reusable coroutine frames (no storage — only charges)."""
+
+    def __init__(self) -> None:
+        self._free = 0
+        self.allocations = 0
+        self.recycles = 0
+
+    def acquire(self) -> bool:
+        """Take a frame; returns True when a recycled frame was available."""
+        if self._free > 0:
+            self._free -= 1
+            self.recycles += 1
+            return True
+        self.allocations += 1
+        return False
+
+    def release(self) -> None:
+        """Return a frame to the pool (called when a coroutine completes)."""
+        self._free += 1
+
+    @property
+    def free_frames(self) -> int:
+        return self._free
+
+
+class CoroutineHandle:
+    """Suspendable execution of one instruction stream on an engine."""
+
+    _SENTINEL = object()
+
+    def __init__(
+        self,
+        engine: ExecutionEngine,
+        stream: InstructionStream,
+        *,
+        frame_pool: FramePool | None = None,
+        charge_allocation: bool = True,
+    ) -> None:
+        self._engine = engine
+        self._stream = stream
+        self._ctx = StreamContext()
+        self._result: object = self._SENTINEL
+        if charge_allocation:
+            recycled = frame_pool.acquire() if frame_pool is not None else False
+            if not recycled:
+                engine.execute_frame_alloc()
+        self._frame_pool = frame_pool if charge_allocation else None
+
+    def resume(self) -> None:
+        """Run until the next suspension point or completion.
+
+        Only the events are charged here; the scheduler charges the
+        technique's switch overhead separately (it owns the policy).
+        """
+        if self.is_done():
+            raise CoroutineStateError("resume() after completion")
+        outcome: object = None
+        try:
+            while True:
+                event = self._stream.send(outcome)
+                if type(event) is Suspend:
+                    return
+                outcome = self._engine.dispatch(event, self._ctx)
+        except StopIteration as stop:
+            self._result = stop.value
+            if self._frame_pool is not None:
+                self._frame_pool.release()
+
+    def run_to_completion(self) -> object:
+        """Resume repeatedly until done; convenience for sequential mode."""
+        while not self.is_done():
+            self.resume()
+        return self.get_result()
+
+    def is_done(self) -> bool:
+        return self._result is not self._SENTINEL
+
+    def get_result(self) -> object:
+        if not self.is_done():
+            raise CoroutineStateError("get_result() before completion")
+        return self._result

@@ -1,0 +1,114 @@
+"""The interleaving model of Section 3 and the group-size estimator.
+
+An instruction stream alternates computation stages (``T_compute``) with
+memory accesses that would stall for ``T_stall``. Interleaving overlays
+one stream's stall with the other streams' computation plus switch
+overhead; the residual stall ``T_target = T_stall - T_switch`` vanishes
+once the group is large enough:
+
+    G  >=  T_target / (T_compute + T_switch) + 1        (Inequality 1)
+
+Section 5.4.5 extracts the parameters from profiles: ``Baseline``'s
+memory-stall cycles per switch point give ``T_stall``, its remaining
+cycles give ``T_compute``, and the growth in non-stall cycles of an
+interleaved implementation at group size 1 gives that technique's
+``T_switch``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.tmam import TmamStats
+
+__all__ = [
+    "InterleavingParams",
+    "optimal_group_size",
+    "params_from_profiles",
+    "estimate_group_size",
+    "residual_stall",
+]
+
+
+@dataclass(frozen=True)
+class InterleavingParams:
+    """Per-switch-point model parameters, in cycles."""
+
+    t_compute: float
+    t_stall: float
+    t_switch: float
+
+    def __post_init__(self) -> None:
+        if self.t_compute < 0 or self.t_stall < 0 or self.t_switch < 0:
+            raise ConfigurationError("model parameters must be non-negative")
+
+    @property
+    def t_target(self) -> float:
+        """Stall cycles left after the switch itself overlaps the miss."""
+        return max(0.0, self.t_stall - self.t_switch)
+
+
+def optimal_group_size(params: InterleavingParams) -> int:
+    """Smallest group size that eliminates stalls (Inequality 1)."""
+    denominator = params.t_compute + params.t_switch
+    if denominator <= 0:
+        return 1
+    return max(1, math.ceil(params.t_target / denominator) + 1)
+
+
+def residual_stall(params: InterleavingParams, group_size: int) -> float:
+    """Stall cycles left per switch point at a given group size."""
+    if group_size <= 0:
+        raise ConfigurationError("group size must be positive")
+    covered = (group_size - 1) * (params.t_compute + params.t_switch)
+    return max(0.0, params.t_target - covered)
+
+
+def params_from_profiles(
+    baseline: TmamStats,
+    interleaved_g1: TmamStats,
+    switch_points: int,
+) -> InterleavingParams:
+    """Extract model parameters from two profiles (Section 5.4.5).
+
+    ``baseline`` profiles the sequential Baseline run; ``interleaved_g1``
+    profiles the technique under study at group size 1 over the same
+    workload; ``switch_points`` is the number of memory accesses that act
+    as switch points (e.g. lookups x iterations per lookup).
+    """
+    if switch_points <= 0:
+        raise ConfigurationError("switch_points must be positive")
+    t_stall = baseline.memory_stall_cycles / switch_points
+    baseline_busy = (baseline.cycles - baseline.memory_stall_cycles) / switch_points
+    technique_busy = (
+        interleaved_g1.cycles - interleaved_g1.memory_stall_cycles
+    ) / switch_points
+    t_switch = max(0.0, technique_busy - baseline_busy)
+    return InterleavingParams(
+        t_compute=max(0.0, baseline_busy),
+        t_stall=max(0.0, t_stall),
+        t_switch=t_switch,
+    )
+
+
+def estimate_group_size(
+    baseline: TmamStats,
+    interleaved_g1: TmamStats,
+    switch_points: int,
+    *,
+    max_outstanding: int | None = None,
+) -> int:
+    """Inequality-1 estimate, optionally capped by hardware parallelism.
+
+    ``max_outstanding`` models the line-fill-buffer bound the paper hits
+    with GP: more concurrent streams than buffers cannot overlap more
+    misses.
+    """
+    estimate = optimal_group_size(
+        params_from_profiles(baseline, interleaved_g1, switch_points)
+    )
+    if max_outstanding is not None:
+        estimate = min(estimate, max_outstanding)
+    return estimate

@@ -1,0 +1,87 @@
+"""Execution-policy selection: sequential or interleaved, and how wide.
+
+The paper's guidance (Sections 4 and 5.4.5): interleave when lookups will
+miss the last-level cache and there are enough independent lookups to
+overlap; otherwise run sequentially — at group size 1 every interleaving
+technique is *slower* than Baseline because the switch overhead buys
+nothing. The default group size comes from Inequality 1 evaluated with
+the architecture's calibrated cost model, capped by the line-fill-buffer
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ArchSpec
+from repro.indexes.base import SearchableTable
+from repro.interleaving.model import InterleavingParams, optimal_group_size
+
+__all__ = ["ExecutionPolicy", "choose_policy", "default_group_size"]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """The scheduler decision for one bulk-lookup operation."""
+
+    interleave: bool
+    group_size: int
+    reason: str
+
+    def describe(self) -> str:
+        mode = f"interleaved (G={self.group_size})" if self.interleave else "sequential"
+        return f"{mode}: {self.reason}"
+
+
+def default_group_size(arch: ArchSpec, technique: str = "coro") -> int:
+    """Inequality-1 group size from the cost model's calibrated constants.
+
+    ``T_stall`` is a DRAM miss minus the out-of-order hiding window;
+    ``T_compute`` one search iteration; ``T_switch`` the technique's
+    switch cost. Capped by the line-fill buffers.
+    """
+    cost = arch.cost
+    switch_cycles = {
+        "gp": cost.gp_switch[0],
+        "amac": cost.amac_switch[0],
+        "coro": cost.coro_switch[0],
+    }.get(technique)
+    if switch_cycles is None:
+        raise ValueError(f"unknown technique {technique!r}")
+    params = InterleavingParams(
+        t_compute=cost.search_iter_cycles + cost.prefetch_issue_cycles,
+        t_stall=max(0, arch.dram_latency - cost.ooo_hide),
+        t_switch=switch_cycles,
+    )
+    return min(optimal_group_size(params), arch.n_line_fill_buffers)
+
+
+def choose_policy(
+    arch: ArchSpec,
+    table: SearchableTable,
+    n_lookups: int,
+    technique: str = "coro",
+) -> ExecutionPolicy:
+    """Pick sequential vs interleaved execution for a bulk lookup."""
+    table_bytes = table.size * table.element_size
+    if table_bytes <= arch.l3.size:
+        return ExecutionPolicy(
+            False,
+            1,
+            f"table ({table_bytes >> 10} KB) fits the last-level cache "
+            f"({arch.l3.size >> 10} KB); lookups rarely miss",
+        )
+    group = default_group_size(arch, technique)
+    if n_lookups < 2 or n_lookups < group:
+        return ExecutionPolicy(
+            False,
+            1,
+            f"only {n_lookups} independent lookups — not enough to cover "
+            f"a miss (need ~{group})",
+        )
+    return ExecutionPolicy(
+        True,
+        group,
+        f"table ({table_bytes >> 20} MB) exceeds the last-level cache; "
+        f"Inequality 1 suggests G={group}",
+    )

@@ -1,0 +1,36 @@
+"""The sequential scheduler (Listing 7, ``runSequential``).
+
+Lookups are created with ``interleave=False`` and therefore never suspend;
+each runs to completion before the next starts. No switch overhead and no
+coroutine-frame allocation is charged — modeling the compiler eliding the
+frame for a non-suspending coroutine (Section 4, "performance
+considerations").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.interleaving.handle import CoroutineHandle
+from repro.sim.engine import ExecutionEngine, InstructionStream
+
+__all__ = ["run_sequential", "StreamFactory"]
+
+#: Builds one lookup stream for one input value.
+#: Signature: factory(value, interleave) -> instruction stream.
+StreamFactory = Callable[[object, bool], InstructionStream]
+
+
+def run_sequential(
+    engine: ExecutionEngine,
+    factory: StreamFactory,
+    inputs: Iterable[object],
+) -> list[object]:
+    """Run one lookup per input, one after the other; results in order."""
+    results: list[object] = []
+    for value in inputs:
+        handle = CoroutineHandle(
+            engine, factory(value, False), charge_allocation=False
+        )
+        results.append(handle.run_to_completion())
+    return results

@@ -1,0 +1,63 @@
+"""Simulated Haswell-like core and memory hierarchy (the paper's testbed).
+
+Public surface:
+
+* :class:`~repro.sim.engine.ExecutionEngine` — cycle-cost model driving
+  instruction streams.
+* :class:`~repro.sim.memory.MemorySystem` — L1D/L2/L3 + line-fill buffers
+  + TLB/page walker.
+* :mod:`~repro.sim.events` — the event vocabulary streams yield.
+* :class:`~repro.sim.allocator.AddressSpaceAllocator` — simulated address
+  space for index structures.
+"""
+
+from repro.sim.address import Region, line_number, lines_touched, page_number
+from repro.sim.allocator import AddressSpaceAllocator, PAGE_TABLE_BASE
+from repro.sim.cache import CacheStats, SetAssociativeCache
+from repro.sim.engine import ExecutionEngine, InstructionStream, StreamContext
+from repro.sim.events import SUSPEND, Compute, Event, FrameAlloc, Load, Prefetch, Suspend
+from repro.sim.lfb import FillRequest, LineFillBuffers
+from repro.sim.memory import HIT_LEVELS, LoadOutcome, MemoryStats, MemorySystem
+from repro.sim.tlb import Tlb, TlbStats, TranslationResult
+from repro.sim.tmam import CATEGORIES, TmamStats
+from repro.sim.trace import TraceRecorder, loads_of, prefetches_of, record_events
+
+__all__ = [
+    "AddressSpaceAllocator",
+    "PAGE_TABLE_BASE",
+    "Region",
+    "line_number",
+    "lines_touched",
+    "page_number",
+    "CacheStats",
+    "SetAssociativeCache",
+    "ExecutionEngine",
+    "InstructionStream",
+    "StreamContext",
+    "Event",
+    "Compute",
+    "Load",
+    "Prefetch",
+    "Suspend",
+    "SUSPEND",
+    "FrameAlloc",
+    "FillRequest",
+    "LineFillBuffers",
+    "HIT_LEVELS",
+    "LoadOutcome",
+    "MemoryStats",
+    "MemorySystem",
+    "Tlb",
+    "TlbStats",
+    "TranslationResult",
+    "CATEGORIES",
+    "TmamStats",
+    "TraceRecorder",
+    "record_events",
+    "loads_of",
+    "prefetches_of",
+]
+
+from repro.sim.multicore import CoreResult, MultiCoreResult, MultiCoreSystem
+
+__all__ += ["CoreResult", "MultiCoreResult", "MultiCoreSystem"]

@@ -1,0 +1,74 @@
+"""Address arithmetic helpers for the simulated address space.
+
+Addresses are plain integers (byte addresses in a flat virtual address
+space). Nothing is ever stored at an address; the simulator only needs to
+know *which* cache lines and pages an algorithm touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+
+__all__ = ["Region", "line_number", "line_base", "page_number", "lines_touched"]
+
+
+def line_number(addr: int, line_size: int) -> int:
+    """Return the cache-line index containing byte address ``addr``."""
+    return addr // line_size
+
+
+def line_base(addr: int, line_size: int) -> int:
+    """Return the first byte address of the line containing ``addr``."""
+    return addr - addr % line_size
+
+
+def page_number(addr: int, page_size: int) -> int:
+    """Return the virtual page number containing byte address ``addr``."""
+    return addr // page_size
+
+
+def lines_touched(addr: int, size: int, line_size: int) -> list[int]:
+    """Return the line numbers covered by ``size`` bytes starting at ``addr``.
+
+    Most simulated accesses touch one line; fixed-width string elements or
+    multi-line index nodes may span several.
+    """
+    if size <= 0:
+        raise AddressError(f"access size must be positive, got {size}")
+    first = line_number(addr, line_size)
+    last = line_number(addr + size - 1, line_size)
+    return list(range(first, last + 1))
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous range of the simulated address space."""
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size < 0:
+            raise AddressError(f"region {self.name!r}: negative base or size")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def __contains__(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def at(self, offset: int) -> int:
+        """Return the absolute address ``offset`` bytes into the region."""
+        if not 0 <= offset < self.size:
+            raise AddressError(
+                f"offset {offset} outside region {self.name!r} of size {self.size}"
+            )
+        return self.base + offset
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end

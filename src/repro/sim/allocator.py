@@ -1,0 +1,81 @@
+"""Bump allocator for the simulated virtual address space.
+
+Index structures ask the allocator for named regions; the allocator hands
+out page-aligned, non-overlapping address ranges. Since the simulator never
+stores data at addresses, "allocation" is pure bookkeeping — but keeping
+regions disjoint matters: two structures must not alias the same cache
+lines, and diagnostics want to name the region an address belongs to.
+
+A dedicated high region hosts the page tables so that page-walk traffic is
+distinguishable from data traffic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.sim.address import Region
+
+__all__ = ["AddressSpaceAllocator", "PAGE_TABLE_BASE"]
+
+#: Base address of the simulated page-table region; far above any
+#: plausible data allocation so the two can never collide.
+PAGE_TABLE_BASE = 1 << 45
+
+
+class AddressSpaceAllocator:
+    """Hands out disjoint, aligned regions of a flat virtual address space."""
+
+    def __init__(self, base: int = 1 << 21, page_size: int = 4096) -> None:
+        if base <= 0:
+            raise AllocationError("allocator base must be positive")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise AllocationError("page size must be a positive power of two")
+        self._page_size = page_size
+        self._next = self._align_up(base, page_size)
+        self._regions: dict[str, Region] = {}
+
+    @staticmethod
+    def _align_up(value: int, alignment: int) -> int:
+        return (value + alignment - 1) // alignment * alignment
+
+    @property
+    def regions(self) -> dict[str, Region]:
+        """Mapping of region name to :class:`Region` (a live view copy)."""
+        return dict(self._regions)
+
+    def allocate(self, name: str, size: int, alignment: int | None = None) -> Region:
+        """Allocate ``size`` bytes as a new named region.
+
+        Regions are page-aligned by default; pass ``alignment`` for stricter
+        alignment (must be a power of two). Names must be unique — the name
+        is how diagnostics and tests identify traffic.
+        """
+        if size <= 0:
+            raise AllocationError(f"region {name!r}: size must be positive")
+        if name in self._regions:
+            raise AllocationError(f"region {name!r} already allocated")
+        alignment = alignment or self._page_size
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise AllocationError(f"region {name!r}: alignment must be a power of two")
+        base = self._align_up(self._next, alignment)
+        if base + size >= PAGE_TABLE_BASE:
+            raise AllocationError(
+                f"region {name!r}: simulated address space exhausted"
+            )
+        region = Region(name, base, size)
+        self._regions[name] = region
+        self._next = self._align_up(base + size, self._page_size)
+        return region
+
+    def free(self, name: str) -> None:
+        """Release a region name (the address range is not reused)."""
+        if name not in self._regions:
+            raise AllocationError(f"region {name!r} was never allocated")
+        del self._regions[name]
+
+    def region_of(self, addr: int) -> Region | None:
+        """Return the region containing ``addr``, or ``None``."""
+        for region in self._regions.values():
+            if addr in region:
+                return region
+        return None

@@ -1,0 +1,110 @@
+"""Set-associative cache model with LRU replacement.
+
+The cache tracks *which* line numbers are resident — never their contents.
+Lookups and installs are O(associativity); LRU order is maintained with an
+insertion-ordered dict per set (Python dicts preserve insertion order, so
+"re-insert" is "move to most-recently-used").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheSpec
+
+__all__ = ["CacheStats", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    installs: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.installs, self.evictions)
+
+
+class SetAssociativeCache:
+    """One level of the cache hierarchy, keyed by cache-line number."""
+
+    def __init__(self, spec: CacheSpec, line_size: int) -> None:
+        self.spec = spec
+        self.line_size = line_size
+        self.n_sets = spec.n_sets(line_size)
+        self.associativity = spec.associativity
+        self.latency = spec.latency
+        # One insertion-ordered dict per set: line number -> None.
+        # First key is LRU, last key is MRU.
+        self._sets: list[dict[int, None]] = [dict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def _set_of(self, line: int) -> dict[int, None]:
+        return self._sets[line % self.n_sets]
+
+    def lookup(self, line: int) -> bool:
+        """Probe for ``line``; on a hit, promote it to most recently used."""
+        ways = self._set_of(line)
+        if line in ways:
+            self.stats.hits += 1
+            del ways[line]
+            ways[line] = None
+            return True
+        self.stats.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Probe without updating LRU order or statistics."""
+        return line in self._set_of(line)
+
+    def install(self, line: int) -> int | None:
+        """Insert ``line`` as MRU; return the evicted line number, if any.
+
+        Re-installing a resident line just refreshes its LRU position.
+        """
+        ways = self._set_of(line)
+        evicted = None
+        if line in ways:
+            del ways[line]
+        elif len(ways) >= self.associativity:
+            evicted = next(iter(ways))
+            del ways[evicted]
+            self.stats.evictions += 1
+        ways[line] = None
+        self.stats.installs += 1
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if resident; return whether it was present."""
+        ways = self._set_of(line)
+        if line in ways:
+            del ways[line]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (statistics are preserved)."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently cached (for tests and diagnostics)."""
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{self.spec.name}: {self.resident_lines} lines, "
+            f"{self.stats.hits} hits / {self.stats.misses} misses>"
+        )

@@ -1,0 +1,261 @@
+"""The execution engine: a cycle-cost model of one out-of-order core.
+
+The engine advances a global cycle clock while consuming instruction-stream
+events (:mod:`repro.sim.events`). It implements the mechanisms the paper's
+evaluation hinges on:
+
+* **Exposed memory latency** — a demand load stalls for its remaining fill
+  latency minus a fixed out-of-order hiding window (dependent-chain loads,
+  as in index lookups, cannot overlap with each other; short L1/L2
+  latencies disappear, L3/DRAM latencies do not).
+* **Software prefetching** — non-blocking for data, *blocking for address
+  translation* (Section 5.4.3), bounded by line-fill buffers.
+* **Branch speculation** — for branchy code (``std`` binary search) the
+  engine plays predictor: while a load stalls it issues the predicted next
+  load's fill early; a wrong prediction costs the misprediction penalty
+  and books Bad-Speculation slots. This reproduces the paper's finding
+  that speculation, though wrong half the time, beats waiting for DRAM.
+* **TMAM accounting** — every cycle lands in exactly one category.
+
+Schedulers (sequential, GP, AMAC, coroutines) sit *above* the engine: they
+decide in which order stream events are consumed and charge their own
+switch overhead via :meth:`ExecutionEngine.charge_switch`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, Iterable
+
+from repro.config import HASWELL, ArchSpec
+from repro.errors import SimulationError
+from repro.sim.address import lines_touched
+from repro.sim.events import Compute, Event, FrameAlloc, Load, Prefetch, Store, Suspend
+from repro.sim.memory import MemorySystem
+from repro.sim.tmam import TmamStats
+
+__all__ = ["StreamContext", "EngineSnapshot", "ExecutionEngine", "InstructionStream"]
+
+#: An instruction stream: a generator yielding events and returning a result.
+InstructionStream = Generator[Event, None, object]
+
+
+@dataclass
+class StreamContext:
+    """Per-instruction-stream engine state (branch-prediction bookkeeping)."""
+
+    predicted_line: int | None = None
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """Immutable copy of the engine counters at one point in time."""
+
+    cycles: int
+    tmam: TmamStats
+    memory: "object"  # MemoryStats; typed loosely to avoid an import cycle
+
+
+class ExecutionEngine:
+    """Consumes instruction-stream events and charges simulated cycles."""
+
+    def __init__(
+        self,
+        arch: ArchSpec = HASWELL,
+        memory: MemorySystem | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.arch = arch
+        self.cost = arch.cost
+        self.memory = memory if memory is not None else MemorySystem(arch)
+        if self.memory.arch is not arch:
+            raise SimulationError("memory system built for a different ArchSpec")
+        self.clock = 0
+        self.tmam = TmamStats(issue_width=arch.cost.issue_width)
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def compute(self, cycles: int, instructions: int) -> None:
+        """Advance the clock by straight-line computation."""
+        self.tmam.charge_compute(cycles, instructions)
+        self.clock += max(cycles, -(-instructions // self.cost.issue_width))
+
+    def charge_switch(self, kind: str) -> None:
+        """Charge one instruction-stream switch for technique ``kind``."""
+        try:
+            cycles, instructions = getattr(self.cost, f"{kind}_switch")
+        except AttributeError:
+            raise SimulationError(f"unknown switch kind {kind!r}") from None
+        self.compute(cycles, instructions)
+
+    def _translate(self, addr: int) -> None:
+        """Translate ``addr``, charging any stall to the Memory category.
+
+        Page walks are partially hidden by out-of-order execution
+        (Section 5.4.3: "the latencies of L1D and L2 are partially hidden
+        by out-of-order execution, [so] the two first jumps are small"),
+        but never below the fixed walker overhead.
+        """
+        result = self.memory.translate(addr, self.clock)
+        charged = result.cycles
+        if result.walked:
+            charged = max(
+                self.cost.page_walk_base_cycles, result.cycles - self.cost.ooo_hide
+            )
+        if charged:
+            self.tmam.charge_memory_stall(charged, translation=True)
+            self.clock += charged
+
+    def execute_load(self, event: Load, ctx: StreamContext | None = None) -> None:
+        """Execute a demand load, stalling for exposed latency."""
+        self._translate(event.addr)
+        lines = lines_touched(event.addr, event.size, self.arch.line_size)
+        # Branch-speculation resolution: if the previous iteration predicted
+        # a successor address, compare it with what the stream actually did.
+        if ctx is not None and ctx.predicted_line is not None:
+            self.tmam.note_branch()
+            if ctx.predicted_line != lines[0]:
+                self.tmam.charge_mispredict(self.cost.mispredict_penalty)
+                self.clock += self.cost.mispredict_penalty
+            ctx.predicted_line = None
+
+        issued_at = self.clock
+        ready = self.clock
+        for line in lines:
+            outcome = self.memory.load_line(line, self.clock)
+            if outcome.issue_stall:
+                self.tmam.charge_memory_stall(outcome.issue_stall, lfb=True)
+                self.clock += outcome.issue_stall
+            ready = max(ready, outcome.ready)
+
+        # Speculative issue of the predicted next load while this one stalls.
+        hide = self.cost.ooo_hide
+        if event.spec_next is not None and ctx is not None:
+            hide = self.cost.ooo_hide_speculative
+            predicted = self._rng.choice(event.spec_next)
+            spec_issue = min(
+                max(ready - hide, issued_at),
+                issued_at + self.cost.spec_issue_delay,
+            )
+            spec_line = predicted // self.arch.line_size
+            # The shadow translation updates TLB state but its latency
+            # overlaps the current stall, so it is not charged.
+            self.memory.translate(predicted, spec_issue)
+            self.memory.prefetch_line(spec_line, spec_issue, nta=False)
+            ctx.predicted_line = spec_line
+
+        exposed = max(0, ready - self.clock - hide)
+        if exposed:
+            self.tmam.charge_memory_stall(exposed)
+            self.clock += exposed
+
+    def execute_store(self, event: Store) -> None:
+        """Execute a store (read-for-ownership on a miss).
+
+        The store buffer decouples retirement from the fill, so the
+        charged stall is the fill latency beyond a generous hiding
+        window (the speculative window doubles as the store-buffer
+        depth in this model).
+        """
+        self._translate(event.addr)
+        hide = self.cost.ooo_hide + self.cost.spec_issue_delay // 3
+        ready = self.clock
+        for line in lines_touched(event.addr, event.size, self.arch.line_size):
+            outcome = self.memory.load_line(line, self.clock, record=False)
+            if outcome.issue_stall:
+                self.tmam.charge_memory_stall(outcome.issue_stall, lfb=True)
+                self.clock += outcome.issue_stall
+            ready = max(ready, outcome.ready)
+        exposed = max(0, ready - self.clock - hide)
+        if exposed:
+            self.tmam.charge_memory_stall(exposed)
+            self.clock += exposed
+
+    def execute_prefetch(self, event: Prefetch) -> bool:
+        """Issue a software prefetch (blocking only for translation/LFBs).
+
+        Returns whether every touched line was already cached or in
+        flight — the "is this address cached?" answer Section 6 wishes
+        hardware exposed, used by the conditional-suspension ablation.
+        """
+        self._translate(event.addr)
+        self.compute(
+            self.cost.prefetch_issue_cycles, self.cost.prefetch_issue_instructions
+        )
+        cached = True
+        for line in lines_touched(event.addr, event.size, self.arch.line_size):
+            self.memory.lfbs.drain(self.clock)
+            if not self.memory.l1.contains(line) and self.memory.lfbs.find(line) is None:
+                cached = False
+            after = self.memory.prefetch_line(line, self.clock, nta=event.nta)
+            if after > self.clock:
+                self.tmam.charge_memory_stall(after - self.clock, lfb=True)
+                self.clock = after
+        return cached
+
+    def execute_frame_alloc(self) -> None:
+        self.compute(self.cost.frame_alloc_cycles, self.cost.frame_alloc_instructions)
+
+    # ------------------------------------------------------------------
+    # Stream driving
+    # ------------------------------------------------------------------
+
+    def dispatch(self, event: Event, ctx: StreamContext) -> object:
+        """Execute one event (``Suspend`` must be handled by the caller).
+
+        Returns the event's outcome, which drivers feed back into the
+        stream via ``send`` — e.g. ``Prefetch`` answers whether the data
+        was already cached (Section 6's conditional-switch ablation).
+        """
+        if type(event) is Load:
+            self.execute_load(event, ctx)
+        elif type(event) is Compute:
+            self.compute(event.cycles, event.instructions)
+        elif type(event) is Store:
+            self.execute_store(event)
+        elif type(event) is Prefetch:
+            return self.execute_prefetch(event)
+        elif type(event) is FrameAlloc:
+            self.execute_frame_alloc()
+        elif type(event) is Suspend:
+            raise SimulationError(
+                "Suspend reached the engine: this stream was driven without "
+                "an interleaving scheduler (run it with interleave=False or "
+                "use run_interleaved)"
+            )
+        else:
+            raise SimulationError(f"unknown event {event!r}")
+
+    def run(self, stream: InstructionStream, ctx: StreamContext | None = None):
+        """Drive a non-suspending stream to completion; return its result."""
+        ctx = ctx or StreamContext()
+        outcome: object = None
+        try:
+            while True:
+                outcome = self.dispatch(stream.send(outcome), ctx)
+        except StopIteration as stop:
+            return stop.value
+
+    def run_all(self, streams: Iterable[InstructionStream]) -> list[object]:
+        """Drive streams one after another (plain sequential execution)."""
+        return [self.run(stream) for stream in streams]
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> EngineSnapshot:
+        return EngineSnapshot(
+            cycles=self.clock,
+            tmam=self.tmam.snapshot(),
+            memory=self.memory.stats.snapshot(),
+        )
+
+    def settle(self) -> None:
+        """Complete outstanding fills (call between measured phases)."""
+        self.memory.settle(self.clock)

@@ -1,0 +1,97 @@
+"""The instruction-stream event vocabulary.
+
+Lookup algorithms in this library are written as Python generators that
+``yield`` events describing what the equivalent machine code would do:
+computation, demand loads, software prefetches, speculative branches, and
+coroutine suspension points. The execution engine consumes the events and
+charges simulated cycles; the generator's ``return`` value is the lookup
+result.
+
+This mirrors the paper's structure exactly: Listing 5's coroutine becomes
+a generator that yields ``Prefetch`` + ``Suspend`` before each potentially
+missing ``Load``, and the schedulers of Listing 7 decide whether those
+suspensions are taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Event",
+    "Compute",
+    "Load",
+    "Store",
+    "Prefetch",
+    "Suspend",
+    "FrameAlloc",
+    "SUSPEND",
+]
+
+
+class Event:
+    """Base class for instruction-stream events."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Compute(Event):
+    """Execute ``instructions`` micro-ops over ``cycles`` cycles."""
+
+    cycles: int
+    instructions: int
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Event):
+    """A demand load of ``size`` bytes at ``addr``.
+
+    ``spec_next`` carries speculative-execution information for branchy
+    code (the paper's ``std`` binary search): the two candidate addresses
+    of the *next* iteration's load, one per branch direction. The engine
+    plays branch predictor — it picks one, issues its fill early, and
+    charges a misprediction when the stream's next ``Load`` disagrees.
+    Branch-free (conditional-move) code leaves it ``None``.
+    """
+
+    addr: int
+    size: int = 8
+    spec_next: tuple[int, int] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Event):
+    """A store of ``size`` bytes at ``addr``.
+
+    Modeled as a read-for-ownership: a missing line is fetched like a
+    load, but the store buffer hides more of the latency than a
+    dependent load chain would (stores retire without waiting for the
+    fill; only sustained misses back-pressure the pipeline).
+    """
+
+    addr: int
+    size: int = 8
+
+
+@dataclass(frozen=True, slots=True)
+class Prefetch(Event):
+    """A software prefetch (``PREFETCHNTA`` by default) of ``size`` bytes."""
+
+    addr: int
+    size: int = 64
+    nta: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class Suspend(Event):
+    """A coroutine suspension point (``co_await suspend_always()``)."""
+
+
+@dataclass(frozen=True, slots=True)
+class FrameAlloc(Event):
+    """Heap allocation of a coroutine frame (charged unless recycled)."""
+
+
+#: Shared instance — suspension carries no payload.
+SUSPEND = Suspend()

@@ -1,0 +1,125 @@
+"""Line-fill buffers: the in-flight memory-request pool.
+
+Haswell cores have ten line-fill buffers (LFBs); each tracks one
+outstanding cache-line fill. They are central to the paper twice over:
+
+* A demand load that finds its line already being fetched (typically by an
+  earlier software prefetch) is an **LFB hit** — it waits only for the
+  remaining fill latency. Figure 6 of the paper classifies most loads under
+  interleaved execution this way.
+* The pool size caps memory-level parallelism: with ten buffers, group
+  prefetching cannot profit from more than ten concurrent streams
+  (Section 5.4.5 — GP's estimated best group size of 12 is cut to 10).
+
+Completion is lazy: the owner calls :meth:`drain` as the simulated clock
+advances, and completed fills are handed to a callback that installs the
+lines into the caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["FillRequest", "LineFillBuffers"]
+
+
+@dataclass
+class FillRequest:
+    """One outstanding cache-line fill."""
+
+    line: int
+    issue_cycle: int
+    completion_cycle: int
+    source_level: str  # "L2" | "L3" | "DRAM": where the line is coming from
+    non_temporal: bool = False  # PREFETCHNTA: install in L1 only
+    is_prefetch: bool = False
+
+
+class LineFillBuffers:
+    """Fixed-capacity pool of in-flight line fills."""
+
+    def __init__(
+        self,
+        capacity: int,
+        on_complete: Callable[[FillRequest], None],
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("LFB capacity must be positive")
+        self.capacity = capacity
+        self._on_complete = on_complete
+        self._in_flight: dict[int, FillRequest] = {}
+        # Statistics.
+        self.fills_issued = 0
+        self.merges = 0
+        self.peak_occupancy = 0
+        self.issue_stall_cycles = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._in_flight)
+
+    def find(self, line: int) -> FillRequest | None:
+        """Return the in-flight fill for ``line``, if any (no draining)."""
+        return self._in_flight.get(line)
+
+    def drain(self, now: int) -> None:
+        """Complete every fill whose completion time has passed."""
+        if not self._in_flight:
+            return
+        done = [r for r in self._in_flight.values() if r.completion_cycle <= now]
+        for request in done:
+            del self._in_flight[request.line]
+            self._on_complete(request)
+
+    def acquire(self, now: int) -> int:
+        """Block until a buffer is free; return the (possibly later) cycle.
+
+        Models issue stalls when all LFBs are busy: the requesting
+        instruction cannot allocate a buffer until the earliest in-flight
+        fill completes.
+        """
+        self.drain(now)
+        while len(self._in_flight) >= self.capacity:
+            earliest = min(r.completion_cycle for r in self._in_flight.values())
+            if earliest <= now:  # pragma: no cover - drain above prevents this
+                raise SimulationError("completed fill survived drain")
+            self.issue_stall_cycles += earliest - now
+            now = earliest
+            self.drain(now)
+        return now
+
+    def add(self, request: FillRequest) -> FillRequest:
+        """Register a new fill, or merge with an in-flight fill of the line.
+
+        The caller must have called :meth:`acquire` first; adding beyond
+        capacity is a simulator bug.
+        """
+        existing = self._in_flight.get(request.line)
+        if existing is not None:
+            # Same-line requests coalesce into the existing buffer. A demand
+            # merge upgrades a non-temporal prefetch to a full install.
+            self.merges += 1
+            if not request.non_temporal:
+                existing.non_temporal = False
+            if not request.is_prefetch:
+                existing.is_prefetch = False
+            return existing
+        if len(self._in_flight) >= self.capacity:
+            raise SimulationError("LFB overflow: acquire() not called")
+        self._in_flight[request.line] = request
+        self.fills_issued += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._in_flight))
+        return request
+
+    def horizon(self, now: int) -> int:
+        """Earliest cycle by which every in-flight fill has completed."""
+        return max(
+            [now] + [r.completion_cycle for r in self._in_flight.values()]
+        )
+
+    def flush(self, now: int) -> None:
+        """Force-complete everything in flight (test/teardown helper)."""
+        self.drain(self.horizon(now))

@@ -1,0 +1,148 @@
+"""Two-level TLB and page-walk model.
+
+Address translation drives the runtime jumps the paper analyses in
+Section 5.4.3:
+
+* arrays up to the STLB span (1024 entries x 4 KB = 4 MB) translate from
+  the TLBs with negligible cost;
+* past that, translations page-walk, and the walk's leaf-PTE access goes
+  through the *data* cache hierarchy — so its cost depends on where the
+  page-table line is found (PW-L1 / PW-L2 / PW-L3 / PW-DRAM);
+* crucially, even a software prefetch blocks until translation finishes,
+  which is why interleaving cannot hide translation latency.
+
+Upper page-table levels are assumed to hit the core's paging-structure
+caches and are folded into a fixed walk overhead; only the leaf PTE access
+is simulated through the caches. Leaf PTEs are 8 bytes, so one cache line
+covers eight pages (32 KB of data), which reproduces the paper's PTE
+footprint thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config import CostModel, TlbSpec
+from repro.sim.allocator import PAGE_TABLE_BASE
+
+__all__ = ["LruArray", "TranslationResult", "TlbStats", "Tlb", "PTE_SIZE"]
+
+#: Bytes per leaf page-table entry.
+PTE_SIZE = 8
+
+
+class LruArray:
+    """A tiny set-associative LRU array keyed by an integer (e.g. a VPN)."""
+
+    def __init__(self, entries: int, associativity: int) -> None:
+        self.n_sets = entries // associativity
+        self.associativity = associativity
+        self._sets: list[dict[int, None]] = [dict() for _ in range(self.n_sets)]
+
+    def lookup(self, key: int) -> bool:
+        ways = self._sets[key % self.n_sets]
+        if key in ways:
+            del ways[key]
+            ways[key] = None
+            return True
+        return False
+
+    def install(self, key: int) -> None:
+        ways = self._sets[key % self.n_sets]
+        if key in ways:
+            del ways[key]
+        elif len(ways) >= self.associativity:
+            del ways[next(iter(ways))]
+        ways[key] = None
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of translating one virtual address."""
+
+    cycles: int  # extra stall cycles attributable to translation
+    level: str  # "DTLB" | "STLB" | "PW-L1" | "PW-L2" | "PW-L3" | "PW-DRAM"
+
+    @property
+    def walked(self) -> bool:
+        return self.level.startswith("PW-")
+
+
+@dataclass
+class TlbStats:
+    """Translation counters, including page walks by PTE hit level."""
+
+    dtlb_hits: int = 0
+    stlb_hits: int = 0
+    walks_by_level: dict[str, int] = field(default_factory=dict)
+    walk_cycles: int = 0
+
+    @property
+    def walks(self) -> int:
+        return sum(self.walks_by_level.values())
+
+    @property
+    def translations(self) -> int:
+        return self.dtlb_hits + self.stlb_hits + self.walks
+
+
+class Tlb:
+    """DTLB + STLB + page walker.
+
+    ``pte_probe`` is supplied by the memory system: given the PTE's byte
+    address and the current cycle, it performs a cached load on behalf of
+    the hardware page walker and returns ``(latency_cycles, hit_level)``
+    where ``hit_level`` is one of ``"L1"``, ``"L2"``, ``"L3"``, ``"DRAM"``.
+    """
+
+    def __init__(
+        self,
+        dtlb: TlbSpec,
+        stlb: TlbSpec,
+        page_size: int,
+        cost: CostModel,
+        pte_probe: Callable[[int, int], tuple[int, str]],
+    ) -> None:
+        self._dtlb = LruArray(dtlb.entries, dtlb.associativity)
+        self._stlb = LruArray(stlb.entries, stlb.associativity)
+        self._stlb_latency = stlb.latency
+        self._page_size = page_size
+        self._cost = cost
+        self._pte_probe = pte_probe
+        self.stats = TlbStats()
+
+    def pte_address(self, vpn: int) -> int:
+        """Byte address of the leaf PTE for virtual page ``vpn``."""
+        return PAGE_TABLE_BASE + vpn * PTE_SIZE
+
+    def translate(self, addr: int, now: int) -> TranslationResult:
+        """Translate ``addr``, updating TLB state; return stall and level."""
+        vpn = addr // self._page_size
+        if self._dtlb.lookup(vpn):
+            self.stats.dtlb_hits += 1
+            return TranslationResult(0, "DTLB")
+        if self._stlb.lookup(vpn):
+            self.stats.stlb_hits += 1
+            self._dtlb.install(vpn)
+            return TranslationResult(self._stlb_latency, "STLB")
+        # Page walk: fixed overhead plus the leaf-PTE access through the
+        # data cache hierarchy.
+        base = self._cost.page_walk_base_cycles
+        pte_latency, pte_level = self._pte_probe(self.pte_address(vpn), now + base)
+        cycles = base + pte_latency
+        level = f"PW-{pte_level}"
+        self.stats.walks_by_level[level] = self.stats.walks_by_level.get(level, 0) + 1
+        self.stats.walk_cycles += cycles
+        self._stlb.install(vpn)
+        self._dtlb.install(vpn)
+        return TranslationResult(cycles, level)
+
+    def flush(self) -> None:
+        """Empty both TLB levels (statistics are preserved)."""
+        self._dtlb.flush()
+        self._stlb.flush()

@@ -1,0 +1,159 @@
+"""Top-down Microarchitecture Analysis Method (TMAM) accounting.
+
+The paper analyses every result through TMAM (Section 2.2): each cycle
+offers ``issue_width`` pipeline slots, and every slot is either *retiring*
+a micro-op or attributed to a stall category — Front-end, Bad speculation,
+Memory, or Core. Tables 1–2 and Figure 5 are these counters; this module
+is their simulated equivalent.
+
+Conventions used by the engine:
+
+* ``Compute(c, i)`` retires ``i`` slots and books the remaining
+  ``issue_width*c - i`` slots as Core (execution-unit) stalls.
+* Exposed data-access latency books Memory slots; address-translation and
+  LFB-allocation stalls are Memory too (they are data-supply problems).
+* A branch misprediction books its penalty mostly as Bad speculation with
+  a Front-end share (the re-steer starves the front end) — matching the
+  paper's observation that Main's front-end stalls track its speculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["TmamStats", "CATEGORIES"]
+
+CATEGORIES = ("Front-End", "Bad Speculation", "Memory", "Core", "Retiring")
+
+#: Share of a misprediction penalty's slots booked to the front end.
+_FRONTEND_SHARE = 0.25
+
+
+@dataclass
+class TmamStats:
+    """Cycle, instruction, and pipeline-slot counters."""
+
+    issue_width: int = 4
+    cycles: int = 0
+    instructions: int = 0
+    slots: dict[str, float] = field(
+        default_factory=lambda: {category: 0.0 for category in CATEGORIES}
+    )
+    # Cycle-granularity detail (subsets of what the slots aggregate).
+    memory_stall_cycles: int = 0
+    translation_stall_cycles: int = 0
+    lfb_stall_cycles: int = 0
+    mispredicts: int = 0
+    branches: int = 0
+
+    # ------------------------------------------------------------------
+    # Charging primitives (called by the engine)
+    # ------------------------------------------------------------------
+
+    def charge_compute(self, cycles: int, instructions: int) -> None:
+        if cycles < 0 or instructions < 0:
+            raise SimulationError("negative compute charge")
+        capacity = self.issue_width * cycles
+        if instructions > capacity:
+            # More uops than slots: the work takes extra full-retirement
+            # cycles. Normalize so slot accounting stays consistent.
+            cycles = -(-instructions // self.issue_width)
+            capacity = self.issue_width * cycles
+        self.cycles += cycles
+        self.instructions += instructions
+        self.slots["Retiring"] += instructions
+        self.slots["Core"] += capacity - instructions
+
+    def charge_memory_stall(
+        self, cycles: int, *, translation: bool = False, lfb: bool = False
+    ) -> None:
+        if cycles < 0:
+            raise SimulationError("negative memory stall")
+        self.cycles += cycles
+        self.memory_stall_cycles += cycles
+        if translation:
+            self.translation_stall_cycles += cycles
+        if lfb:
+            self.lfb_stall_cycles += cycles
+        self.slots["Memory"] += self.issue_width * cycles
+
+    def charge_mispredict(self, penalty: int) -> None:
+        if penalty < 0:
+            raise SimulationError("negative mispredict penalty")
+        self.mispredicts += 1
+        self.cycles += penalty
+        wasted = self.issue_width * penalty
+        self.slots["Front-End"] += wasted * _FRONTEND_SHARE
+        self.slots["Bad Speculation"] += wasted * (1 - _FRONTEND_SHARE)
+
+    def note_branch(self) -> None:
+        self.branches += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def total_slots(self) -> float:
+        return float(self.issue_width * self.cycles)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per retired instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def breakdown(self) -> dict[str, float]:
+        """Pipeline-slot fractions per category (sums to 1 when cycles > 0)."""
+        total = self.total_slots
+        if total == 0:
+            return {category: 0.0 for category in CATEGORIES}
+        return {category: self.slots[category] / total for category in CATEGORIES}
+
+    def cycles_by_category(self) -> dict[str, float]:
+        """Cycles attributed per category (Figure 5's unit)."""
+        return {
+            category: fraction * self.cycles
+            for category, fraction in self.breakdown().items()
+        }
+
+    def check_consistency(self) -> None:
+        """Raise if slot accounting does not cover exactly all cycles."""
+        total = sum(self.slots.values())
+        if abs(total - self.total_slots) > 1e-6 * max(1.0, self.total_slots):
+            raise SimulationError(
+                f"TMAM slots ({total}) != issue_width * cycles ({self.total_slots})"
+            )
+
+    def snapshot(self) -> "TmamStats":
+        copy = TmamStats(issue_width=self.issue_width)
+        copy.cycles = self.cycles
+        copy.instructions = self.instructions
+        copy.slots = dict(self.slots)
+        copy.memory_stall_cycles = self.memory_stall_cycles
+        copy.translation_stall_cycles = self.translation_stall_cycles
+        copy.lfb_stall_cycles = self.lfb_stall_cycles
+        copy.mispredicts = self.mispredicts
+        copy.branches = self.branches
+        return copy
+
+    def delta(self, earlier: "TmamStats") -> "TmamStats":
+        """Counters accumulated since ``earlier`` (for profiling sections)."""
+        diff = TmamStats(issue_width=self.issue_width)
+        diff.cycles = self.cycles - earlier.cycles
+        diff.instructions = self.instructions - earlier.instructions
+        diff.slots = {
+            category: self.slots[category] - earlier.slots[category]
+            for category in CATEGORIES
+        }
+        diff.memory_stall_cycles = (
+            self.memory_stall_cycles - earlier.memory_stall_cycles
+        )
+        diff.translation_stall_cycles = (
+            self.translation_stall_cycles - earlier.translation_stall_cycles
+        )
+        diff.lfb_stall_cycles = self.lfb_stall_cycles - earlier.lfb_stall_cycles
+        diff.mispredicts = self.mispredicts - earlier.mispredicts
+        diff.branches = self.branches - earlier.branches
+        return diff

@@ -1,0 +1,75 @@
+"""Event tracing for debugging and white-box tests.
+
+A :class:`TraceRecorder` wraps an instruction stream and records every
+event flowing to the scheduler/engine, preserving the stream's behaviour
+(including its return value). Tests use traces to assert *access
+equivalence* — e.g. that the implicit (synthetic) sorted array touches
+exactly the addresses the numpy-backed one touches, or that interleaved
+execution issues one prefetch per suspension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.events import Event, Load, Prefetch
+from repro.sim.engine import InstructionStream
+
+__all__ = ["TraceRecorder", "record_events", "loads_of", "prefetches_of"]
+
+
+class TraceRecorder:
+    """Wraps a stream, keeping a list of every event it yields."""
+
+    def __init__(self, stream: InstructionStream) -> None:
+        self._stream = stream
+        self.events: list[Event] = []
+        self.result: object = None
+        self.finished = False
+
+    def __iter__(self) -> Iterator[Event]:
+        return self
+
+    def __next__(self) -> Event:
+        try:
+            event = next(self._stream)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.finished = True
+            raise
+        self.events.append(event)
+        return event
+
+    def send(self, value: object) -> Event:  # generator protocol passthrough
+        try:
+            event = self._stream.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.finished = True
+            raise
+        self.events.append(event)
+        return event
+
+    def close(self) -> None:
+        self._stream.close()
+
+
+def record_events(stream: InstructionStream) -> tuple[list[Event], object]:
+    """Exhaust ``stream`` without an engine; return (events, result).
+
+    Useful for pure access-pattern tests where timing is irrelevant.
+    """
+    recorder = TraceRecorder(stream)
+    for _ in recorder:
+        pass
+    return recorder.events, recorder.result
+
+
+def loads_of(events: list[Event]) -> list[int]:
+    """Addresses of all demand loads in an event list."""
+    return [event.addr for event in events if isinstance(event, Load)]
+
+
+def prefetches_of(events: list[Event]) -> list[int]:
+    """Addresses of all prefetches in an event list."""
+    return [event.addr for event in events if isinstance(event, Prefetch)]

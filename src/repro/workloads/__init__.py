@@ -1,0 +1,10 @@
+"""Workload generation: arrays, lookup lists, string keys, TPC-DS Q8."""
+
+from repro.workloads.strings import (
+    KEY_WIDTH,
+    common_prefix_length,
+    index_to_key,
+    key_to_index,
+)
+
+__all__ = ["KEY_WIDTH", "common_prefix_length", "index_to_key", "key_to_index"]

@@ -1,0 +1,42 @@
+"""Order-preserving index <-> fixed-width string codec.
+
+The paper's string microbenchmarks "convert the index to a string of 15
+characters, suffixing characters as necessary" (Section 5.3). We use a
+zero-padded decimal encoding, which preserves numeric order under
+bytewise comparison and yields the long shared prefixes that make string
+comparisons computationally heavier than integer comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+
+__all__ = ["KEY_WIDTH", "index_to_key", "key_to_index", "common_prefix_length"]
+
+#: Characters per string key (the paper's 15-character values).
+KEY_WIDTH = 15
+
+_MAX_INDEX = 10**KEY_WIDTH - 1
+
+
+def index_to_key(index: int) -> bytes:
+    """Encode an array index as a 15-byte, order-preserving string key."""
+    if not 0 <= index <= _MAX_INDEX:
+        raise WorkloadError(f"index {index} not encodable in {KEY_WIDTH} digits")
+    return b"%015d" % index
+
+
+def key_to_index(key: bytes) -> int:
+    """Invert :func:`index_to_key`."""
+    if len(key) != KEY_WIDTH or not key.isdigit():
+        raise WorkloadError(f"not a {KEY_WIDTH}-digit key: {key!r}")
+    return int(key)
+
+
+def common_prefix_length(a: bytes, b: bytes) -> int:
+    """Length of the shared prefix — proxy for comparison work."""
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n

@@ -1,0 +1,70 @@
+"""TPC-DS Q8-style IN-predicate workload (Listing 1).
+
+Q8 extracts customer-address rows whose 5-digit zip prefix appears in an
+explicit list of 400 predicate values. We synthesize the same shape: a
+``customer_address`` table whose ``ca_zip`` column holds 5-digit zip
+codes (as integers — our column store encodes INTEGER columns, which is
+also the column type the paper's prototype targets), plus a 400-value
+predicate list partially overlapping the stored zips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.columnstore.table import ColumnTable
+from repro.sim.allocator import AddressSpaceAllocator
+
+__all__ = ["Q8_PREDICATE_COUNT", "Q8Workload", "make_q8_workload"]
+
+#: Q8's IN list has 400 zip codes.
+Q8_PREDICATE_COUNT = 400
+
+_ZIP_SPACE = 100_000  # 5-digit zips
+
+
+@dataclass(frozen=True)
+class Q8Workload:
+    """A synthesized Q8 instance."""
+
+    table: ColumnTable
+    predicates: list[int]
+    expected_matches: int
+
+
+def make_q8_workload(
+    allocator: AddressSpaceAllocator,
+    *,
+    n_rows: int = 50_000,
+    n_predicates: int = Q8_PREDICATE_COUNT,
+    overlap: float = 0.8,
+    seed: int = 0,
+) -> Q8Workload:
+    """Build the customer_address table and the Q8 predicate list.
+
+    ``overlap`` is the fraction of predicate zips guaranteed to exist in
+    the table (the rest are misses, exercising the INVALID_CODE path).
+    """
+    if n_rows <= 0 or n_predicates <= 0:
+        raise WorkloadError("rows and predicates must be positive")
+    if not 0.0 <= overlap <= 1.0:
+        raise WorkloadError("overlap must be within [0, 1]")
+    rng = np.random.RandomState(seed)
+    zips = rng.randint(0, _ZIP_SPACE, n_rows)
+    table = ColumnTable(allocator, "customer_address", ["ca_zip"])
+    table.insert_rows([{"ca_zip": int(z)} for z in zips])
+    table.merge()
+
+    present = np.unique(zips)
+    n_hits = min(int(n_predicates * overlap), present.size)
+    hits = rng.choice(present, n_hits, replace=False)
+    absent_pool = np.setdiff1d(np.arange(_ZIP_SPACE), present)
+    misses = rng.choice(absent_pool, n_predicates - n_hits, replace=False)
+    predicates = [int(p) for p in np.concatenate([hits, misses])]
+    rng.shuffle(predicates)
+
+    expected = int(np.isin(zips, hits).sum())
+    return Q8Workload(table=table, predicates=predicates, expected_matches=expected)

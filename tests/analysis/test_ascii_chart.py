@@ -1,0 +1,42 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.reporting import ascii_chart
+
+
+class TestAsciiChart:
+    def test_markers_and_legend(self):
+        text = ascii_chart(["a", "b"], {"X": [1, 2], "Y": [2, 1]})
+        assert "*=X" in text and "o=Y" in text
+        assert "*" in text and "o" in text
+
+    def test_title(self):
+        text = ascii_chart(["a"], {"X": [1]}, title="T9")
+        assert text.splitlines()[0] == "T9"
+
+    def test_peak_on_axis(self):
+        text = ascii_chart(["a", "b"], {"X": [10, 250]})
+        assert "250" in text
+
+    def test_height_respected(self):
+        text = ascii_chart(["a"], {"X": [5]}, height=6)
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_rows) == 6
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["a", "b"], {"X": [1]})
+
+    def test_empty_series(self):
+        assert ascii_chart(["a"], {}, title="empty") == "empty"
+
+    def test_zero_values_render(self):
+        text = ascii_chart(["a"], {"X": [0.0]})
+        assert "|" in text  # renders without dividing by zero
+
+    def test_max_value_hits_top_row(self):
+        text = ascii_chart(["a", "b"], {"X": [1, 100]}, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert "*" in rows[0]  # peak at the top
+        assert "*" in rows[-1]  # small value at the bottom

@@ -1,0 +1,43 @@
+"""Tests for the CLI and the figure-regeneration entry points."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.figures import available_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_listed(self):
+        names = available_experiments()
+        for expected in (
+            "fig1", "fig3a", "fig3b", "fig5", "fig6", "fig7", "fig8",
+            "table1", "table2", "table5",
+        ):
+            assert expected in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")
+
+    def test_table5_runs_instantly(self):
+        text = run_experiment("table5")
+        assert "CORO-U" in text and "footprint" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "table5" in out
+
+    def test_run_experiment(self, capsys):
+        assert main(["table5"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_unknown_exits_nonzero(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table5", "table5"]) == 0
+        assert capsys.readouterr().out.count("Table 5") == 2

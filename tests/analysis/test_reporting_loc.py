@@ -1,0 +1,100 @@
+"""Tests for reporting helpers and the Table 5 LoC analysis."""
+
+import pytest
+
+from repro.analysis.loc import code_lines, diff_lines, table5_metrics
+from repro.analysis.reporting import (
+    banner,
+    format_pct,
+    format_size,
+    format_table,
+    series_table,
+)
+
+
+class TestFormatting:
+    def test_format_size(self):
+        assert format_size(1 << 20) == "1MB"
+        assert format_size(2 << 30) == "2GB"
+        assert format_size(512) == "512B"
+        assert format_size(1536) == "1.5KB"
+
+    def test_format_pct(self):
+        assert format_pct(0.214) == "21.4%"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+        assert "333" in lines[3]
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="Table 9")
+        assert text.startswith("Table 9")
+
+    def test_series_table(self):
+        text = series_table("size", ["1MB", "2MB"], {"A": [1, 2], "B": [3, 4]})
+        assert "1MB" in text and "B" in text
+
+    def test_banner(self):
+        assert "hello" in banner("hello")
+
+
+class TestCodeLines:
+    def test_strips_docstrings_comments_blanks(self):
+        def sample():
+            """Docstring line.
+
+            More docstring.
+            """
+            x = 1  # trailing comment counts as code line
+            # pure comment
+            return x
+
+        lines = code_lines(sample)
+        assert lines == ["def sample():", "x = 1  # trailing comment counts as code line", "return x"]
+
+    def test_diff_identical_is_zero(self):
+        def f():
+            return 1
+
+        assert diff_lines(f, f) == 0
+
+    def test_diff_counts_new_lines(self):
+        def original():
+            x = 1
+            return x
+
+        def variant():
+            x = 1
+            y = 2
+            return x + y
+
+        # 'def variant():' header, 'y = 2' and changed return.
+        assert diff_lines(original, variant) == 3
+
+
+class TestTable5:
+    def test_paper_ordering_holds(self):
+        metrics = {m.technique: m for m in table5_metrics()}
+        assert set(metrics) == {"GP", "AMAC", "CORO-U", "CORO-S"}
+        # CORO-U differs least from the original and has the smallest
+        # footprint; AMAC differs most (Table 5's takeaways).
+        assert metrics["CORO-U"].diff_to_original < metrics["GP"].diff_to_original
+        assert metrics["CORO-U"].diff_to_original < metrics["AMAC"].diff_to_original
+        assert metrics["CORO-U"].total_footprint == min(
+            m.total_footprint for m in metrics.values()
+        )
+        assert metrics["AMAC"].diff_to_original == max(
+            m.diff_to_original for m in metrics.values()
+        )
+
+    def test_unified_footprint_is_single_codepath(self):
+        metrics = {m.technique: m for m in table5_metrics()}
+        assert metrics["CORO-U"].total_footprint == metrics["CORO-U"].interleaved_loc
+
+    def test_metrics_positive(self):
+        for m in table5_metrics():
+            assert m.interleaved_loc > 0
+            assert m.diff_to_original > 0
+            assert m.total_footprint >= m.interleaved_loc

@@ -1,0 +1,73 @@
+"""Tests for CSV persistence of sweep results."""
+
+import pytest
+
+from repro.analysis.experiments import measure_binary_search, measure_query
+from repro.analysis.results_io import (
+    binary_search_csv,
+    query_csv,
+    read_csv_rows,
+    write_csv,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def bs_points():
+    return [
+        measure_binary_search(1 << 20, technique, n_lookups=40)
+        for technique in ("Baseline", "CORO")
+    ]
+
+
+@pytest.fixture(scope="module")
+def query_points():
+    return [
+        measure_query(1 << 20, "main", strategy, n_predicates=50, n_rows=5_000)
+        for strategy in ("sequential", "interleaved")
+    ]
+
+
+class TestBinarySearchCsv:
+    def test_header_and_rows(self, bs_points):
+        text = binary_search_csv(bs_points)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("technique,element,size_bytes")
+        assert len(lines) == 3
+        assert lines[1].startswith("Baseline,int,1048576")
+
+    def test_roundtrip_via_file(self, tmp_path, bs_points):
+        path = write_csv(tmp_path / "sub" / "sweep.csv", binary_search_csv(bs_points))
+        rows = read_csv_rows(path)
+        assert len(rows) == 2
+        assert rows[1]["technique"] == "CORO"
+        assert float(rows[0]["cycles_per_search"]) > 0
+        assert abs(sum(float(rows[0][k]) for k in rows[0] if k.startswith("slots_")) - 1.0) < 1e-2
+
+    def test_loads_columns_present(self, bs_points):
+        rows = read_csv_rows(
+            write_csv("/tmp/repro_test_sweep.csv", binary_search_csv(bs_points))
+        )
+        for level in ("L1", "LFB", "L2", "L3", "DRAM"):
+            assert f"loads_{level}" in rows[0]
+
+
+class TestQueryCsv:
+    def test_rows(self, query_points):
+        text = query_csv(query_points)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert "sequential" in lines[1]
+        assert "interleaved" in lines[2]
+
+    def test_fractions_parse(self, tmp_path, query_points):
+        path = write_csv(tmp_path / "q.csv", query_csv(query_points))
+        rows = read_csv_rows(path)
+        for row in rows:
+            assert 0.0 < float(row["locate_fraction"]) < 1.0
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            read_csv_rows(tmp_path / "nope.csv")

@@ -1,0 +1,157 @@
+"""Tests for encoded columns, scans, and IN-predicate queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore import (
+    EncodedColumn,
+    MainDictionary,
+    run_in_predicate,
+    scan_matching_rows,
+)
+from repro.config import HASWELL
+from repro.errors import ColumnStoreError
+from repro.indexes.base import INVALID_CODE
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_column(row_values, name="col"):
+    return EncodedColumn.from_values(
+        AddressSpaceAllocator(), name, np.asarray(row_values)
+    )
+
+
+class TestEncodedColumn:
+    def test_roundtrip_decoding(self):
+        rows = [5, 3, 5, 9, 3]
+        column = make_column(rows)
+        assert [column.decode_row(r) for r in range(5)] == rows
+        assert column.dictionary.n_values == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ColumnStoreError):
+            make_column([])
+
+    def test_out_of_range_codes_rejected(self):
+        alloc = AddressSpaceAllocator()
+        dictionary = MainDictionary.from_values(alloc, "d", [1, 2])
+        with pytest.raises(ColumnStoreError):
+            EncodedColumn(dictionary, np.array([0, 5]), alloc, "c")
+
+    def test_encode_values_all_strategies_agree(self):
+        rng = np.random.RandomState(0)
+        rows = rng.randint(0, 2_000, 4_000)
+        column = make_column(rows)
+        probes = rng.randint(-10, 2_010, 80).tolist()
+        results = {
+            strategy: column.encode_values(
+                ExecutionEngine(HASWELL), probes, strategy=strategy, group_size=6
+            )
+            for strategy in ("sequential", "interleaved", "gp", "amac")
+        }
+        expected = [column.dictionary.locate(p) for p in probes]
+        for strategy, got in results.items():
+            assert got == expected, strategy
+
+    def test_unknown_strategy_rejected(self):
+        column = make_column([1, 2, 3])
+        with pytest.raises(ColumnStoreError):
+            column.encode_values(ExecutionEngine(HASWELL), [1], strategy="spp")
+
+    def test_gp_rejected_for_delta(self):
+        from repro.columnstore import DeltaDictionary
+
+        alloc = AddressSpaceAllocator()
+        delta_dict = DeltaDictionary.from_values(alloc, "dd", [3, 1, 2])
+        column = EncodedColumn(delta_dict, np.array([0, 1, 2]), alloc, "c")
+        with pytest.raises(ColumnStoreError, match="Main"):
+            column.encode_values(ExecutionEngine(HASWELL), [1], strategy="gp")
+
+
+class TestScan:
+    def test_matching_rows(self):
+        column = make_column([10, 20, 10, 30, 20, 20])
+        codes = [column.dictionary.locate(20)]
+        rows = scan_matching_rows(ExecutionEngine(HASWELL), column, codes)
+        assert rows.tolist() == [1, 4, 5]
+
+    def test_empty_code_set(self):
+        column = make_column([1, 2, 3])
+        rows = scan_matching_rows(ExecutionEngine(HASWELL), column, [])
+        assert rows.size == 0
+
+    def test_scan_cost_scales_with_rows_not_dictionary(self):
+        small = make_column(list(range(100)) * 2)
+        engine_small = ExecutionEngine(HASWELL)
+        scan_matching_rows(engine_small, small, [0])
+        big_dict = make_column(list(range(200)))
+        engine_big = ExecutionEngine(HASWELL)
+        scan_matching_rows(engine_big, big_dict, [0])
+        assert engine_small.clock == engine_big.clock  # both 200 rows
+
+
+class TestInPredicateQuery:
+    def test_matches_brute_force(self):
+        rng = np.random.RandomState(3)
+        rows = rng.randint(0, 500, 3_000)
+        column = make_column(rows)
+        predicates = rng.randint(0, 600, 40).tolist()
+        result = run_in_predicate(
+            ExecutionEngine(HASWELL), column, predicates, strategy="interleaved"
+        )
+        expected = np.flatnonzero(np.isin(rows, list(set(predicates))))
+        assert np.array_equal(np.sort(result.rows), expected)
+
+    def test_absent_values_encode_invalid(self):
+        column = make_column([1, 2, 3])
+        result = run_in_predicate(ExecutionEngine(HASWELL), column, [2, 99])
+        assert result.codes[1] == INVALID_CODE
+        assert column.decode_row(int(result.rows[0])) == 2
+
+    def test_profiles_partition_total(self):
+        column = make_column(list(range(2_000)))
+        engine = ExecutionEngine(HASWELL)
+        result = run_in_predicate(engine, column, list(range(0, 2_000, 50)))
+        assert result.locate.cycles > 0
+        assert result.scan.cycles > 0
+        assert result.total_cycles == engine.clock
+        assert 0 < result.locate_fraction < 1
+
+    def test_response_time_conversion(self):
+        column = make_column([1])
+        result = run_in_predicate(ExecutionEngine(HASWELL), column, [1])
+        assert result.response_time_ms() == pytest.approx(
+            result.total_cycles / 2.6e6
+        )
+
+    def test_strategy_does_not_change_rows(self):
+        rng = np.random.RandomState(4)
+        rows = rng.randint(0, 300, 1_000)
+        column = make_column(rows)
+        predicates = rng.randint(0, 350, 25).tolist()
+        outcomes = [
+            np.sort(
+                run_in_predicate(
+                    ExecutionEngine(HASWELL), column, predicates, strategy=s
+                ).rows
+            ).tolist()
+            for s in ("sequential", "interleaved", "gp", "amac")
+        ]
+        assert all(o == outcomes[0] for o in outcomes)
+
+    @given(
+        rows=st.lists(st.integers(0, 50), min_size=1, max_size=200),
+        predicates=st.lists(st.integers(0, 60), min_size=1, max_size=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_query_equals_brute_force_property(self, rows, predicates):
+        column = make_column(rows)
+        result = run_in_predicate(
+            ExecutionEngine(HASWELL), column, predicates, strategy="interleaved",
+            group_size=3,
+        )
+        expected = [i for i, v in enumerate(rows) if v in set(predicates)]
+        assert sorted(result.rows.tolist()) == expected

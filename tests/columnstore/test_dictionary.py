@@ -1,0 +1,142 @@
+"""Tests for Main and Delta dictionaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore.dictionary import DeltaDictionary, MainDictionary
+from repro.config import HASWELL
+from repro.errors import ColumnStoreError, KeyNotFoundError
+from repro.indexes.base import INVALID_CODE
+from repro.interleaving import run_interleaved, run_sequential
+from repro.sim import ExecutionEngine, Prefetch, Suspend, record_events
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def run_stream(stream):
+    return ExecutionEngine(HASWELL).run(stream)
+
+
+class TestMainDictionary:
+    def test_codes_are_sorted_positions(self):
+        md = MainDictionary.from_values(AddressSpaceAllocator(), "m", [9, 1, 5])
+        assert [md.extract(c) for c in range(3)] == [1, 5, 9]
+
+    def test_duplicates_collapse(self):
+        md = MainDictionary.from_values(AddressSpaceAllocator(), "m", [2, 2, 1])
+        assert md.n_values == 2
+
+    def test_locate_roundtrip(self):
+        values = [3, 14, 15, 92, 65, 35]
+        md = MainDictionary.from_values(AddressSpaceAllocator(), "m", values)
+        for value in values:
+            assert md.extract(md.locate(value)) == value
+
+    def test_locate_absent(self):
+        md = MainDictionary.from_values(AddressSpaceAllocator(), "m", [1, 3])
+        assert md.locate(2) == INVALID_CODE
+        assert md.locate(-10) == INVALID_CODE
+        assert md.locate(99) == INVALID_CODE
+
+    def test_locate_stream_matches_python(self):
+        values = sorted(np.random.RandomState(0).choice(10_000, 500, replace=False))
+        md = MainDictionary.from_values(AddressSpaceAllocator(), "m", values)
+        for probe in list(values[::29]) + [-1, 10_001, 4]:
+            assert run_stream(md.locate_stream(int(probe))) == md.locate(int(probe))
+
+    def test_extract_out_of_range(self):
+        md = MainDictionary.from_values(AddressSpaceAllocator(), "m", [1])
+        with pytest.raises(KeyNotFoundError):
+            md.extract(1)
+        with pytest.raises(KeyNotFoundError):
+            list(md.extract_stream(-1))
+
+    def test_extract_stream_loads_code_position(self):
+        from repro.sim import Load
+
+        md = MainDictionary.from_values(AddressSpaceAllocator(), "m", [10, 20, 30])
+        events, value = record_events(md.extract_stream(2))
+        loads = [e for e in events if isinstance(e, Load)]
+        assert value == 30
+        assert loads[0].addr == md.array.address_of(2)
+
+    def test_implicit_dictionary(self):
+        md = MainDictionary.implicit(AddressSpaceAllocator(), "m", 1 << 12)
+        assert md.n_values == 1024
+        assert md.locate(100) == 100
+        assert md.extract(5) == 5
+        assert md.nbytes == 1 << 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ColumnStoreError):
+            MainDictionary.from_values(AddressSpaceAllocator(), "m", [])
+
+
+class TestDeltaDictionary:
+    def test_codes_follow_insertion_order(self):
+        dd = DeltaDictionary.from_values(AddressSpaceAllocator(), "d", [50, 10, 90])
+        assert dd.extract(0) == 50
+        assert dd.extract(1) == 10
+        assert dd.locate(90) == 2
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ColumnStoreError):
+            DeltaDictionary.from_values(AddressSpaceAllocator(), "d", [1, 1])
+
+    def test_locate_stream_matches_python(self):
+        rng = np.random.RandomState(1)
+        values = rng.permutation(2_000)[:700].tolist()
+        dd = DeltaDictionary.from_values(AddressSpaceAllocator(), "d", values)
+        for probe in values[::31] + [-1, 2_001]:
+            assert run_stream(dd.locate_stream(probe)) == dd.locate(probe)
+
+    def test_implicit_permutation_is_bijective(self):
+        dd = DeltaDictionary.implicit(AddressSpaceAllocator(), "d", 1 << 12)
+        n = dd.n_values
+        codes = {dd.locate(v) for v in range(n)}
+        assert codes == set(range(n))
+        for v in range(0, n, 97):
+            assert dd.extract(dd.locate(v)) == v
+
+    def test_implicit_locate_stream(self):
+        dd = DeltaDictionary.implicit(AddressSpaceAllocator(), "d", 1 << 14)
+        n = dd.n_values
+        for probe in [0, 1, n // 3, n - 1, n, -2]:
+            expected = dd.locate(probe) if 0 <= probe < n else INVALID_CODE
+            assert run_stream(dd.locate_stream(probe)) == expected
+
+    def test_leaf_comparisons_suspend_on_dictionary_access(self):
+        """Section 5.5: the Delta adds a suspension per leaf comparison."""
+        dd = DeltaDictionary.implicit(AddressSpaceAllocator(), "d", 1 << 16)
+        events, _ = record_events(dd.locate_stream(1234, True))
+        suspends = sum(isinstance(e, Suspend) for e in events)
+        node_prefetches = sum(
+            isinstance(e, Prefetch) and e.size == dd.tree.node_size for e in events
+        )
+        dict_prefetches = sum(
+            isinstance(e, Prefetch) and e.size == dd.element_size for e in events
+        )
+        assert dict_prefetches > 0  # leaf comparisons hit the dictionary
+        assert suspends == node_prefetches + dict_prefetches
+
+    def test_interleaved_equals_sequential(self):
+        dd = DeltaDictionary.implicit(AddressSpaceAllocator(), "d", 1 << 15)
+        probes = np.random.RandomState(2).randint(-5, dd.n_values + 5, 150).tolist()
+        seq = run_sequential(
+            ExecutionEngine(HASWELL), lambda v, il: dd.locate_stream(v, il), probes
+        )
+        inter = run_interleaved(
+            ExecutionEngine(HASWELL), lambda v, il: dd.locate_stream(v, il), probes, 6
+        )
+        assert seq == inter
+
+    @given(values=st.sets(st.integers(0, 50_000), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_materialized_roundtrip_property(self, values):
+        ordered = list(values)
+        dd = DeltaDictionary.from_values(AddressSpaceAllocator(), "d", ordered)
+        for code, value in enumerate(ordered):
+            assert dd.extract(code) == value
+            assert dd.locate(value) == code
+        assert dd.locate(50_001) == INVALID_CODE

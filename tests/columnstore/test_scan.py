@@ -1,0 +1,58 @@
+"""Focused tests for the code-vector scan cost model."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import EncodedColumn, scan_stream
+from repro.columnstore.scan import SCAN_CYCLES_PER_LINE, SCAN_CYCLES_PER_ROW
+from repro.config import HASWELL
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_column(rows):
+    return EncodedColumn.from_values(AddressSpaceAllocator(), "c", np.asarray(rows))
+
+
+class TestScanCostModel:
+    def test_cost_linear_in_rows(self):
+        small = make_column(list(range(100)) * 10)  # 1000 rows
+        large = make_column(list(range(100)) * 40)  # 4000 rows
+        engine_small = ExecutionEngine(HASWELL)
+        engine_small.run(scan_stream(small, [0]))
+        engine_large = ExecutionEngine(HASWELL)
+        engine_large.run(scan_stream(large, [0]))
+        ratio = engine_large.clock / engine_small.clock
+        assert 3.0 < ratio < 5.0  # ~4x rows -> ~4x cycles
+
+    def test_expected_cycle_formula(self):
+        column = make_column(list(range(1_000)))
+        engine = ExecutionEngine(HASWELL)
+        engine.run(scan_stream(column, [1]))
+        lines = (1_000 * column.code_size + 63) // 64
+        expected = lines * SCAN_CYCLES_PER_LINE + int(1_000 * SCAN_CYCLES_PER_ROW)
+        # charge_compute may round cycles up for uop throughput.
+        assert expected <= engine.clock <= expected * 1.5
+
+    def test_scan_does_not_touch_simulated_caches(self):
+        """Streaming scans are modeled as compute: no cache pollution."""
+        column = make_column(list(range(5_000)))
+        engine = ExecutionEngine(HASWELL)
+        engine.run(scan_stream(column, [0, 1, 2]))
+        assert engine.memory.stats.loads == 0
+        assert engine.memory.l1.resident_lines == 0
+
+    def test_matches_numpy_oracle(self):
+        rng = np.random.RandomState(0)
+        rows = rng.randint(0, 50, 2_000)
+        column = make_column(rows)
+        codes = [column.dictionary.locate(v) for v in (3, 7, 11)]
+        result = ExecutionEngine(HASWELL).run(scan_stream(column, codes))
+        expected = np.flatnonzero(np.isin(rows, [3, 7, 11]))
+        assert np.array_equal(result, expected)
+
+    def test_duplicate_codes_in_set_are_harmless(self):
+        column = make_column([1, 2, 1, 3])
+        code = column.dictionary.locate(1)
+        result = ExecutionEngine(HASWELL).run(scan_stream(column, [code, code]))
+        assert result.tolist() == [0, 2]

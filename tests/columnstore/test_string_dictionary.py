@@ -1,0 +1,69 @@
+"""Tests for string-valued Main dictionaries."""
+
+import pytest
+
+from repro.columnstore import MainDictionary
+from repro.config import HASWELL
+from repro.errors import ColumnStoreError
+from repro.indexes.base import INVALID_CODE
+from repro.interleaving import run_interleaved, run_sequential
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.workloads.strings import index_to_key
+
+
+class TestStringMainDictionary:
+    def test_codes_follow_byte_order(self):
+        md = MainDictionary.from_string_values(
+            AddressSpaceAllocator(), "s", [b"pear", b"apple", b"fig"]
+        )
+        assert md.extract(0).rstrip(b"\x00") == b"apple"
+        assert md.locate(b"pear") == 2
+
+    def test_duplicates_collapse(self):
+        md = MainDictionary.from_string_values(
+            AddressSpaceAllocator(), "s", [b"a", b"a", b"b"]
+        )
+        assert md.n_values == 2
+
+    def test_absent_value(self):
+        md = MainDictionary.from_string_values(
+            AddressSpaceAllocator(), "s", [b"a", b"c"]
+        )
+        assert md.locate(b"b") == INVALID_CODE
+
+    def test_too_long_value_rejected(self):
+        with pytest.raises(ColumnStoreError):
+            MainDictionary.from_string_values(
+                AddressSpaceAllocator(), "s", [b"x" * 17]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ColumnStoreError):
+            MainDictionary.from_string_values(AddressSpaceAllocator(), "s", [])
+
+    def test_locate_stream_matches_python(self):
+        values = [index_to_key(i) for i in range(0, 3000, 7)]
+        md = MainDictionary.from_string_values(AddressSpaceAllocator(), "s", values)
+        engine = ExecutionEngine(HASWELL)
+        for probe in values[::31] + [index_to_key(1)]:
+            # Pad the probe to the stored element width for comparison.
+            padded = probe.ljust(16, b"\x00")
+            assert engine.run(md.locate_stream(padded)) == md.locate(padded)
+
+    def test_implicit_string_dictionary(self):
+        md = MainDictionary.implicit_string(AddressSpaceAllocator(), "s", 1 << 20)
+        assert md.n_values == (1 << 20) // 16
+        assert md.extract(5) == index_to_key(5)
+        assert md.locate(index_to_key(100)) == 100
+        # String comparisons carry the surcharge.
+        assert md.array.compare_extra[0] > 0
+
+    def test_interleaved_string_locate(self):
+        md = MainDictionary.implicit_string(AddressSpaceAllocator(), "s", 1 << 20)
+        probes = [index_to_key(i * 97 % md.n_values) for i in range(60)]
+        factory = lambda v, il: md.locate_stream(v, il)
+        seq = run_sequential(ExecutionEngine(HASWELL), factory, probes)
+        inter = run_interleaved(ExecutionEngine(HASWELL), factory, probes, 6)
+        assert seq == inter
+        assert all(code != INVALID_CODE for code in seq)

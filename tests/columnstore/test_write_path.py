@@ -1,0 +1,90 @@
+"""Tests for the simulated write path: tree inserts and row decoding."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import EncodedColumn
+from repro.config import HASWELL
+from repro.errors import ColumnStoreError
+from repro.indexes.csb_tree import CSBTree, csb_insert_stream
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_tree(keys, node_size=64):
+    return CSBTree(AddressSpaceAllocator(), "t", keys, node_size=node_size)
+
+
+class TestCsbInsertStream:
+    def test_insert_stream_matches_structural_insert(self):
+        simulated = make_tree(list(range(0, 200, 2)))
+        structural = make_tree(list(range(0, 200, 2)))
+        engine = ExecutionEngine(HASWELL)
+        for key in (1, 3, 151, 199):
+            engine.run(csb_insert_stream(simulated, key, key * 10))
+            structural.insert(key, key * 10)
+        simulated.check_invariants()
+        assert list(simulated.iter_items()) == list(structural.iter_items())
+
+    def test_split_charges_group_copy(self):
+        """An insert that splits (re)allocates groups and costs more.
+
+        Bulk-load packs leaves full, so the first insert into a region
+        splits; the next one lands in the half-empty leaf it produced.
+        """
+        tree = make_tree(list(range(0, 1000, 10)), node_size=64)
+        engine_split = ExecutionEngine(HASWELL)
+        n_split = engine_split.run(csb_insert_stream(tree, 11, 11))
+        assert n_split > 0  # the packed leaf had to split
+
+        engine_cheap = ExecutionEngine(HASWELL)
+        n_cheap = engine_cheap.run(csb_insert_stream(tree, 13, 13))
+        assert n_cheap == 0  # room in the freshly split leaf
+        assert engine_split.clock > engine_cheap.clock
+        tree.check_invariants()
+
+    def test_group_log_reset_after_stream(self):
+        tree = make_tree([1, 2, 3])
+        ExecutionEngine(HASWELL).run(csb_insert_stream(tree, 10, 10))
+        assert tree.group_log is None
+
+    def test_duplicate_insert_raises_through_stream(self):
+        from repro.errors import IndexStructureError
+
+        tree = make_tree([1, 2, 3])
+        with pytest.raises(IndexStructureError):
+            ExecutionEngine(HASWELL).run(csb_insert_stream(tree, 2, 2))
+
+    def test_stores_reach_the_memory_system(self):
+        tree = make_tree(list(range(0, 50, 2)))
+        engine = ExecutionEngine(HASWELL)
+        engine.run(csb_insert_stream(tree, 1, 1))
+        # The leaf rewrite touched the caches (RFO fills).
+        assert engine.memory.l1.resident_lines > 0
+
+
+class TestDecodeRows:
+    def make_column(self):
+        rng = np.random.RandomState(0)
+        rows = rng.randint(0, 3_000, 5_000)
+        return EncodedColumn.from_values(AddressSpaceAllocator(), "c", rows), rows
+
+    def test_decode_matches_rows(self):
+        column, rows = self.make_column()
+        picks = [0, 17, 4_999, 123]
+        values = column.decode_rows(ExecutionEngine(HASWELL), picks)
+        assert values == [int(rows[r]) for r in picks]
+
+    def test_interleaved_decode_matches_sequential(self):
+        column, rows = self.make_column()
+        picks = list(range(0, 5_000, 71))
+        seq = column.decode_rows(ExecutionEngine(HASWELL), picks)
+        inter = column.decode_rows(
+            ExecutionEngine(HASWELL), picks, strategy="interleaved"
+        )
+        assert seq == inter
+
+    def test_unknown_strategy(self):
+        column, _ = self.make_column()
+        with pytest.raises(ColumnStoreError):
+            column.decode_rows(ExecutionEngine(HASWELL), [0], strategy="gp")

@@ -1,0 +1,198 @@
+"""Correctness tests for the five binary-search implementations.
+
+The key invariant (paper Section 5.1): every implementation performs the
+*same search* — only the execution strategy differs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HASWELL
+from repro.errors import IndexStructureError
+from repro.indexes.base import INVALID_CODE
+from repro.indexes.binary_search import (
+    binary_search_baseline,
+    binary_search_coro,
+    binary_search_coro_interleaved,
+    binary_search_coro_sequential,
+    binary_search_std,
+    locate_stream,
+    reference_search,
+)
+from repro.indexes.sorted_array import SortedIntArray
+from repro.interleaving import run_interleaved, run_sequential
+from repro.sim import ExecutionEngine, Load, Prefetch, Suspend, record_events
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_table(values):
+    return SortedIntArray.from_values(AddressSpaceAllocator(), "t", values)
+
+
+def run_stream(stream):
+    engine = ExecutionEngine(HASWELL)
+    return engine.run(stream)
+
+
+class TestSemantics:
+    """All variants return the index of the last element <= value."""
+
+    @pytest.mark.parametrize("value,expected", [
+        (-5, 0), (0, 0), (1, 0), (10, 1), (11, 1), (70, 7), (100, 7),
+    ])
+    def test_baseline_on_known_array(self, value, expected):
+        table = make_table([0, 10, 20, 30, 40, 50, 60, 70])
+        assert run_stream(binary_search_baseline(table, value)) == expected
+
+    def test_single_element(self):
+        table = make_table([42])
+        assert run_stream(binary_search_baseline(table, 42)) == 0
+        assert run_stream(binary_search_baseline(table, 0)) == 0
+        assert run_stream(binary_search_baseline(table, 99)) == 0
+
+    def test_empty_table_rejected(self):
+        table = make_table([1])
+        table._size = 0
+        with pytest.raises(IndexStructureError):
+            list(binary_search_baseline(table, 1))
+
+    def test_non_power_of_two_sizes(self):
+        for n in (2, 3, 5, 7, 13, 100, 101):
+            values = list(range(0, 2 * n, 2))
+            table = make_table(values)
+            for value in (-1, 0, 1, n, 2 * n - 2, 2 * n - 1, 5000):
+                expected = reference_search(values, value)
+                assert run_stream(binary_search_baseline(table, value)) == expected
+
+
+class TestVariantEquivalence:
+    VARIANTS = [
+        ("std", lambda t, v: binary_search_std(t, v)),
+        ("baseline", lambda t, v: binary_search_baseline(t, v)),
+        ("coro-seq", lambda t, v: binary_search_coro(t, v, False)),
+        ("coro-s-seq", lambda t, v: binary_search_coro_sequential(t, v)),
+    ]
+
+    @pytest.mark.parametrize("name,factory", VARIANTS)
+    def test_matches_reference(self, name, factory):
+        rng = np.random.RandomState(7)
+        values = np.unique(rng.randint(0, 10_000, 500))
+        table = make_table(values)
+        for value in rng.randint(-100, 10_100, 100):
+            expected = reference_search(list(values), value)
+            assert run_stream(factory(table, int(value))) == expected, name
+
+    def test_interleaved_coro_matches_sequential(self):
+        rng = np.random.RandomState(3)
+        values = np.unique(rng.randint(0, 5_000, 300))
+        table = make_table(values)
+        probes = [int(v) for v in rng.randint(-10, 5_010, 120)]
+        seq = run_sequential(
+            ExecutionEngine(HASWELL),
+            lambda v, il: binary_search_coro(table, v, il),
+            probes,
+        )
+        for group in (1, 2, 5, 8, 32, 1000):
+            inter = run_interleaved(
+                ExecutionEngine(HASWELL),
+                lambda v, il: binary_search_coro(table, v, il),
+                probes,
+                group,
+            )
+            assert inter == seq, f"group={group}"
+
+    def test_coro_separate_interleaved_matches(self):
+        values = list(range(0, 1000, 3))
+        table = make_table(values)
+        probes = [0, 3, 4, 500, 998, 999, -1]
+        expected = [reference_search(values, p) for p in probes]
+        got = run_interleaved(
+            ExecutionEngine(HASWELL),
+            lambda v, il: binary_search_coro_interleaved(table, v),
+            probes,
+            4,
+        )
+        assert got == expected
+
+
+class TestEventShape:
+    def test_sequential_coro_never_suspends(self):
+        table = make_table(list(range(64)))
+        events, _ = record_events(binary_search_coro(table, 31, False))
+        assert not any(isinstance(e, (Suspend, Prefetch)) for e in events)
+
+    def test_interleaved_coro_prefixes_each_load(self):
+        table = make_table(list(range(64)))
+        events, _ = record_events(binary_search_coro(table, 31, True))
+        loads = [e for e in events if isinstance(e, Load)]
+        prefetches = [e for e in events if isinstance(e, Prefetch)]
+        suspends = [e for e in events if isinstance(e, Suspend)]
+        assert len(loads) == len(prefetches) == len(suspends) == 6  # log2(64)
+        assert [p.addr for p in prefetches] == [l.addr for l in loads]
+
+    def test_std_yields_speculation_hints(self):
+        table = make_table(list(range(64)))
+        events, _ = record_events(binary_search_std(table, 31))
+        loads = [e for e in events if isinstance(e, Load)]
+        assert all(l.spec_next is not None for l in loads[:-1])
+        assert loads[-1].spec_next is None
+
+    def test_baseline_yields_no_speculation(self):
+        table = make_table(list(range(64)))
+        events, _ = record_events(binary_search_baseline(table, 31))
+        assert all(
+            e.spec_next is None for e in events if isinstance(e, Load)
+        )
+
+    def test_probe_count_is_logarithmic(self):
+        for n in (2, 16, 100, 1024):
+            table = make_table(list(range(n)))
+            events, _ = record_events(binary_search_baseline(table, n // 2))
+            loads = [e for e in events if isinstance(e, Load)]
+            assert len(loads) == int(np.ceil(np.log2(n)))
+
+
+class TestLocate:
+    def test_found_and_absent(self):
+        values = list(range(0, 100, 5))
+        table = make_table(values)
+        assert run_stream(locate_stream(table, 35)) == 7
+        assert run_stream(locate_stream(table, 36)) == INVALID_CODE
+        assert run_stream(locate_stream(table, -1)) == INVALID_CODE
+        assert run_stream(locate_stream(table, 0)) == 0
+        assert run_stream(locate_stream(table, 95)) == 19
+
+
+class TestProperties:
+    @given(
+        values=st.lists(st.integers(-10_000, 10_000), min_size=1, max_size=300),
+        probes=st.lists(st.integers(-11_000, 11_000), min_size=1, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_all_variants_agree_with_oracle(self, values, probes):
+        values = sorted(set(values))
+        table = make_table(values)
+        for probe in probes:
+            expected = reference_search(values, probe)
+            for name, factory in TestVariantEquivalence.VARIANTS:
+                assert run_stream(factory(table, probe)) == expected, name
+
+    @given(
+        values=st.lists(st.integers(0, 5_000), min_size=2, max_size=200),
+        group=st.integers(1, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_interleaving_is_pure_policy(self, values, group):
+        values = sorted(set(values))
+        table = make_table(values)
+        probes = values[::3] + [max(values) + 1]
+        expected = [reference_search(values, p) for p in probes]
+        got = run_interleaved(
+            ExecutionEngine(HASWELL),
+            lambda v, il: binary_search_coro(table, v, il),
+            probes,
+            group,
+        )
+        assert got == expected

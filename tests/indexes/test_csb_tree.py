@@ -1,0 +1,190 @@
+"""Correctness and invariant tests for the materialized CSB+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HASWELL
+from repro.errors import IndexStructureError
+from repro.indexes.base import INVALID_CODE
+from repro.indexes.csb_tree import CSBTree, csb_lookup_stream
+from repro.interleaving import run_interleaved, run_sequential
+from repro.sim import ExecutionEngine, Prefetch, Suspend, record_events
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_tree(keys, values=None, node_size=128):
+    return CSBTree(
+        AddressSpaceAllocator(), "tree", keys, values, node_size=node_size
+    )
+
+
+def run_stream(stream):
+    return ExecutionEngine(HASWELL).run(stream)
+
+
+class TestBulkLoad:
+    def test_single_leaf(self):
+        tree = make_tree([1, 2, 3])
+        assert tree.height == 1
+        tree.check_invariants()
+        assert tree.search(2) == 2
+        assert tree.search(4) == INVALID_CODE
+
+    def test_multi_level(self):
+        keys = list(range(0, 3000, 2))
+        tree = make_tree(keys)
+        assert tree.height >= 2
+        tree.check_invariants()
+        for key in keys[::17]:
+            assert tree.search(key) == key
+        assert tree.search(1) == INVALID_CODE
+
+    def test_values_distinct_from_keys(self):
+        keys = list(range(100))
+        tree = make_tree(keys, [k * 10 for k in keys])
+        assert tree.search(7) == 70
+
+    def test_rejects_unsorted_keys(self):
+        with pytest.raises(IndexStructureError):
+            make_tree([3, 1, 2])
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(IndexStructureError):
+            make_tree([1, 1, 2])
+
+    def test_rejects_mismatched_values(self):
+        with pytest.raises(IndexStructureError):
+            make_tree([1, 2], [1])
+
+    def test_rejects_tiny_node(self):
+        with pytest.raises(IndexStructureError):
+            make_tree([1], node_size=18)
+
+    def test_iter_items_in_order(self):
+        keys = list(range(0, 500, 3))
+        tree = make_tree(keys, [k + 1 for k in keys])
+        assert list(tree.iter_items()) == [(k, k + 1) for k in keys]
+
+
+class TestInsert:
+    def test_insert_and_search(self):
+        tree = make_tree(list(range(0, 100, 2)))
+        tree.insert(31, 31)
+        tree.check_invariants()
+        assert tree.search(31) == 31
+        assert tree.n_entries == 51
+
+    def test_duplicate_insert_rejected(self):
+        tree = make_tree([1, 2, 3])
+        with pytest.raises(IndexStructureError):
+            tree.insert(2, 2)
+
+    def test_many_inserts_with_splits(self):
+        tree = make_tree([0], node_size=64)
+        rng = random.Random(5)
+        keys = rng.sample(range(1, 5000), 1200)
+        for key in keys:
+            tree.insert(key, key * 3)
+        tree.check_invariants()
+        assert tree.height >= 3
+        for key in keys[::37]:
+            assert tree.search(key) == key * 3
+        assert [k for k, _ in tree.iter_items()] == sorted([0] + keys)
+
+    def test_descending_inserts(self):
+        tree = make_tree([10_000], node_size=64)
+        for key in range(500, 0, -1):
+            tree.insert(key, key)
+        tree.check_invariants()
+        for key in range(1, 501, 7):
+            assert tree.search(key) == key
+
+
+class TestNodeGroups:
+    def test_children_are_contiguous(self):
+        tree = make_tree(list(range(0, 2000, 2)))
+        root = tree.root_handle()
+        group = root.child_group
+        addresses = [tree.node_address(child) for child in group.nodes]
+        deltas = {b - a for a, b in zip(addresses, addresses[1:])}
+        assert deltas == {tree.node_size}
+
+    def test_group_moves_on_split(self):
+        tree = make_tree(list(range(0, 400, 4)), node_size=64)
+        root_group_before = tree.root_handle()
+        for key in range(1, 200, 4):
+            tree.insert(key, key)
+        tree.check_invariants()  # back-references stay valid after realloc
+
+
+class TestLookupStream:
+    def test_stream_matches_python_search(self):
+        keys = list(range(0, 4000, 3))
+        tree = make_tree(keys)
+        keyset = set(keys)
+        for probe in range(-3, 4005, 41):
+            expected = probe if probe in keyset else INVALID_CODE
+            assert run_stream(csb_lookup_stream(tree, probe, False)) == expected
+
+    def test_interleaved_suspends_once_per_level_below_root(self):
+        tree = make_tree(list(range(0, 4000, 2)))
+        events, _ = record_events(csb_lookup_stream(tree, 1234, True))
+        suspends = [e for e in events if isinstance(e, Suspend)]
+        assert len(suspends) == tree.height - 1
+
+    def test_node_prefetch_covers_whole_node(self):
+        tree = make_tree(list(range(0, 4000, 2)))
+        events, _ = record_events(csb_lookup_stream(tree, 1234, True))
+        prefetches = [e for e in events if isinstance(e, Prefetch)]
+        assert prefetches and all(p.size == tree.node_size for p in prefetches)
+
+    def test_interleaved_equals_sequential(self):
+        keys = list(range(0, 6000, 3))
+        tree = make_tree(keys)
+        probes = list(range(-5, 6005, 97))
+        seq = run_sequential(
+            ExecutionEngine(HASWELL),
+            lambda v, il: csb_lookup_stream(tree, v, il),
+            probes,
+        )
+        inter = run_interleaved(
+            ExecutionEngine(HASWELL),
+            lambda v, il: csb_lookup_stream(tree, v, il),
+            probes,
+            6,
+        )
+        assert seq == inter
+
+
+class TestProperties:
+    @given(
+        keys=st.sets(st.integers(0, 20_000), min_size=1, max_size=400),
+        node_size=st.sampled_from([48, 64, 128, 256]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_load_then_search_everything(self, keys, node_size):
+        keys = sorted(keys)
+        tree = make_tree(keys, node_size=node_size)
+        tree.check_invariants()
+        for key in keys:
+            assert tree.search(key) == key
+        for absent in (-1, 20_001):
+            assert tree.search(absent) == INVALID_CODE
+
+    @given(
+        initial=st.sets(st.integers(0, 10_000), min_size=1, max_size=100),
+        inserts=st.sets(st.integers(10_001, 20_000), min_size=0, max_size=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inserts_preserve_invariants_and_content(self, initial, inserts):
+        tree = make_tree(sorted(initial), node_size=64)
+        for key in inserts:
+            tree.insert(key, key)
+        tree.check_invariants()
+        expected = sorted(initial | inserts)
+        assert [k for k, _ in tree.iter_items()] == expected
+        for key in expected:
+            assert tree.search(key) == key

@@ -1,0 +1,130 @@
+"""Tests for the bucket-chain hash table and its probe coroutine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HASWELL
+from repro.errors import IndexStructureError
+from repro.indexes.base import INVALID_CODE
+from repro.indexes.hash_table import (
+    NODE_SIZE,
+    ChainedHashTable,
+    hash_probe_stream,
+    mix64,
+)
+from repro.interleaving import run_interleaved, run_sequential
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_table(n_buckets=64):
+    return ChainedHashTable(AddressSpaceAllocator(), "ht", n_buckets)
+
+
+def run_stream(stream):
+    return ExecutionEngine(HASWELL).run(stream)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(42) == mix64(42)
+
+    def test_spreads_consecutive_keys(self):
+        buckets = {mix64(k) % 64 for k in range(64)}
+        assert len(buckets) > 32  # consecutive keys land in many buckets
+
+    def test_stays_in_64_bits(self):
+        assert 0 <= mix64(2**63) < 2**64
+
+
+class TestInsertLookup:
+    def test_basic_roundtrip(self):
+        table = make_table()
+        table.insert(5, 50)
+        assert table.lookup(5) == 50
+        assert table.lookup(6) == INVALID_CODE
+
+    def test_chain_collisions_resolved(self):
+        table = make_table(n_buckets=1)  # everything collides
+        for key in range(50):
+            table.insert(key, key * 2)
+        assert table.chain_length(0) == 50
+        for key in range(50):
+            assert table.lookup(key) == key * 2
+
+    def test_growth_beyond_initial_capacity(self):
+        table = make_table(n_buckets=16)
+        for key in range(3000):
+            table.insert(key, key)
+        assert table.n_entries == 3000
+        assert table.lookup(2999) == 2999
+        assert table.nodes_region.size >= 3000 * NODE_SIZE
+
+    def test_build_bulk(self):
+        table = make_table()
+        table.build(range(100), range(100, 200))
+        assert table.lookup(0) == 100
+        assert table.lookup(99) == 199
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(IndexStructureError):
+            make_table(0)
+
+
+class TestProbeStream:
+    def test_stream_matches_python(self):
+        table = make_table()
+        table.build(range(0, 500, 5), range(100))
+        for probe in (0, 5, 495, 496, -3):
+            assert run_stream(hash_probe_stream(table, probe)) == table.lookup(probe)
+
+    def test_interleaved_equals_sequential(self):
+        table = make_table(n_buckets=32)
+        table.build(range(0, 1000, 3), range(334))
+        probes = list(range(-2, 1002, 13))
+        seq = run_sequential(
+            ExecutionEngine(HASWELL),
+            lambda v, il: hash_probe_stream(table, v, il),
+            probes,
+        )
+        inter = run_interleaved(
+            ExecutionEngine(HASWELL),
+            lambda v, il: hash_probe_stream(table, v, il),
+            probes,
+            8,
+        )
+        assert seq == inter
+
+    def test_probe_of_long_chain_touches_each_node(self):
+        table = make_table(n_buckets=1)
+        for key in range(10):
+            table.insert(key, key)
+        # Probing the deepest key (inserted first -> end of chain) walks
+        # all 10 nodes.
+        from repro.sim import Load, record_events
+
+        events, result = record_events(hash_probe_stream(table, 0, False))
+        node_loads = [
+            e for e in events if isinstance(e, Load) and e.size == NODE_SIZE
+        ]
+        assert result == 0
+        assert len(node_loads) == 10
+
+
+class TestProperties:
+    @given(
+        entries=st.dictionaries(
+            st.integers(0, 10_000), st.integers(0, 10_000), max_size=300
+        ),
+        probes=st.lists(st.integers(-10, 10_010), max_size=20),
+        n_buckets=st.sampled_from([1, 7, 64, 256]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_agrees_with_dict(self, entries, probes, n_buckets):
+        table = make_table(n_buckets)
+        table.build(entries.keys(), entries.values())
+        for probe in list(entries)[:20] + probes:
+            expected = entries.get(probe, INVALID_CODE)
+            assert table.lookup(probe) == expected
+            assert run_stream(hash_probe_stream(table, probe)) == expected

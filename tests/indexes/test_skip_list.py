@@ -1,0 +1,120 @@
+"""Tests for the skip list and its lookup coroutine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HASWELL
+from repro.errors import IndexStructureError
+from repro.indexes.base import INVALID_CODE
+from repro.indexes.skip_list import MAX_LEVEL, SkipList, skip_lookup_stream
+from repro.interleaving import run_interleaved, run_sequential
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_list(entries=None):
+    skiplist = SkipList(AddressSpaceAllocator(), "sl")
+    if entries:
+        skiplist.build(entries.keys(), entries.values())
+    return skiplist
+
+
+def run_stream(stream):
+    return ExecutionEngine(HASWELL).run(stream)
+
+
+class TestStructure:
+    def test_insert_and_lookup(self):
+        skiplist = make_list({5: 50, 1: 10, 9: 90})
+        assert skiplist.lookup(5) == 50
+        assert skiplist.lookup(1) == 10
+        assert skiplist.lookup(9) == 90
+        assert skiplist.lookup(2) == INVALID_CODE
+
+    def test_duplicate_rejected(self):
+        skiplist = make_list({1: 1})
+        with pytest.raises(IndexStructureError):
+            skiplist.insert(1, 2)
+
+    def test_level0_is_sorted(self):
+        rng = np.random.RandomState(0)
+        keys = rng.permutation(500)
+        skiplist = make_list(dict((int(k), int(k) * 2) for k in keys))
+        ordered = list(skiplist.iter_level0())
+        assert ordered == [(k, k * 2) for k in range(500)]
+
+    def test_invariants_after_growth(self):
+        skiplist = SkipList(AddressSpaceAllocator(), "sl", capacity_hint=16)
+        for key in range(300):
+            skiplist.insert(key * 7 % 2100, key)
+        skiplist.check_invariants()
+        assert skiplist.n_entries == 300
+
+    def test_heights_deterministic_and_bounded(self):
+        a = make_list({k: k for k in range(100)})
+        b = make_list({k: k for k in range(100)})
+        assert np.array_equal(a._heights[:100], b._heights[:100])
+        assert a.level <= MAX_LEVEL
+        assert a.level > 1  # some tower rose above the base level
+
+
+class TestLookupStream:
+    def test_stream_matches_oracle(self):
+        rng = np.random.RandomState(1)
+        keys = [int(k) for k in rng.choice(10_000, 600, replace=False)]
+        skiplist = make_list({k: k * 3 for k in keys})
+        for probe in keys[::29] + [-1, 10_001, 5]:
+            assert run_stream(skip_lookup_stream(skiplist, probe)) == (
+                skiplist.lookup(probe)
+            )
+
+    def test_interleaved_equals_sequential(self):
+        rng = np.random.RandomState(2)
+        keys = [int(k) for k in rng.choice(5_000, 400, replace=False)]
+        skiplist = make_list({k: k for k in keys})
+        probes = [int(p) for p in rng.randint(-5, 5_005, 150)]
+        factory = lambda key, il: skip_lookup_stream(skiplist, key, il)
+        seq = run_sequential(ExecutionEngine(HASWELL), factory, probes)
+        inter = run_interleaved(ExecutionEngine(HASWELL), factory, probes, 6)
+        assert seq == inter
+
+    def test_interleaving_pays_off_on_large_lists(self):
+        from repro.sim.memory import MemorySystem
+
+        rng = np.random.RandomState(3)
+        keys = np.unique(rng.randint(0, 10**8, 130_000))[:60_000]
+        rng.shuffle(keys)
+        keys = [int(k) for k in keys]
+        skiplist = SkipList(AddressSpaceAllocator(), "sl", capacity_hint=60_000)
+        skiplist.build(keys, keys)
+        probes = [int(k) for k in rng.choice(keys, 250)]
+        warm = [int(k) for k in rng.choice(keys, 250)]
+        factory = lambda key, il: skip_lookup_stream(skiplist, key, il)
+
+        def measure(runner):
+            memory = MemorySystem(HASWELL)
+            runner(ExecutionEngine(HASWELL, memory), warm)
+            engine = ExecutionEngine(HASWELL, memory)
+            runner(engine, probes)
+            return engine.clock
+
+        seq = measure(lambda e, ps: run_sequential(e, factory, ps))
+        inter = measure(lambda e, ps: run_interleaved(e, factory, ps, 8))
+        assert inter < 0.75 * seq
+
+    @given(
+        entries=st.dictionaries(
+            st.integers(0, 5_000), st.integers(0, 5_000), min_size=1, max_size=200
+        ),
+        probes=st.lists(st.integers(-5, 5_005), max_size=15),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_dict(self, entries, probes):
+        skiplist = make_list(entries)
+        skiplist.check_invariants()
+        for probe in list(entries)[:15] + probes:
+            expected = entries.get(probe, INVALID_CODE)
+            assert skiplist.lookup(probe) == expected
+            assert run_stream(skip_lookup_stream(skiplist, probe)) == expected

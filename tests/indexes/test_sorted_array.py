@@ -1,0 +1,108 @@
+"""Unit tests for materialized and implicit sorted arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexStructureError
+from repro.indexes.sorted_array import (
+    ImplicitSortedArray,
+    SortedIntArray,
+    SortedStringArray,
+    int_array_of_bytes,
+    string_array_of_bytes,
+)
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.workloads.strings import index_to_key
+
+
+@pytest.fixture
+def alloc():
+    return AddressSpaceAllocator()
+
+
+class TestSortedIntArray:
+    def test_values_and_addresses(self, alloc):
+        arr = SortedIntArray.from_values(alloc, "a", [1, 5, 9], element_size=4)
+        assert arr.size == 3
+        assert arr.value_at(1) == 5
+        assert arr[2] == 9
+        assert arr.address_of(1) == arr.region.base + 4
+        assert arr.nbytes == 12
+
+    def test_rejects_unsorted(self, alloc):
+        with pytest.raises(IndexStructureError):
+            SortedIntArray.from_values(alloc, "a", [3, 1, 2])
+
+    def test_allows_duplicates(self, alloc):
+        arr = SortedIntArray.from_values(alloc, "a", [1, 1, 2])
+        assert arr.value_at(0) == arr.value_at(1) == 1
+
+    def test_rejects_empty(self, alloc):
+        with pytest.raises(IndexStructureError):
+            SortedIntArray.from_values(alloc, "a", np.array([], dtype=np.int64))
+
+    def test_out_of_range_access(self, alloc):
+        arr = SortedIntArray.from_values(alloc, "a", [1, 2])
+        with pytest.raises(IndexStructureError):
+            arr.value_at(2)
+        with pytest.raises(IndexStructureError):
+            arr.address_of(-1)
+
+    def test_int_compare_has_no_surcharge(self, alloc):
+        arr = SortedIntArray.from_values(alloc, "a", [1])
+        assert arr.compare_extra == (0, 0)
+
+
+class TestSortedStringArray:
+    def test_values_sorted_bytes(self, alloc):
+        values = [b"aaa", b"bbb", b"ccc"]
+        arr = SortedStringArray.from_values(alloc, "s", values)
+        assert arr.value_at(0).startswith(b"aaa")
+        assert arr.element_size == 16
+
+    def test_rejects_unsorted_strings(self, alloc):
+        with pytest.raises(IndexStructureError):
+            SortedStringArray.from_values(alloc, "s", [b"b", b"a"])
+
+    def test_string_compare_surcharge(self, alloc):
+        arr = SortedStringArray.from_values(alloc, "s", [b"a"])
+        assert arr.compare_extra[0] > 0
+
+
+class TestImplicitArrays:
+    def test_identity_values(self, alloc):
+        arr = int_array_of_bytes(alloc, "i", 1024, element_size=4)
+        assert arr.size == 256
+        assert arr.value_at(0) == 0
+        assert arr.value_at(255) == 255
+
+    def test_string_variant_matches_codec(self, alloc):
+        arr = string_array_of_bytes(alloc, "s", 1024)
+        assert arr.size == 64
+        assert arr.value_at(5) == index_to_key(5)
+        assert arr.compare_extra[0] > 0
+
+    def test_custom_value_fn(self, alloc):
+        region = alloc.allocate("c", 1024)
+        arr = ImplicitSortedArray(region, 10, 4, value_fn=lambda i: i * 7)
+        assert arr.value_at(3) == 21
+
+    def test_too_small_rejected(self, alloc):
+        with pytest.raises(IndexStructureError):
+            int_array_of_bytes(alloc, "z", 2, element_size=4)
+
+    def test_addresses_match_materialized_layout(self, alloc):
+        implicit = int_array_of_bytes(alloc, "imp", 64, element_size=4)
+        materialized = SortedIntArray.from_values(
+            alloc, "mat", list(range(16)), element_size=4
+        )
+        implicit_offsets = [implicit.address_of(i) - implicit.region.base for i in range(16)]
+        materialized_offsets = [
+            materialized.address_of(i) - materialized.region.base for i in range(16)
+        ]
+        assert implicit_offsets == materialized_offsets
+
+    def test_region_too_small_for_size(self, alloc):
+        region = alloc.allocate("r", 16)
+        with pytest.raises(IndexStructureError):
+            ImplicitSortedArray(region, 100, 4)

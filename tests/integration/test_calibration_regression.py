@@ -1,0 +1,79 @@
+"""Calibration regression: pin the reproduced ratios of the paper.
+
+These tests freeze the headline quantitative relationships so that any
+future change to the cost model or simulator that silently breaks the
+reproduction fails loudly. Tolerances are generous — the claim is the
+band, not the digit.
+"""
+
+import pytest
+
+from repro.analysis import DEFAULT_GROUP_SIZES, measure_binary_search
+
+N = 250  # lookups per point: enough for stable ratios, fast enough for CI
+
+
+def cycles(size_mb, technique, **kw):
+    return measure_binary_search(
+        size_mb << 20, technique, n_lookups=N, **kw
+    ).cycles_per_search
+
+
+class TestStdVsBaseline:
+    def test_std_slower_in_cache(self):
+        """Paper: bad speculation penalizes std while data is cached."""
+        ratio = cycles(1, "std") / cycles(1, "Baseline")
+        assert 1.0 < ratio < 1.35
+
+    def test_crossover_beyond_llc(self):
+        """Paper: 'std runs faster than Baseline for arrays larger than
+        16 MB' — speculation beats waiting for DRAM."""
+        assert cycles(64, "std") / cycles(64, "Baseline") < 0.95
+        assert cycles(256, "std") / cycles(256, "Baseline") < 0.95
+
+
+class TestInterleavingSpeedups:
+    """Beyond-LLC speedups over Baseline (paper: GP 2.7-3.7x,
+    CORO 2.0-2.4x, AMAC 1.8-2.3x for ints)."""
+
+    @pytest.fixture(scope="class")
+    def at_256mb(self):
+        return {
+            technique: cycles(256, technique)
+            for technique in ("Baseline", "GP", "AMAC", "CORO")
+        }
+
+    def test_gp_speedup_band(self, at_256mb):
+        assert 2.0 < at_256mb["Baseline"] / at_256mb["GP"] < 4.0
+
+    def test_coro_speedup_band(self, at_256mb):
+        assert 1.7 < at_256mb["Baseline"] / at_256mb["CORO"] < 2.8
+
+    def test_amac_close_behind_coro(self, at_256mb):
+        assert at_256mb["CORO"] <= at_256mb["AMAC"] < 1.1 * at_256mb["CORO"]
+
+    def test_ordering(self, at_256mb):
+        assert at_256mb["GP"] < at_256mb["CORO"] <= at_256mb["AMAC"]
+        assert at_256mb["AMAC"] < at_256mb["Baseline"]
+
+
+class TestLlcBoundary:
+    def test_sequential_breaks_at_llc(self):
+        """The 16->32 MB step crosses the 25 MB LLC: Baseline jumps."""
+        assert cycles(32, "Baseline") > 2 * cycles(16, "Baseline")
+
+    def test_interleaved_barely_moves_at_llc(self):
+        assert cycles(32, "CORO") < 1.25 * cycles(16, "CORO")
+
+
+class TestGroupSizeEconomics:
+    def test_group_one_is_pure_overhead(self):
+        baseline = cycles(256, "Baseline")
+        for technique in ("GP", "AMAC", "CORO"):
+            assert cycles(256, technique, group_size=1) > baseline, technique
+
+    def test_default_groups_beat_group_two(self):
+        for technique in ("GP", "AMAC", "CORO"):
+            default = cycles(256, technique)
+            narrow = cycles(256, technique, group_size=2)
+            assert default < narrow, technique

@@ -1,0 +1,132 @@
+"""Property-based invariants of the simulator under random event streams."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HASWELL, scaled
+from repro.sim import (
+    SUSPEND,
+    Compute,
+    ExecutionEngine,
+    FrameAlloc,
+    Load,
+    MemorySystem,
+    Prefetch,
+)
+from repro.interleaving import run_interleaved, run_sequential
+
+# Random event generators -------------------------------------------------
+
+_addr = st.integers(min_value=1 << 21, max_value=1 << 30)
+
+_event = st.one_of(
+    st.builds(Compute, st.integers(0, 50), st.integers(0, 100)),
+    st.builds(Load, _addr, st.sampled_from([1, 4, 8, 16, 64])),
+    st.builds(Prefetch, _addr, st.sampled_from([4, 8, 64, 256]),
+              st.booleans()),
+    st.just(FrameAlloc()),
+)
+
+
+def make_stream(events, result):
+    def stream():
+        for event in events:
+            yield event
+        return result
+
+    return stream()
+
+
+class TestEngineInvariants:
+    @given(events=st.lists(_event, max_size=60), result=st.integers())
+    @settings(max_examples=60, deadline=None)
+    def test_clock_monotone_and_tmam_consistent(self, events, result):
+        engine = ExecutionEngine(HASWELL)
+        previous = 0
+        stream = make_stream(events, result)
+        returned = engine.run(stream)
+        assert returned == result
+        assert engine.clock >= previous
+        engine.tmam.check_consistency()
+        # Slots never negative.
+        assert all(v >= 0 for v in engine.tmam.slots.values())
+
+    @given(events=st.lists(_event, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_lfb_occupancy_bounded(self, events):
+        memory = MemorySystem(HASWELL)
+        engine = ExecutionEngine(HASWELL, memory)
+        engine.run(make_stream(events, None))
+        assert memory.lfbs.peak_occupancy <= HASWELL.n_line_fill_buffers
+
+    @given(events=st.lists(_event, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_load_classification_totals(self, events):
+        memory = MemorySystem(HASWELL)
+        engine = ExecutionEngine(HASWELL, memory)
+        engine.run(make_stream(events, None))
+        n_loads = sum(
+            len(range(e.addr // 64, (e.addr + e.size - 1) // 64 + 1))
+            for e in events
+            if isinstance(e, Load)
+        )
+        assert memory.stats.loads == n_loads
+
+    @given(
+        events=st.lists(_event, max_size=30),
+        factor=st.sampled_from([1, 4, 64]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scaled_arch_runs_same_streams(self, events, factor):
+        arch = HASWELL if factor == 1 else scaled(factor)
+        engine = ExecutionEngine(arch)
+        engine.run(make_stream(events, "ok"))
+        engine.tmam.check_consistency()
+
+
+class TestSchedulingInvariants:
+    @given(
+        plan=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 1000)),
+            min_size=1,
+            max_size=25,
+        ),
+        group=st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interleaved_equals_sequential_for_random_streams(self, plan, group):
+        """Any mix of suspension counts and results is policy-invariant."""
+
+        def factory(job, interleave):
+            suspensions, payload = job
+
+            def stream():
+                for i in range(suspensions if interleave else 0):
+                    yield Compute(1, 2)
+                    yield Prefetch((1 << 22) + payload * 64 + i * 64, 8)
+                    yield SUSPEND
+                yield Compute(1, 1)
+                return payload * 3
+
+            return stream()
+
+        seq = run_sequential(ExecutionEngine(HASWELL), factory, plan)
+        inter = run_interleaved(ExecutionEngine(HASWELL), factory, plan, group)
+        assert seq == inter == [payload * 3 for _, payload in plan]
+
+    @given(group=st.integers(1, 16), n=st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_every_input_produces_exactly_one_result(self, group, n):
+        def factory(value, interleave):
+            def stream():
+                yield Compute(1, 1)
+                if interleave:
+                    yield SUSPEND
+                return value
+
+            return stream()
+
+        inputs = list(range(n))
+        results = run_interleaved(ExecutionEngine(HASWELL), factory, inputs, group)
+        assert results == inputs

@@ -1,0 +1,179 @@
+"""Tests for the extra AMAC state machines (hash probe, tree lookup)
+and the hash build-phase stream with Store events."""
+
+import numpy as np
+import pytest
+
+from repro.config import HASWELL
+from repro.indexes.base import INVALID_CODE
+from repro.indexes.csb_tree import CSBTree, csb_lookup_stream
+from repro.indexes.csb_tree_synthetic import ImplicitCSBTree
+from repro.indexes.hash_table import (
+    ChainedHashTable,
+    hash_insert_stream,
+    hash_probe_stream,
+)
+from repro.interleaving import run_interleaved, run_sequential
+from repro.interleaving.amac import (
+    amac_csb_lookup_bulk,
+    amac_hash_probe_bulk,
+)
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_engine():
+    return ExecutionEngine(HASWELL)
+
+
+class TestAmacHashProbe:
+    def test_matches_oracle(self):
+        table = ChainedHashTable(AddressSpaceAllocator(), "ht", 128)
+        table.build(range(0, 2000, 3), range(667))
+        probes = list(range(-1, 2005, 17))
+        expected = [table.lookup(p) for p in probes]
+        assert amac_hash_probe_bulk(make_engine(), table, probes, 8) == expected
+
+    def test_long_chains(self):
+        table = ChainedHashTable(AddressSpaceAllocator(), "ht", 1)
+        table.build(range(30), range(30))
+        probes = [0, 29, 15, 99]
+        expected = [table.lookup(p) for p in probes]
+        assert amac_hash_probe_bulk(make_engine(), table, probes, 3) == expected
+
+    def test_agrees_with_coroutine_probe(self):
+        table = ChainedHashTable(AddressSpaceAllocator(), "ht", 64)
+        table.build(range(0, 500, 2), range(250))
+        probes = list(range(0, 510, 7))
+        coro = run_interleaved(
+            make_engine(),
+            lambda k, il: hash_probe_stream(table, k, il),
+            probes,
+            6,
+        )
+        amac = amac_hash_probe_bulk(make_engine(), table, probes, 6)
+        assert coro == amac
+
+
+class TestAmacCsbLookup:
+    def test_materialized_tree(self):
+        keys = list(range(0, 5000, 3))
+        tree = CSBTree(AddressSpaceAllocator(), "t", keys, node_size=128)
+        probes = list(range(-2, 5005, 41))
+        expected = [tree.search(p) for p in probes]
+        assert amac_csb_lookup_bulk(make_engine(), tree, probes, 6) == expected
+
+    def test_implicit_tree(self):
+        tree = ImplicitCSBTree(AddressSpaceAllocator(), "it", 20_000, node_size=128)
+        probes = [-1, 0, 100, 19_999, 20_000, 7_777]
+        expected = [tree.search(p) for p in probes]
+        assert amac_csb_lookup_bulk(make_engine(), tree, probes, 4) == expected
+
+    def test_agrees_with_coroutine_traversal(self):
+        tree = ImplicitCSBTree(AddressSpaceAllocator(), "it", 30_000, node_size=128)
+        probes = np.random.RandomState(0).randint(-10, 30_010, 120).tolist()
+        coro = run_interleaved(
+            make_engine(),
+            lambda v, il: csb_lookup_stream(tree, v, il),
+            probes,
+            6,
+        )
+        amac = amac_csb_lookup_bulk(make_engine(), tree, probes, 6)
+        assert coro == amac
+
+
+class TestHashBuildStream:
+    def test_sequential_build_matches_structural(self):
+        alloc = AddressSpaceAllocator()
+        simulated = ChainedHashTable(alloc, "sim", 64)
+        engine = make_engine()
+        run_sequential(
+            engine,
+            lambda kv, il: hash_insert_stream(simulated, kv[0], kv[1], il),
+            [(k, k * 2) for k in range(100)],
+        )
+        structural = ChainedHashTable(AddressSpaceAllocator(), "ref", 64)
+        structural.build(range(100), [k * 2 for k in range(100)])
+        for key in range(100):
+            assert simulated.lookup(key) == structural.lookup(key)
+        assert engine.clock > 0
+        assert engine.memory.stats.loads > 0
+
+    def test_interleaved_build_produces_valid_table(self):
+        """Interleaving may reorder chain prepends between concurrent
+        inserts; the table stays correct (every key findable)."""
+        alloc = AddressSpaceAllocator()
+        table = ChainedHashTable(alloc, "sim", 32)
+        keys = list(range(200))
+        run_interleaved(
+            make_engine(),
+            lambda kv, il: hash_insert_stream(table, kv[0], kv[1], il),
+            [(k, k + 7) for k in keys],
+            8,
+        )
+        assert table.n_entries == 200
+        for key in keys:
+            assert table.lookup(key) == key + 7
+
+    def test_build_interleaving_reduces_cycles_on_big_directory(self):
+        from repro.sim.memory import MemorySystem
+
+        def build(interleave):
+            alloc = AddressSpaceAllocator()
+            table = ChainedHashTable(alloc, "sim", 4_000_000)
+            rng = np.random.RandomState(0)
+            keys = [int(k) for k in rng.randint(0, 10**9, 600)]
+            engine = ExecutionEngine(HASWELL, MemorySystem(HASWELL))
+            pairs = [(k, k) for k in keys]
+            if interleave:
+                run_interleaved(
+                    engine,
+                    lambda kv, il: hash_insert_stream(table, kv[0], kv[1], il),
+                    pairs,
+                    8,
+                )
+            else:
+                run_sequential(
+                    engine,
+                    lambda kv, il: hash_insert_stream(table, kv[0], kv[1], il),
+                    pairs,
+                )
+            return engine.clock
+
+        assert build(True) < 0.7 * build(False)
+
+
+class TestStoreEvent:
+    def test_store_fetches_missing_line(self):
+        from repro.sim.events import Store
+
+        engine = make_engine()
+
+        def stream():
+            yield Store(1 << 22, 8)
+            return None
+
+        engine.run(stream())
+        # RFO fetched the line (not recorded as a demand load).
+        assert engine.memory.stats.loads == 0
+        assert engine.memory.l1.contains((1 << 22) // 64) or engine.memory.lfbs.find(
+            (1 << 22) // 64
+        )
+
+    def test_store_stall_less_than_load_stall(self):
+        from repro.sim.events import Load, Store
+
+        def run(event):
+            engine = make_engine()
+            engine.memory.translate(1 << 22, 0)
+
+            def stream():
+                yield event
+                return None
+
+            engine.run(stream())
+            return engine.tmam.memory_stall_cycles
+
+        store_stall = run(Store(1 << 22, 8))
+        load_stall = run(Load(1 << 22, 8))
+        assert store_stall < load_stall

@@ -1,0 +1,76 @@
+"""Tests for the conditional-suspension coroutine (Section 6 ablation)."""
+
+import numpy as np
+
+from repro.config import HASWELL
+from repro.indexes.binary_search import (
+    binary_search_coro,
+    binary_search_coro_conditional,
+    reference_search,
+)
+from repro.indexes.sorted_array import SortedIntArray, int_array_of_bytes
+from repro.interleaving import run_interleaved
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.memory import MemorySystem
+
+
+def make_table(values):
+    return SortedIntArray.from_values(AddressSpaceAllocator(), "t", values)
+
+
+class TestConditionalCoroutine:
+    def test_results_match_unconditional(self):
+        values = sorted(set(np.random.RandomState(0).randint(0, 5000, 400)))
+        table = make_table(values)
+        probes = [int(p) for p in np.random.RandomState(1).randint(-5, 5005, 80)]
+        expected = [reference_search(values, p) for p in probes]
+        got = run_interleaved(
+            ExecutionEngine(HASWELL),
+            lambda v, il: binary_search_coro_conditional(table, v, il),
+            probes,
+            6,
+        )
+        assert got == expected
+
+    def test_skips_suspensions_for_cached_lines(self):
+        """When the whole array is L1-resident, no suspension is taken,
+        so no coroutine switch cost is charged beyond the first resume."""
+        table = make_table(list(range(256)))  # 1 KB: a few lines
+        probes = [10, 20, 30, 40]
+
+        def run(factory):
+            memory = MemorySystem(HASWELL)
+            lines = range(
+                table.region.base // 64, (table.region.base + table.nbytes) // 64 + 1
+            )
+            for line in lines:
+                memory.l1.install(line)
+                memory.l2.install(line)
+                memory.l3.install(line)
+            engine = ExecutionEngine(HASWELL, memory)
+            engine.memory.translate(table.region.base, 0)
+            run_interleaved(engine, factory, probes, 4)
+            return engine.clock
+
+        plain = run(lambda v, il: binary_search_coro(table, v, il))
+        conditional = run(
+            lambda v, il: binary_search_coro_conditional(table, v, il)
+        )
+        assert conditional < plain
+
+    def test_still_suspends_on_misses(self):
+        alloc = AddressSpaceAllocator()
+        table = int_array_of_bytes(alloc, "big", 64 << 20)
+        probes = np.random.RandomState(0).randint(0, table.size, 60).tolist()
+        engine = ExecutionEngine(HASWELL)
+        results = run_interleaved(
+            engine,
+            lambda v, il: binary_search_coro_conditional(table, v, il),
+            probes,
+            6,
+        )
+        assert results == probes
+        # Deep probes miss -> fills were started and interleaved over.
+        assert engine.memory.stats.prefetches > 0
+        assert engine.memory.stats.loads_by_level["DRAM"] < len(probes)

@@ -1,0 +1,160 @@
+"""Tests for group prefetching and AMAC bulk binary search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HASWELL
+from repro.errors import SchedulerError
+from repro.indexes.binary_search import reference_search
+from repro.indexes.sorted_array import SortedIntArray, int_array_of_bytes
+from repro.interleaving import (
+    amac_binary_search_bulk,
+    gp_binary_search_bulk,
+)
+from repro.interleaving.amac import BinarySearchMachine, StepOutcome
+from repro.sim import ExecutionEngine, StreamContext
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_table(values):
+    return SortedIntArray.from_values(AddressSpaceAllocator(), "t", values)
+
+
+def make_engine():
+    return ExecutionEngine(HASWELL)
+
+
+class TestGp:
+    def test_matches_reference(self):
+        values = sorted(set(np.random.RandomState(0).randint(0, 9999, 700)))
+        table = make_table(values)
+        probes = [int(p) for p in np.random.RandomState(1).randint(-5, 10_005, 97)]
+        expected = [reference_search(values, p) for p in probes]
+        assert gp_binary_search_bulk(make_engine(), table, probes, 10) == expected
+
+    def test_partial_last_group(self):
+        table = make_table(list(range(100)))
+        probes = list(range(25))  # not a multiple of the group size
+        got = gp_binary_search_bulk(make_engine(), table, probes, 10)
+        assert got == probes
+
+    def test_group_of_one(self):
+        table = make_table(list(range(64)))
+        assert gp_binary_search_bulk(make_engine(), table, [10, 20], 1) == [10, 20]
+
+    def test_invalid_group_size(self):
+        table = make_table([1])
+        with pytest.raises(SchedulerError):
+            gp_binary_search_bulk(make_engine(), table, [1], 0)
+
+    def test_empty_probe_list(self):
+        table = make_table([1, 2])
+        assert gp_binary_search_bulk(make_engine(), table, [], 4) == []
+
+    def test_gp_prefetches_one_line_per_stream_per_iter(self):
+        table = make_table(list(range(1 << 12)))
+        engine = make_engine()
+        gp_binary_search_bulk(engine, table, list(range(10)), 10)
+        # 12 iterations x 10 streams prefetches.
+        assert engine.memory.stats.prefetches == 120
+
+
+class TestAmac:
+    def test_matches_reference(self):
+        values = sorted(set(np.random.RandomState(2).randint(0, 9999, 700)))
+        table = make_table(values)
+        probes = [int(p) for p in np.random.RandomState(3).randint(-5, 10_005, 97)]
+        expected = [reference_search(values, p) for p in probes]
+        assert amac_binary_search_bulk(make_engine(), table, probes, 6) == expected
+
+    def test_results_in_input_order_with_refills(self):
+        table = make_table(list(range(512)))
+        probes = list(range(0, 512, 7))
+        assert amac_binary_search_bulk(make_engine(), table, probes, 4) == probes
+
+    def test_group_of_one(self):
+        table = make_table(list(range(64)))
+        assert amac_binary_search_bulk(make_engine(), table, [7], 1) == [7]
+
+    def test_invalid_group_size(self):
+        table = make_table([1])
+        with pytest.raises(SchedulerError):
+            amac_binary_search_bulk(make_engine(), table, [1], -1)
+
+    def test_empty_probe_list(self):
+        table = make_table([1, 2])
+        assert amac_binary_search_bulk(make_engine(), table, [], 4) == []
+
+    def test_machine_switches_after_each_prefetch(self):
+        table = make_table(list(range(256)))
+        machine = BinarySearchMachine(table)
+        machine.start(100)
+        engine = make_engine()
+        ctx = StreamContext()
+        outcomes = []
+        while True:
+            outcome = machine.step(engine, ctx)
+            outcomes.append(outcome)
+            if outcome is StepOutcome.DONE:
+                break
+        # 8 iterations: 8 SWITCH (prefetch), interleaved with CONTINUE
+        # (access), then DONE.
+        assert outcomes.count(StepOutcome.SWITCH) == 8
+        assert outcomes[-1] is StepOutcome.DONE
+        assert machine.result == 100
+
+
+class TestCrossTechniqueEquivalence:
+    @given(
+        values=st.sets(st.integers(0, 30_000), min_size=2, max_size=400),
+        gp_group=st.integers(1, 12),
+        amac_group=st.integers(1, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gp_amac_agree(self, values, gp_group, amac_group):
+        values = sorted(values)
+        table = make_table(values)
+        probes = values[::5] + [min(values) - 1, max(values) + 1]
+        expected = [reference_search(values, p) for p in probes]
+        assert gp_binary_search_bulk(make_engine(), table, probes, gp_group) == expected
+        assert (
+            amac_binary_search_bulk(make_engine(), table, probes, amac_group)
+            == expected
+        )
+
+    def test_performance_ordering_beyond_llc(self):
+        """GP < CORO <= AMAC < Baseline for a 64 MB array (Figure 3a)."""
+        from repro.indexes.binary_search import (
+            binary_search_baseline,
+            binary_search_coro,
+        )
+        from repro.interleaving import run_interleaved, run_sequential
+        from repro.sim.memory import MemorySystem
+
+        alloc = AddressSpaceAllocator()
+        table = int_array_of_bytes(alloc, "big", 64 << 20)
+        probes = np.random.RandomState(0).randint(0, table.size, 150).tolist()
+        warm = np.random.RandomState(9).randint(0, table.size, 150).tolist()
+
+        def measure(fn):
+            mem = MemorySystem(HASWELL)
+            fn(ExecutionEngine(HASWELL, mem), warm)
+            engine = ExecutionEngine(HASWELL, mem)
+            fn(engine, probes)
+            return engine.clock
+
+        baseline = measure(
+            lambda e, vs: run_sequential(
+                e, lambda v, il: binary_search_baseline(table, v), vs
+            )
+        )
+        gp = measure(lambda e, vs: gp_binary_search_bulk(e, table, vs, 10))
+        amac = measure(lambda e, vs: amac_binary_search_bulk(e, table, vs, 6))
+        coro = measure(
+            lambda e, vs: run_interleaved(
+                e, lambda v, il: binary_search_coro(table, v, il), vs, 6
+            )
+        )
+        assert gp < coro <= amac < baseline

@@ -1,0 +1,97 @@
+"""Tests for coroutine handles and frame recycling."""
+
+import pytest
+
+from repro.config import HASWELL
+from repro.errors import CoroutineStateError
+from repro.interleaving.handle import CoroutineHandle, FramePool
+from repro.sim import SUSPEND, Compute, ExecutionEngine
+
+
+def make_engine():
+    return ExecutionEngine(HASWELL)
+
+
+def two_step_stream(result="done"):
+    yield Compute(1, 1)
+    yield SUSPEND
+    yield Compute(1, 1)
+    return result
+
+
+class TestHandleLifecycle:
+    def test_resume_until_done(self):
+        engine = make_engine()
+        handle = CoroutineHandle(engine, two_step_stream(), charge_allocation=False)
+        assert not handle.is_done()
+        handle.resume()  # runs to the suspension
+        assert not handle.is_done()
+        handle.resume()  # runs to completion
+        assert handle.is_done()
+        assert handle.get_result() == "done"
+
+    def test_get_result_before_completion_raises(self):
+        handle = CoroutineHandle(
+            make_engine(), two_step_stream(), charge_allocation=False
+        )
+        with pytest.raises(CoroutineStateError):
+            handle.get_result()
+
+    def test_resume_after_completion_raises(self):
+        handle = CoroutineHandle(
+            make_engine(), two_step_stream(), charge_allocation=False
+        )
+        handle.run_to_completion()
+        with pytest.raises(CoroutineStateError):
+            handle.resume()
+
+    def test_run_to_completion_returns_result(self):
+        handle = CoroutineHandle(
+            make_engine(), two_step_stream("x"), charge_allocation=False
+        )
+        assert handle.run_to_completion() == "x"
+
+    def test_none_is_a_valid_result(self):
+        def stream():
+            yield Compute(1, 1)
+            return None
+
+        handle = CoroutineHandle(make_engine(), stream(), charge_allocation=False)
+        handle.resume()
+        assert handle.is_done()
+        assert handle.get_result() is None
+
+
+class TestAllocationCharging:
+    COST = HASWELL.cost
+
+    def test_allocation_charged_without_pool(self):
+        engine = make_engine()
+        CoroutineHandle(engine, two_step_stream())
+        assert engine.clock == self.COST.frame_alloc_cycles
+
+    def test_no_charge_when_disabled(self):
+        engine = make_engine()
+        CoroutineHandle(engine, two_step_stream(), charge_allocation=False)
+        assert engine.clock == 0
+
+    def test_pool_recycles_after_completion(self):
+        engine = make_engine()
+        pool = FramePool()
+        first = CoroutineHandle(engine, two_step_stream(), frame_pool=pool)
+        after_first_alloc = engine.clock
+        assert after_first_alloc == self.COST.frame_alloc_cycles
+        first.run_to_completion()
+        assert pool.free_frames == 1
+        clock = engine.clock
+        CoroutineHandle(engine, two_step_stream(), frame_pool=pool)
+        assert engine.clock == clock  # recycled: no allocation charge
+        assert pool.recycles == 1
+
+    def test_pool_counts_allocations(self):
+        engine = make_engine()
+        pool = FramePool()
+        CoroutineHandle(engine, two_step_stream(), frame_pool=pool)
+        CoroutineHandle(engine, two_step_stream(), frame_pool=pool)
+        assert pool.allocations == 2
+        assert pool.free_frames == 0

@@ -1,0 +1,132 @@
+"""Tests for the interleaving model (Inequality 1) and policies."""
+
+import pytest
+
+from repro.config import HASWELL
+from repro.errors import ConfigurationError
+from repro.indexes.sorted_array import int_array_of_bytes
+from repro.interleaving.model import (
+    InterleavingParams,
+    estimate_group_size,
+    optimal_group_size,
+    params_from_profiles,
+    residual_stall,
+)
+from repro.interleaving.policies import choose_policy, default_group_size
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.tmam import TmamStats
+
+
+class TestInequalityOne:
+    def test_paper_calibration_gp(self):
+        """With the paper's parameters, GP needs ~12 streams (Section 5.4.5)."""
+        params = InterleavingParams(t_compute=11, t_stall=170, t_switch=5)
+        assert optimal_group_size(params) in (11, 12, 13)
+
+    def test_paper_calibration_coro(self):
+        """AMAC/CORO estimates land at ~6 (Section 5.4.5)."""
+        params = InterleavingParams(t_compute=11, t_stall=170, t_switch=22)
+        assert optimal_group_size(params) in (6, 7)
+
+    def test_no_stall_means_group_of_one(self):
+        params = InterleavingParams(t_compute=10, t_stall=0, t_switch=5)
+        assert optimal_group_size(params) == 1
+
+    def test_switch_larger_than_stall(self):
+        params = InterleavingParams(t_compute=10, t_stall=5, t_switch=20)
+        assert params.t_target == 0
+        assert optimal_group_size(params) == 1
+
+    def test_zero_denominator(self):
+        params = InterleavingParams(t_compute=0, t_stall=100, t_switch=0)
+        assert optimal_group_size(params) == 1
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterleavingParams(-1, 0, 0)
+
+
+class TestResidualStall:
+    def test_vanishes_at_optimal_group(self):
+        params = InterleavingParams(t_compute=11, t_stall=170, t_switch=22)
+        optimal = optimal_group_size(params)
+        assert residual_stall(params, optimal) == 0
+        assert residual_stall(params, optimal - 2) > 0
+
+    def test_monotone_decreasing(self):
+        params = InterleavingParams(t_compute=10, t_stall=170, t_switch=20)
+        stalls = [residual_stall(params, g) for g in range(1, 10)]
+        assert stalls == sorted(stalls, reverse=True)
+
+    def test_invalid_group(self):
+        params = InterleavingParams(10, 100, 10)
+        with pytest.raises(ConfigurationError):
+            residual_stall(params, 0)
+
+
+class TestParamExtraction:
+    def make_profile(self, cycles, stall_cycles, instructions=100):
+        stats = TmamStats()
+        stats.charge_compute(cycles - stall_cycles, instructions)
+        stats.charge_memory_stall(stall_cycles)
+        return stats
+
+    def test_extraction_matches_construction(self):
+        # 10 switch points: 10 compute + 170 stall each for Baseline;
+        # the technique at G=1 adds 20 busy cycles per switch point.
+        baseline = self.make_profile(1800, 1700)
+        technique = self.make_profile(2000, 1700)
+        params = params_from_profiles(baseline, technique, 10)
+        assert params.t_stall == pytest.approx(170)
+        assert params.t_compute == pytest.approx(10)
+        assert params.t_switch == pytest.approx(20)
+
+    def test_estimate_capped_by_lfbs(self):
+        baseline = self.make_profile(1800, 1700)
+        technique = self.make_profile(1850, 1700)  # tiny switch cost
+        uncapped = estimate_group_size(baseline, technique, 10)
+        capped = estimate_group_size(baseline, technique, 10, max_outstanding=10)
+        assert uncapped > 10
+        assert capped == 10
+
+    def test_zero_switch_points_rejected(self):
+        profile = self.make_profile(100, 50)
+        with pytest.raises(ConfigurationError):
+            params_from_profiles(profile, profile, 0)
+
+
+class TestPolicies:
+    def test_small_table_stays_sequential(self):
+        alloc = AddressSpaceAllocator()
+        table = int_array_of_bytes(alloc, "small", 1 << 20)
+        policy = choose_policy(HASWELL, table, 10_000)
+        assert not policy.interleave
+        assert "fits" in policy.reason
+
+    def test_large_table_interleaves(self):
+        alloc = AddressSpaceAllocator()
+        table = int_array_of_bytes(alloc, "large", 256 << 20)
+        policy = choose_policy(HASWELL, table, 10_000)
+        assert policy.interleave
+        assert policy.group_size >= 2
+        assert policy.group_size <= HASWELL.n_line_fill_buffers
+
+    def test_too_few_lookups_stay_sequential(self):
+        alloc = AddressSpaceAllocator()
+        table = int_array_of_bytes(alloc, "large2", 256 << 20)
+        policy = choose_policy(HASWELL, table, 1)
+        assert not policy.interleave
+
+    def test_default_group_sizes_match_paper(self):
+        assert default_group_size(HASWELL, "gp") == 10  # LFB-capped (12 -> 10)
+        assert default_group_size(HASWELL, "coro") in (5, 6, 7)
+        assert default_group_size(HASWELL, "amac") in (5, 6, 7)
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError):
+            default_group_size(HASWELL, "spp")
+
+    def test_describe_mentions_mode(self):
+        alloc = AddressSpaceAllocator()
+        table = int_array_of_bytes(alloc, "t", 1 << 20)
+        assert "sequential" in choose_policy(HASWELL, table, 5).describe()

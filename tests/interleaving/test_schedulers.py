@@ -1,0 +1,133 @@
+"""Tests for the sequential and interleaved schedulers (Listing 7)."""
+
+import pytest
+
+from repro.config import HASWELL
+from repro.errors import SchedulerError, SimulationError
+from repro.indexes.binary_search import binary_search_coro, reference_search
+from repro.indexes.sorted_array import SortedIntArray
+from repro.interleaving import FramePool, run_interleaved, run_sequential
+from repro.sim import SUSPEND, Compute, ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_engine():
+    return ExecutionEngine(HASWELL)
+
+
+def tagged_stream(value, interleave, suspensions=3):
+    def stream():
+        for _ in range(suspensions if interleave else 0):
+            yield Compute(1, 1)
+            yield SUSPEND
+        yield Compute(1, 1)
+        return value * 10
+
+    return stream()
+
+
+class TestRunSequential:
+    def test_results_in_input_order(self):
+        results = run_sequential(make_engine(), tagged_stream, [3, 1, 2])
+        assert results == [30, 10, 20]
+
+    def test_empty_inputs(self):
+        assert run_sequential(make_engine(), tagged_stream, []) == []
+
+    def test_sequential_never_charges_switch_or_alloc(self):
+        engine = make_engine()
+        run_sequential(engine, tagged_stream, [1, 2])
+        # Only the two Compute(1, 1) events are charged.
+        assert engine.clock == 2
+
+    def test_suspending_stream_still_completes_sequentially(self):
+        # A factory that ignores the interleave flag and suspends anyway is
+        # tolerated: the handle resumes it until completion.
+        engine = make_engine()
+        results = run_sequential(engine, lambda v, il: tagged_stream(v, True), [1])
+        assert results == [10]
+
+    def test_raw_engine_rejects_stray_suspend(self):
+        engine = make_engine()
+        with pytest.raises(SimulationError):
+            engine.run(tagged_stream(1, True))
+
+
+class TestRunInterleaved:
+    def test_results_in_input_order(self):
+        results = run_interleaved(make_engine(), tagged_stream, [5, 4, 3, 2, 1], 2)
+        assert results == [50, 40, 30, 20, 10]
+
+    def test_group_larger_than_inputs(self):
+        assert run_interleaved(make_engine(), tagged_stream, [1, 2], 100) == [10, 20]
+
+    def test_group_of_one(self):
+        assert run_interleaved(make_engine(), tagged_stream, [1, 2, 3], 1) == [
+            10,
+            20,
+            30,
+        ]
+
+    def test_empty_inputs(self):
+        assert run_interleaved(make_engine(), tagged_stream, [], 4) == []
+
+    def test_invalid_group_size(self):
+        with pytest.raises(SchedulerError):
+            run_interleaved(make_engine(), tagged_stream, [1], 0)
+
+    def test_switch_cost_charged_per_resume(self):
+        engine = make_engine()
+        run_interleaved(engine, tagged_stream, [1], 1)
+        switch_cycles = HASWELL.cost.coro_switch[0]
+        # 4 resumes (3 suspensions + final), plus one frame allocation,
+        # plus 4 Compute(1, 1).
+        expected = 4 * switch_cycles + HASWELL.cost.frame_alloc_cycles + 4
+        assert engine.clock == expected
+
+    def test_frame_recycling_limits_allocations(self):
+        engine = make_engine()
+        pool = FramePool()
+        run_interleaved(engine, tagged_stream, list(range(20)), 4, frame_pool=pool)
+        assert pool.allocations == 4  # one per slot, then recycled
+        assert pool.recycles == 16
+
+    def test_recycling_disabled_allocates_per_lookup(self):
+        engine = make_engine()
+        baseline = make_engine()
+        run_interleaved(baseline, tagged_stream, list(range(20)), 4)
+        run_interleaved(engine, tagged_stream, list(range(20)), 4, recycle_frames=False)
+        extra_allocs = 16 * HASWELL.cost.frame_alloc_cycles
+        assert engine.clock == baseline.clock + extra_allocs
+
+
+class TestPolicyPurity:
+    """Interleaving must never change results (paper Section 4)."""
+
+    def test_binary_search_results_independent_of_group(self):
+        values = sorted(set(range(0, 2000, 7)))
+        table = SortedIntArray.from_values(AddressSpaceAllocator(), "t", values)
+        probes = list(range(-3, 2003, 23))
+        expected = [reference_search(values, p) for p in probes]
+        for group in (1, 3, 6, 10, 17, 64):
+            got = run_interleaved(
+                make_engine(),
+                lambda v, il: binary_search_coro(table, v, il),
+                probes,
+                group,
+            )
+            assert got == expected, f"group={group}"
+
+    def test_interleaved_g1_slower_than_sequential(self):
+        """At group size 1 the switch overhead buys nothing (Section 5.4.5)."""
+        values = list(range(4096))
+        table = SortedIntArray.from_values(AddressSpaceAllocator(), "t", values)
+        probes = list(range(0, 4096, 64))
+        seq_engine = make_engine()
+        run_sequential(
+            seq_engine, lambda v, il: binary_search_coro(table, v, il), probes
+        )
+        inter_engine = make_engine()
+        run_interleaved(
+            inter_engine, lambda v, il: binary_search_coro(table, v, il), probes, 1
+        )
+        assert inter_engine.clock > seq_engine.clock

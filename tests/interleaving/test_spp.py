@@ -1,0 +1,80 @@
+"""Tests for the SPP extension (the variant the paper's footnote 2 skips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HASWELL
+from repro.errors import SchedulerError
+from repro.indexes.binary_search import reference_search
+from repro.indexes.sorted_array import SortedIntArray
+from repro.interleaving import gp_binary_search_bulk, spp_binary_search_bulk
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+
+def make_table(values):
+    return SortedIntArray.from_values(AddressSpaceAllocator(), "t", values)
+
+
+def make_engine():
+    return ExecutionEngine(HASWELL)
+
+
+class TestSpp:
+    def test_matches_reference(self):
+        values = sorted(set(np.random.RandomState(5).randint(0, 9999, 600)))
+        table = make_table(values)
+        probes = [int(p) for p in np.random.RandomState(6).randint(-5, 10_005, 90)]
+        expected = [reference_search(values, p) for p in probes]
+        assert spp_binary_search_bulk(make_engine(), table, probes, 8) == expected
+
+    def test_results_in_input_order(self):
+        table = make_table(list(range(1000)))
+        probes = list(range(0, 1000, 13))
+        assert spp_binary_search_bulk(make_engine(), table, probes, 6) == probes
+
+    def test_depth_of_one(self):
+        table = make_table(list(range(64)))
+        assert spp_binary_search_bulk(make_engine(), table, [5, 6], 1) == [5, 6]
+
+    def test_depth_larger_than_inputs(self):
+        table = make_table(list(range(64)))
+        assert spp_binary_search_bulk(make_engine(), table, [5], 100) == [5]
+
+    def test_empty_inputs(self):
+        table = make_table([1, 2])
+        assert spp_binary_search_bulk(make_engine(), table, [], 4) == []
+
+    def test_invalid_depth(self):
+        table = make_table([1])
+        with pytest.raises(SchedulerError):
+            spp_binary_search_bulk(make_engine(), table, [1], 0)
+
+    def test_single_element_table(self):
+        table = make_table([42])
+        assert spp_binary_search_bulk(make_engine(), table, [42, 0, 99], 4) == [
+            0,
+            0,
+            0,
+        ]
+
+    def test_pipeline_issues_one_prefetch_per_iteration(self):
+        table = make_table(list(range(1 << 10)))  # 10 iterations
+        engine = make_engine()
+        spp_binary_search_bulk(engine, table, list(range(7)), 4)
+        assert engine.memory.stats.prefetches == 7 * 10
+
+    @given(
+        values=st.sets(st.integers(0, 20_000), min_size=2, max_size=300),
+        depth=st.integers(1, 14),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_gp(self, values, depth):
+        values = sorted(values)
+        table = make_table(values)
+        probes = values[::4] + [min(values) - 1, max(values) + 1]
+        assert spp_binary_search_bulk(
+            make_engine(), table, probes, depth
+        ) == gp_binary_search_bulk(make_engine(), table, probes, depth)

@@ -1,0 +1,81 @@
+"""Unit tests for address arithmetic and regions."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.sim.address import (
+    Region,
+    line_base,
+    line_number,
+    lines_touched,
+    page_number,
+)
+
+
+class TestLineMath:
+    def test_line_number_basic(self):
+        assert line_number(0, 64) == 0
+        assert line_number(63, 64) == 0
+        assert line_number(64, 64) == 1
+        assert line_number(6400, 64) == 100
+
+    def test_line_base(self):
+        assert line_base(0, 64) == 0
+        assert line_base(63, 64) == 0
+        assert line_base(130, 64) == 128
+
+    def test_page_number(self):
+        assert page_number(0, 4096) == 0
+        assert page_number(4095, 4096) == 0
+        assert page_number(4096, 4096) == 1
+
+    def test_lines_touched_single(self):
+        assert lines_touched(0, 8, 64) == [0]
+        assert lines_touched(56, 8, 64) == [0]
+
+    def test_lines_touched_crossing(self):
+        assert lines_touched(60, 8, 64) == [0, 1]
+        assert lines_touched(0, 129, 64) == [0, 1, 2]
+
+    def test_lines_touched_exact_line(self):
+        assert lines_touched(64, 64, 64) == [1]
+
+    def test_lines_touched_rejects_nonpositive_size(self):
+        with pytest.raises(AddressError):
+            lines_touched(0, 0, 64)
+        with pytest.raises(AddressError):
+            lines_touched(0, -8, 64)
+
+
+class TestRegion:
+    def test_contains_and_end(self):
+        region = Region("r", 1000, 100)
+        assert region.end == 1100
+        assert 1000 in region
+        assert 1099 in region
+        assert 1100 not in region
+        assert 999 not in region
+
+    def test_at_offsets(self):
+        region = Region("r", 4096, 64)
+        assert region.at(0) == 4096
+        assert region.at(63) == 4159
+
+    def test_at_out_of_bounds(self):
+        region = Region("r", 4096, 64)
+        with pytest.raises(AddressError):
+            region.at(64)
+        with pytest.raises(AddressError):
+            region.at(-1)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(AddressError):
+            Region("bad", -1, 10)
+
+    def test_overlaps(self):
+        a = Region("a", 0, 100)
+        b = Region("b", 50, 100)
+        c = Region("c", 100, 10)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+        assert not c.overlaps(a)

@@ -1,0 +1,69 @@
+"""Unit tests for the simulated address-space allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.sim.allocator import PAGE_TABLE_BASE, AddressSpaceAllocator
+
+
+class TestAllocation:
+    def test_regions_are_disjoint(self):
+        alloc = AddressSpaceAllocator()
+        regions = [alloc.allocate(f"r{i}", 1000 + i) for i in range(10)]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_page_alignment_default(self):
+        alloc = AddressSpaceAllocator(page_size=4096)
+        r1 = alloc.allocate("a", 5)
+        r2 = alloc.allocate("b", 5)
+        assert r1.base % 4096 == 0
+        assert r2.base % 4096 == 0
+        assert r2.base >= r1.end
+
+    def test_custom_alignment(self):
+        alloc = AddressSpaceAllocator()
+        region = alloc.allocate("aligned", 100, alignment=1 << 20)
+        assert region.base % (1 << 20) == 0
+
+    def test_bad_alignment_rejected(self):
+        alloc = AddressSpaceAllocator()
+        with pytest.raises(AllocationError):
+            alloc.allocate("x", 10, alignment=3)
+
+    def test_duplicate_name_rejected(self):
+        alloc = AddressSpaceAllocator()
+        alloc.allocate("dup", 10)
+        with pytest.raises(AllocationError):
+            alloc.allocate("dup", 10)
+
+    def test_nonpositive_size_rejected(self):
+        alloc = AddressSpaceAllocator()
+        with pytest.raises(AllocationError):
+            alloc.allocate("zero", 0)
+
+    def test_free_allows_name_reuse_without_address_reuse(self):
+        alloc = AddressSpaceAllocator()
+        first = alloc.allocate("tmp", 4096)
+        alloc.free("tmp")
+        second = alloc.allocate("tmp", 4096)
+        assert second.base >= first.end
+
+    def test_free_unknown_name(self):
+        alloc = AddressSpaceAllocator()
+        with pytest.raises(AllocationError):
+            alloc.free("never")
+
+    def test_region_of(self):
+        alloc = AddressSpaceAllocator()
+        region = alloc.allocate("data", 8192)
+        assert alloc.region_of(region.base + 100) is region
+        assert alloc.region_of(region.end + 10_000_000) is None
+
+    def test_never_reaches_page_table_region(self):
+        alloc = AddressSpaceAllocator()
+        region = alloc.allocate("big", 1 << 40)
+        assert region.end < PAGE_TABLE_BASE
+        with pytest.raises(AllocationError):
+            alloc.allocate("too-big", PAGE_TABLE_BASE)

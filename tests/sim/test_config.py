@@ -1,0 +1,99 @@
+"""Tests for architecture specifications and scaling."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import HASWELL, ArchSpec, CacheSpec, CostModel, TlbSpec, scaled
+from repro.errors import ConfigurationError
+
+
+class TestHaswellDefaults:
+    def test_paper_parameters(self):
+        """Table 4 of the paper."""
+        assert HASWELL.l1d.size == 32 * 1024 and HASWELL.l1d.associativity == 8
+        assert HASWELL.l2.size == 256 * 1024 and HASWELL.l2.associativity == 8
+        assert HASWELL.l3.size == 25 * 1024 * 1024
+        assert HASWELL.n_line_fill_buffers == 10
+        assert HASWELL.dtlb.entries == 64 and HASWELL.dtlb.associativity == 4
+        assert HASWELL.stlb.entries == 1024 and HASWELL.stlb.associativity == 8
+        assert HASWELL.dram_latency == 182  # cycles, from the paper
+        assert HASWELL.cost.issue_width == 4  # 4-wide OoO
+
+    def test_cycles_to_ms(self):
+        assert HASWELL.cycles_to_ms(2.6e6) == pytest.approx(1.0)
+
+    def test_replace(self):
+        faster = HASWELL.replace(frequency_ghz=3.0)
+        assert faster.frequency_ghz == 3.0
+        assert HASWELL.frequency_ghz == 2.6
+
+
+class TestValidation:
+    def test_bad_line_size(self):
+        with pytest.raises(ConfigurationError):
+            ArchSpec(line_size=48)
+
+    def test_bad_page_size(self):
+        with pytest.raises(ConfigurationError):
+            ArchSpec(page_size=1000)
+
+    def test_no_lfbs(self):
+        with pytest.raises(ConfigurationError):
+            ArchSpec(n_line_fill_buffers=0)
+
+    def test_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            ArchSpec(frequency_ghz=0)
+
+    def test_cache_geometry_checked_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            ArchSpec(l1d=CacheSpec("L1D", 100, 8, 4))
+
+    def test_tlb_validation(self):
+        with pytest.raises(ConfigurationError):
+            TlbSpec("T", 0, 1, 0)
+        with pytest.raises(ConfigurationError):
+            TlbSpec("T", 10, 4, 0)  # not a multiple of associativity
+
+    def test_negative_cache_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec("X", 1024, 2, -1)
+
+
+class TestScaled:
+    def test_capacities_shrink_latencies_stay(self):
+        spec = scaled(8)
+        assert spec.l1d.size == HASWELL.l1d.size // 8
+        assert spec.l3.size == HASWELL.l3.size // 8
+        assert spec.l1d.latency == HASWELL.l1d.latency
+        assert spec.dram_latency == HASWELL.dram_latency
+        assert spec.cost == HASWELL.cost
+
+    def test_tlbs_shrink_with_floor(self):
+        spec = scaled(64)
+        assert spec.dtlb.entries == max(4, 64 // 64)
+        assert spec.stlb.entries == 1024 // 64
+
+    def test_name(self):
+        assert "64x" in scaled(64).name
+        assert scaled(2, name="tiny").name == "tiny"
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            scaled(0)
+        with pytest.raises(ConfigurationError):
+            scaled(10_000)  # shrinks L1 below one set
+
+    def test_calibration_ratios_preserved(self):
+        """Instruction-overhead ratios match the paper (Section 5.4.4)."""
+        cost = CostModel()
+        base = cost.search_iter_instructions
+        gp_total = base + cost.gp_switch[1]
+        amac_total = base + cost.amac_switch[1]
+        coro_total = base + cost.coro_switch[1]
+        assert gp_total / base == pytest.approx(1.8, abs=0.2)
+        assert amac_total / base == pytest.approx(4.4, abs=0.3)
+        assert coro_total / base == pytest.approx(5.4, abs=0.3)
+        assert coro_total > amac_total  # CORO executes the most instructions
+        assert cost.coro_switch[0] < cost.amac_switch[0]  # ...in fewer cycles

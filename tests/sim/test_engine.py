@@ -1,0 +1,160 @@
+"""Unit tests for the execution engine."""
+
+import pytest
+
+from repro.config import HASWELL
+from repro.errors import SimulationError
+from repro.sim.engine import ExecutionEngine, StreamContext
+from repro.sim.events import SUSPEND, Compute, FrameAlloc, Load, Prefetch
+
+
+@pytest.fixture
+def eng():
+    return ExecutionEngine(HASWELL)
+
+
+BASE = 1 << 22
+COST = HASWELL.cost
+
+
+class TestCompute:
+    def test_compute_advances_clock(self, eng):
+        eng.compute(10, 10)
+        assert eng.clock == 10
+        assert eng.tmam.instructions == 10
+
+    def test_compute_more_uops_than_slots_extends_cycles(self, eng):
+        eng.compute(1, 40)  # 40 uops cannot retire in 4 slots
+        assert eng.clock == 10
+        eng.tmam.check_consistency()
+
+    def test_tmam_consistency_after_mixed_work(self, eng):
+        eng.compute(5, 3)
+        eng.execute_load(Load(BASE, 8), StreamContext())
+        eng.tmam.check_consistency()
+
+
+class TestLoads:
+    def test_cold_load_stalls_for_exposed_latency(self, eng):
+        ctx = StreamContext()
+        eng.execute_load(Load(BASE, 8), ctx)
+        # Translation walk (PW-DRAM) + DRAM latency - OoO hiding.
+        assert eng.tmam.memory_stall_cycles > HASWELL.dram_latency
+        assert eng.memory.stats.loads_by_level["DRAM"] == 1
+
+    def test_warm_load_is_free_of_stall(self, eng):
+        line = BASE // HASWELL.line_size
+        eng.memory.warm_lines([line])
+        eng.memory.translate(BASE, 0)  # pre-warm TLB
+        stalls_before = eng.tmam.memory_stall_cycles
+        eng.execute_load(Load(BASE, 8), StreamContext())
+        # L1 latency (4) is under the OoO hiding window: no stall.
+        assert eng.tmam.memory_stall_cycles == stalls_before
+
+    def test_line_crossing_load_touches_two_lines(self, eng):
+        eng.execute_load(Load(BASE + HASWELL.line_size - 4, 8), StreamContext())
+        assert eng.memory.stats.loads == 2
+
+    def test_prefetched_load_has_reduced_stall(self, eng):
+        ctx = StreamContext()
+        eng.execute_prefetch(Prefetch(BASE, 64))
+        issue_clock = eng.clock
+        eng.compute(100, 100)
+        eng.execute_load(Load(BASE, 8), ctx)
+        # The load arrives 100 cycles into a 182-cycle fill: ~82 exposed.
+        exposed = eng.tmam.memory_stall_cycles - eng.tmam.translation_stall_cycles
+        assert 0 < exposed < HASWELL.dram_latency - 50
+        assert eng.memory.stats.loads_by_level["LFB"] == 1
+
+    def test_fully_covered_prefetch_no_stall(self, eng):
+        eng.execute_prefetch(Prefetch(BASE, 64))
+        eng.compute(300, 300)
+        stalls_before = eng.tmam.memory_stall_cycles
+        eng.execute_load(Load(BASE, 8), StreamContext())
+        assert eng.tmam.memory_stall_cycles == stalls_before
+        assert eng.memory.stats.loads_by_level["L1"] == 1
+
+
+class TestSpeculation:
+    def test_correct_prediction_overlaps_next_load(self):
+        eng = ExecutionEngine(HASWELL, seed=0)
+        ctx = StreamContext()
+        next_addr = BASE + 4096 * 8
+        # Both candidates equal: the prediction is always "correct".
+        eng.execute_load(Load(BASE, 8, spec_next=(next_addr, next_addr)), ctx)
+        assert ctx.predicted_line == next_addr // HASWELL.line_size
+        mispredicts_before = eng.tmam.mispredicts
+        eng.execute_load(Load(next_addr, 8), ctx)
+        assert eng.tmam.mispredicts == mispredicts_before
+        # The speculative fill started during the first stall.
+        assert eng.memory.stats.loads_by_level["LFB"] >= 1
+
+    def test_wrong_prediction_charges_penalty(self):
+        eng = ExecutionEngine(HASWELL, seed=0)
+        ctx = StreamContext()
+        a, b = BASE + 1 << 20, BASE + 2 << 20
+        eng.execute_load(Load(BASE, 8, spec_next=(a, a)), ctx)
+        eng.execute_load(Load(b, 8), ctx)  # stream went the other way
+        assert eng.tmam.mispredicts == 1
+        assert eng.tmam.slots["Bad Speculation"] > 0
+
+    def test_prediction_state_cleared_after_resolution(self):
+        eng = ExecutionEngine(HASWELL, seed=0)
+        ctx = StreamContext()
+        eng.execute_load(Load(BASE, 8, spec_next=(BASE + 64, BASE + 64)), ctx)
+        eng.execute_load(Load(BASE + 64, 8), ctx)
+        assert ctx.predicted_line is None
+
+
+class TestDispatchAndRun:
+    def test_run_returns_stream_result(self, eng):
+        def stream():
+            yield Compute(1, 1)
+            return "done"
+
+        assert eng.run(stream()) == "done"
+
+    def test_suspend_without_scheduler_raises(self, eng):
+        def stream():
+            yield SUSPEND
+
+        with pytest.raises(SimulationError, match="Suspend"):
+            eng.run(stream())
+
+    def test_unknown_event_raises(self, eng):
+        with pytest.raises(SimulationError):
+            eng.dispatch(object(), StreamContext())
+
+    def test_run_all_sequential(self, eng):
+        def stream(i):
+            yield Compute(1, 1)
+            return i
+
+        assert eng.run_all(stream(i) for i in range(3)) == [0, 1, 2]
+
+    def test_frame_alloc_charges_cost(self, eng):
+        def stream():
+            yield FrameAlloc()
+            return None
+
+        eng.run(stream())
+        assert eng.clock == COST.frame_alloc_cycles
+
+    def test_charge_switch_kinds(self, eng):
+        eng.charge_switch("coro")
+        assert eng.clock == COST.coro_switch[0]
+        with pytest.raises(SimulationError):
+            eng.charge_switch("nonsense")
+
+    def test_snapshot_is_immutable_copy(self, eng):
+        snap = eng.snapshot()
+        eng.compute(10, 10)
+        assert snap.cycles == 0
+        assert eng.snapshot().cycles == 10
+
+    def test_mismatched_memory_arch_rejected(self):
+        from repro.config import scaled
+        from repro.sim.memory import MemorySystem
+
+        with pytest.raises(SimulationError):
+            ExecutionEngine(HASWELL, MemorySystem(scaled(2)))

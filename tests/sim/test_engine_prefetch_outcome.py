@@ -1,0 +1,51 @@
+"""Tests for prefetch outcomes (the Section 6 'is it cached?' answer)."""
+
+from repro.config import HASWELL
+from repro.sim import ExecutionEngine, Prefetch, StreamContext
+
+BASE = 1 << 22
+
+
+def make_engine():
+    return ExecutionEngine(HASWELL)
+
+
+class TestPrefetchOutcome:
+    def test_cold_line_reports_uncached(self):
+        engine = make_engine()
+        assert engine.execute_prefetch(Prefetch(BASE, 8)) is False
+
+    def test_resident_line_reports_cached(self):
+        engine = make_engine()
+        engine.memory.warm_lines([BASE // 64])
+        assert engine.execute_prefetch(Prefetch(BASE, 8)) is True
+
+    def test_in_flight_line_reports_cached(self):
+        engine = make_engine()
+        engine.execute_prefetch(Prefetch(BASE, 8))
+        # A second prefetch while the fill is in flight: already covered.
+        assert engine.execute_prefetch(Prefetch(BASE, 8)) is True
+
+    def test_multi_line_any_miss_reports_uncached(self):
+        engine = make_engine()
+        engine.memory.warm_lines([BASE // 64])  # first line only
+        assert engine.execute_prefetch(Prefetch(BASE, 256)) is False
+
+    def test_outcome_flows_into_generator(self):
+        engine = make_engine()
+        engine.memory.warm_lines([BASE // 64])
+        seen = []
+
+        def stream():
+            cached = yield Prefetch(BASE, 8)
+            seen.append(cached)
+            cached = yield Prefetch(BASE + (1 << 20), 8)
+            seen.append(cached)
+            return None
+
+        engine.run(stream())
+        assert seen == [True, False]
+
+    def test_dispatch_returns_outcome(self):
+        engine = make_engine()
+        assert engine.dispatch(Prefetch(BASE, 8), StreamContext()) is False

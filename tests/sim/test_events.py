@@ -1,0 +1,62 @@
+"""Tests for the event vocabulary itself."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.events import (
+    SUSPEND,
+    Compute,
+    Event,
+    FrameAlloc,
+    Load,
+    Prefetch,
+    Store,
+    Suspend,
+)
+
+
+class TestEventTypes:
+    def test_all_are_events(self):
+        for event in (
+            Compute(1, 1),
+            Load(0, 8),
+            Store(0, 8),
+            Prefetch(0),
+            Suspend(),
+            FrameAlloc(),
+        ):
+            assert isinstance(event, Event)
+
+    def test_frozen(self):
+        event = Load(64, 8)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.addr = 128
+
+    def test_slots_refuse_new_attributes(self):
+        event = Compute(1, 1)
+        with pytest.raises((AttributeError, TypeError)):
+            event.extra = 1
+
+    def test_defaults(self):
+        assert Load(0).size == 8
+        assert Load(0).spec_next is None
+        assert Store(0).size == 8
+        assert Prefetch(0).size == 64
+        assert Prefetch(0).nta is True
+
+    def test_suspend_singleton_is_a_suspend(self):
+        assert isinstance(SUSPEND, Suspend)
+        assert SUSPEND == Suspend()
+
+    def test_equality_by_value(self):
+        assert Load(64, 8) == Load(64, 8)
+        assert Load(64, 8) != Load(64, 4)
+        assert Compute(2, 3) == Compute(2, 3)
+
+    def test_spec_next_carries_both_branches(self):
+        event = Load(0, 8, spec_next=(100, 200))
+        assert event.spec_next == (100, 200)
+
+    def test_hashable(self):
+        assert len({Load(0, 8), Load(0, 8), Load(1, 8)}) == 2

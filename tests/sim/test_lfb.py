@@ -1,0 +1,90 @@
+"""Unit tests for the line-fill-buffer pool."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.lfb import FillRequest, LineFillBuffers
+
+
+def make_pool(capacity=4):
+    completed = []
+    pool = LineFillBuffers(capacity, completed.append)
+    return pool, completed
+
+
+def fill(line, issue, latency, **kw):
+    return FillRequest(line, issue, issue + latency, "DRAM", **kw)
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            LineFillBuffers(0, lambda r: None)
+
+    def test_add_and_find(self):
+        pool, _ = make_pool()
+        request = pool.add(fill(7, 0, 100))
+        assert pool.find(7) is request
+        assert pool.find(8) is None
+        assert pool.occupancy == 1
+
+    def test_drain_completes_due_fills(self):
+        pool, completed = make_pool()
+        pool.add(fill(1, 0, 50))
+        pool.add(fill(2, 0, 150))
+        pool.drain(100)
+        assert [r.line for r in completed] == [1]
+        assert pool.find(1) is None
+        assert pool.find(2) is not None
+        pool.drain(200)
+        assert [r.line for r in completed] == [1, 2]
+
+    def test_merge_same_line(self):
+        pool, _ = make_pool()
+        first = pool.add(fill(5, 0, 100, non_temporal=True, is_prefetch=True))
+        merged = pool.add(fill(5, 10, 100))
+        assert merged is first
+        assert pool.merges == 1
+        assert pool.occupancy == 1
+        # Demand merge upgrades the NTA prefetch to a full demand fill.
+        assert not first.non_temporal
+        assert not first.is_prefetch
+
+    def test_flush_completes_everything(self):
+        pool, completed = make_pool()
+        pool.add(fill(1, 0, 500))
+        pool.add(fill(2, 0, 900))
+        pool.flush(0)
+        assert len(completed) == 2
+        assert pool.occupancy == 0
+
+
+class TestCapacityPressure:
+    def test_acquire_waits_for_earliest_completion(self):
+        pool, _ = make_pool(capacity=2)
+        pool.add(fill(1, 0, 100))
+        pool.add(fill(2, 0, 60))
+        start = pool.acquire(10)
+        assert start == 60  # line 2 completes first
+        assert pool.issue_stall_cycles == 50
+        assert pool.occupancy == 1
+
+    def test_acquire_no_wait_when_free(self):
+        pool, _ = make_pool(capacity=2)
+        pool.add(fill(1, 0, 100))
+        assert pool.acquire(10) == 10
+        assert pool.issue_stall_cycles == 0
+
+    def test_overflow_without_acquire_raises(self):
+        pool, _ = make_pool(capacity=1)
+        pool.add(fill(1, 0, 100))
+        with pytest.raises(SimulationError):
+            pool.add(fill(2, 0, 100))
+
+    def test_peak_occupancy_tracking(self):
+        pool, _ = make_pool(capacity=4)
+        for line in range(3):
+            pool.add(fill(line, 0, 100))
+        pool.drain(200)
+        pool.add(fill(9, 200, 100))
+        assert pool.peak_occupancy == 3

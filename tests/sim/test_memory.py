@@ -1,0 +1,156 @@
+"""Unit tests for the memory-system facade."""
+
+import pytest
+
+from repro.config import HASWELL, scaled
+from repro.errors import SimulationError
+from repro.sim.memory import MemorySystem
+
+
+@pytest.fixture
+def mem():
+    return MemorySystem(HASWELL)
+
+
+LINE = HASWELL.line_size
+
+
+class TestDemandLoads:
+    def test_cold_load_goes_to_dram(self, mem):
+        outcome = mem.load_line(100, now=0)
+        assert outcome.level == "DRAM"
+        assert outcome.ready == HASWELL.dram_latency
+        assert mem.stats.loads_by_level["DRAM"] == 1
+
+    def test_load_after_completion_hits_l1(self, mem):
+        first = mem.load_line(100, 0)
+        outcome = mem.load_line(100, first.ready + 1)
+        assert outcome.level == "L1"
+        assert outcome.ready == first.ready + 1 + HASWELL.l1d.latency
+
+    def test_load_while_in_flight_is_lfb_hit(self, mem):
+        first = mem.load_line(100, 0)
+        outcome = mem.load_line(100, 50)
+        assert outcome.level == "LFB"
+        assert outcome.ready == first.ready
+
+    def test_fill_installs_all_levels_on_demand(self, mem):
+        first = mem.load_line(100, 0)
+        mem.lfbs.drain(first.ready)
+        assert mem.l1.contains(100)
+        assert mem.l2.contains(100)
+        assert mem.l3.contains(100)
+
+    def test_l2_hit_latency(self, mem):
+        first = mem.load_line(100, 0)
+        mem.lfbs.drain(first.ready)
+        # Evict from L1 only; the line remains in L2.
+        mem.l1.invalidate(100)
+        outcome = mem.load_line(100, 1000)
+        assert outcome.level == "L2"
+        assert outcome.ready == 1000 + HASWELL.l2.latency
+
+    def test_l3_hit_latency(self, mem):
+        first = mem.load_line(100, 0)
+        mem.lfbs.drain(first.ready)
+        mem.l1.invalidate(100)
+        mem.l2.invalidate(100)
+        outcome = mem.load_line(100, 1000)
+        assert outcome.level == "L3"
+        assert outcome.ready == 1000 + HASWELL.l3.latency
+
+    def test_negative_cycle_rejected(self, mem):
+        with pytest.raises(SimulationError):
+            mem.load_line(1, -5)
+
+
+class TestPrefetch:
+    def test_nta_prefetch_bypasses_l2(self, mem):
+        """Haswell PREFETCHNTA semantics: fill L1 and LLC, bypass L2."""
+        mem.prefetch_line(100, 0, nta=True)
+        mem.lfbs.drain(10_000)
+        assert mem.l1.contains(100)
+        assert not mem.l2.contains(100)
+        assert mem.l3.contains(100)
+
+    def test_nta_prefetch_of_l3_resident_line_skips_reinstall(self, mem):
+        mem.l3.install(100)
+        mem.prefetch_line(100, 0, nta=True)
+        mem.lfbs.drain(10_000)
+        assert mem.l1.contains(100)
+        assert not mem.l2.contains(100)
+
+    def test_non_nta_prefetch_installs_hierarchy(self, mem):
+        mem.prefetch_line(100, 0, nta=False)
+        mem.lfbs.drain(10_000)
+        assert mem.l1.contains(100) and mem.l2.contains(100) and mem.l3.contains(100)
+
+    def test_prefetch_then_load_is_lfb_hit_mid_flight(self, mem):
+        mem.prefetch_line(100, 0)
+        outcome = mem.load_line(100, 50)
+        assert outcome.level == "LFB"
+        assert outcome.ready == HASWELL.dram_latency
+
+    def test_prefetch_then_late_load_is_l1_hit(self, mem):
+        mem.prefetch_line(100, 0)
+        outcome = mem.load_line(100, HASWELL.dram_latency + 1)
+        assert outcome.level == "L1"
+
+    def test_prefetch_of_resident_line_is_useless(self, mem):
+        mem.warm_lines([100])
+        mem.prefetch_line(100, 0)
+        assert mem.stats.prefetch_useless == 1
+
+    def test_demand_merge_upgrades_nta(self, mem):
+        mem.prefetch_line(100, 0, nta=True)
+        mem.load_line(100, 10)
+        mem.lfbs.drain(10_000)
+        assert mem.l2.contains(100)  # upgraded install
+
+
+class TestLfbPressure:
+    def test_issue_stall_when_buffers_full(self, mem):
+        for line in range(HASWELL.n_line_fill_buffers):
+            mem.prefetch_line(1000 + line, 0)
+        outcome = mem.load_line(5000, 1)
+        assert outcome.issue_stall > 0
+        assert outcome.ready > HASWELL.dram_latency
+
+    def test_peak_occupancy_capped(self, mem):
+        for line in range(25):
+            mem.prefetch_line(2000 + line, 0)
+        assert mem.lfbs.peak_occupancy <= HASWELL.n_line_fill_buffers
+
+
+class TestStats:
+    def test_delta(self, mem):
+        mem.load_line(1, 0)
+        before = mem.stats.snapshot()
+        mem.load_line(2, 0)
+        diff = mem.stats.delta(before)
+        assert diff.loads == 1
+
+    def test_l1d_misses(self, mem):
+        first = mem.load_line(1, 0)
+        mem.load_line(1, first.ready + 1)
+        assert mem.stats.l1d_misses == 1
+        assert mem.stats.loads == 2
+
+
+class TestScaledSpec:
+    def test_scaled_caches_shrink(self):
+        spec = scaled(64)
+        assert spec.l3.size == HASWELL.l3.size // 64
+        assert spec.dram_latency == HASWELL.dram_latency
+
+    def test_flush_all(self, mem):
+        outcome = mem.load_line(7, 0)
+        mem.flush_all()
+        again = mem.load_line(7, outcome.ready + 10)
+        assert again.level == "DRAM"
+
+    def test_extra_dram_latency_numa_knob(self):
+        mem = MemorySystem(HASWELL)
+        mem.extra_dram_latency = 100
+        outcome = mem.load_line(3, 0)
+        assert outcome.ready == HASWELL.dram_latency + 100

@@ -1,0 +1,116 @@
+"""Tests for the multi-core simulation (shared LLC)."""
+
+import numpy as np
+import pytest
+
+from repro.config import HASWELL
+from repro.errors import ConfigurationError
+from repro.indexes.binary_search import binary_search_baseline, binary_search_coro
+from repro.indexes.sorted_array import int_array_of_bytes
+from repro.interleaving import run_interleaved, run_sequential
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.multicore import MultiCoreSystem
+
+
+def make_workload(nbytes=64 << 20, n=240):
+    alloc = AddressSpaceAllocator()
+    table = int_array_of_bytes(alloc, "arr", nbytes)
+    rng = np.random.RandomState(0)
+    probes = [int(v) for v in rng.randint(0, table.size, n)]
+    return table, probes
+
+
+class TestTopology:
+    def test_l3_is_shared(self):
+        system = MultiCoreSystem(4)
+        assert all(m.l3 is system.shared_l3 for m in system.memories)
+
+    def test_l1_l2_private(self):
+        system = MultiCoreSystem(2)
+        a, b = system.memories
+        assert a.l1 is not b.l1
+        assert a.l2 is not b.l2
+        assert a.tlb is not b.tlb
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiCoreSystem(0)
+
+    def test_cross_core_llc_hits(self):
+        system = MultiCoreSystem(2)
+        first = system.memories[0].load_line(42, 0)
+        system.memories[0].lfbs.drain(first.ready)
+        # Core 1's private L1/L2 miss, but the shared L3 has the line.
+        outcome = system.memories[1].load_line(42, 0)
+        assert outcome.level == "L3"
+
+
+class TestRun:
+    def test_results_round_robin_reassembly(self):
+        table, probes = make_workload(1 << 20, n=50)
+        system = MultiCoreSystem(3)
+        result = system.run(
+            lambda engine, shard: run_sequential(
+                engine, lambda v, il: binary_search_baseline(table, v), shard
+            ),
+            probes,
+        )
+        assert result.total_items == 50
+        assert result.results_in_order() == probes  # value == index array
+
+    def test_makespan_is_slowest_core(self):
+        table, probes = make_workload(1 << 20, n=30)
+        system = MultiCoreSystem(4)
+        result = system.run(
+            lambda engine, shard: run_sequential(
+                engine, lambda v, il: binary_search_baseline(table, v), shard
+            ),
+            probes,
+        )
+        assert result.makespan == max(core.cycles for core in result.cores)
+        assert result.throughput > 0
+
+    def test_more_cores_more_throughput(self):
+        table, probes = make_workload(64 << 20, n=160)
+        throughput = {}
+        for n_cores in (1, 4):
+            system = MultiCoreSystem(n_cores)
+            result = system.run(
+                lambda engine, shard: run_sequential(
+                    engine, lambda v, il: binary_search_baseline(table, v), shard
+                ),
+                probes,
+            )
+            throughput[n_cores] = result.throughput
+        assert throughput[4] > 2.5 * throughput[1]
+
+    def test_interleaving_helps_every_core(self):
+        """Section 3: ISI reduces cycles in multi-threaded execution too."""
+        table, probes = make_workload(64 << 20, n=160)
+
+        def measure(runner):
+            system = MultiCoreSystem(4)
+            return system.run(runner, probes).makespan
+
+        sequential = measure(
+            lambda engine, shard: run_sequential(
+                engine, lambda v, il: binary_search_baseline(table, v), shard
+            )
+        )
+        interleaved = measure(
+            lambda engine, shard: run_interleaved(
+                engine, lambda v, il: binary_search_coro(table, v, il), shard, 6
+            )
+        )
+        assert interleaved < sequential
+
+    def test_empty_items(self):
+        system = MultiCoreSystem(2)
+        result = system.run(lambda engine, shard: [], [])
+        assert result.total_items == 0
+        assert result.throughput == 0.0
+
+    def test_remote_dram_knob(self):
+        system = MultiCoreSystem(2, extra_dram_latency=100)
+        outcome = system.memories[0].load_line(7, 0)
+        assert outcome.ready == HASWELL.dram_latency + 100

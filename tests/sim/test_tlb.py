@@ -1,0 +1,107 @@
+"""Unit tests for the TLB hierarchy and page walker."""
+
+from repro.config import HASWELL, CostModel, TlbSpec
+from repro.sim.allocator import PAGE_TABLE_BASE
+from repro.sim.tlb import PTE_SIZE, LruArray, Tlb
+
+
+def make_tlb(dtlb_entries=4, stlb_entries=16, pte_latency=38, pte_level="L3"):
+    probes = []
+
+    def pte_probe(addr, now):
+        probes.append((addr, now))
+        return pte_latency, pte_level
+
+    tlb = Tlb(
+        TlbSpec("DTLB", dtlb_entries, 2, 0),
+        TlbSpec("STLB", stlb_entries, 4, 7),
+        page_size=4096,
+        cost=CostModel(),
+        pte_probe=pte_probe,
+    )
+    return tlb, probes
+
+
+class TestLruArray:
+    def test_hit_and_install(self):
+        arr = LruArray(4, 2)
+        assert not arr.lookup(1)
+        arr.install(1)
+        assert arr.lookup(1)
+
+    def test_eviction(self):
+        arr = LruArray(2, 2)  # one set, two ways
+        arr.install(0)
+        arr.install(2)
+        arr.install(4)  # evicts 0 (LRU)
+        assert not arr.lookup(0)
+        assert arr.lookup(2) and arr.lookup(4)
+
+    def test_flush(self):
+        arr = LruArray(4, 2)
+        arr.install(1)
+        arr.flush()
+        assert not arr.lookup(1)
+
+
+class TestTranslate:
+    def test_first_access_walks(self):
+        tlb, probes = make_tlb()
+        result = tlb.translate(0x1000, now=0)
+        assert result.level == "PW-L3"
+        assert result.walked
+        assert result.cycles == CostModel().page_walk_base_cycles + 38
+        assert len(probes) == 1
+        assert tlb.stats.walks == 1
+
+    def test_second_access_hits_dtlb_free(self):
+        tlb, _ = make_tlb()
+        tlb.translate(0x1000, 0)
+        result = tlb.translate(0x1FFF, 100)  # same 4 KB page
+        assert result.level == "DTLB"
+        assert result.cycles == 0
+        assert tlb.stats.dtlb_hits == 1
+
+    def test_dtlb_eviction_falls_back_to_stlb(self):
+        tlb, _ = make_tlb(dtlb_entries=2, stlb_entries=16)
+        # Pages 0, 2, 4 map to DTLB set 0 (2 sets... entries=2, assoc=2 -> 1 set).
+        for page in (0, 1, 2):
+            tlb.translate(page * 4096, 0)
+        result = tlb.translate(0, 50)  # page 0 evicted from DTLB, still in STLB
+        assert result.level == "STLB"
+        assert result.cycles == 7
+
+    def test_page_walk_after_stlb_eviction(self):
+        tlb, probes = make_tlb(dtlb_entries=2, stlb_entries=4)
+        for page in range(8):
+            tlb.translate(page * 4096, 0)
+        walks_before = tlb.stats.walks
+        tlb.translate(0, 0)
+        assert tlb.stats.walks == walks_before + 1
+
+    def test_pte_address_layout(self):
+        tlb, probes = make_tlb()
+        tlb.translate(5 * 4096, 0)
+        assert probes[0][0] == PAGE_TABLE_BASE + 5 * PTE_SIZE
+
+    def test_pte_probe_sees_walk_base_delay(self):
+        tlb, probes = make_tlb()
+        tlb.translate(0, now=1000)
+        assert probes[0][1] == 1000 + CostModel().page_walk_base_cycles
+
+    def test_walk_levels_recorded(self):
+        tlb, _ = make_tlb(pte_level="DRAM", pte_latency=182)
+        tlb.translate(0, 0)
+        assert tlb.stats.walks_by_level == {"PW-DRAM": 1}
+
+    def test_flush_forces_rewalk(self):
+        tlb, _ = make_tlb()
+        tlb.translate(0, 0)
+        tlb.flush()
+        result = tlb.translate(0, 0)
+        assert result.walked
+        assert tlb.stats.walks == 2
+
+    def test_stlb_span_matches_paper(self):
+        """1024 STLB entries x 4 KB pages = 4 MB coverage (Section 5.4.3)."""
+        assert HASWELL.stlb.entries * HASWELL.page_size == 4 * 1024 * 1024

@@ -1,0 +1,104 @@
+"""Unit tests for TMAM pipeline-slot accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.tmam import CATEGORIES, TmamStats
+
+
+class TestCharging:
+    def test_compute_splits_retiring_and_core(self):
+        stats = TmamStats()
+        stats.charge_compute(10, 10)  # 40 slots, 10 retire
+        assert stats.slots["Retiring"] == 10
+        assert stats.slots["Core"] == 30
+        assert stats.cycles == 10
+        stats.check_consistency()
+
+    def test_memory_stall_books_all_slots(self):
+        stats = TmamStats()
+        stats.charge_memory_stall(5)
+        assert stats.slots["Memory"] == 20
+        assert stats.memory_stall_cycles == 5
+        stats.check_consistency()
+
+    def test_translation_and_lfb_substats(self):
+        stats = TmamStats()
+        stats.charge_memory_stall(5, translation=True)
+        stats.charge_memory_stall(3, lfb=True)
+        assert stats.translation_stall_cycles == 5
+        assert stats.lfb_stall_cycles == 3
+        assert stats.memory_stall_cycles == 8
+
+    def test_mispredict_splits_badspec_and_frontend(self):
+        stats = TmamStats()
+        stats.charge_mispredict(16)
+        assert stats.mispredicts == 1
+        assert stats.slots["Bad Speculation"] == 48
+        assert stats.slots["Front-End"] == 16
+        stats.check_consistency()
+
+    def test_uop_overflow_normalizes_cycles(self):
+        stats = TmamStats()
+        stats.charge_compute(1, 9)  # needs ceil(9/4) = 3 cycles
+        assert stats.cycles == 3
+        assert stats.slots["Retiring"] == 9
+        assert stats.slots["Core"] == 3
+        stats.check_consistency()
+
+    def test_negative_charges_rejected(self):
+        stats = TmamStats()
+        with pytest.raises(SimulationError):
+            stats.charge_compute(-1, 0)
+        with pytest.raises(SimulationError):
+            stats.charge_memory_stall(-1)
+        with pytest.raises(SimulationError):
+            stats.charge_mispredict(-1)
+
+
+class TestReporting:
+    def test_breakdown_fractions_sum_to_one(self):
+        stats = TmamStats()
+        stats.charge_compute(10, 25)
+        stats.charge_memory_stall(7)
+        stats.charge_mispredict(15)
+        assert sum(stats.breakdown().values()) == pytest.approx(1.0)
+        assert set(stats.breakdown()) == set(CATEGORIES)
+
+    def test_empty_breakdown_is_zero(self):
+        assert all(v == 0.0 for v in TmamStats().breakdown().values())
+
+    def test_cpi(self):
+        stats = TmamStats()
+        stats.charge_compute(9, 10)
+        stats.charge_memory_stall(1)
+        assert stats.cpi == pytest.approx(1.0)
+
+    def test_cpi_without_instructions(self):
+        assert TmamStats().cpi == 0.0
+
+    def test_cycles_by_category_sums_to_cycles(self):
+        stats = TmamStats()
+        stats.charge_compute(10, 20)
+        stats.charge_memory_stall(90)
+        total = sum(stats.cycles_by_category().values())
+        assert total == pytest.approx(stats.cycles)
+
+    def test_snapshot_and_delta(self):
+        stats = TmamStats()
+        stats.charge_compute(10, 10)
+        snap = stats.snapshot()
+        stats.charge_memory_stall(5)
+        diff = stats.delta(snap)
+        assert diff.cycles == 5
+        assert diff.memory_stall_cycles == 5
+        assert diff.slots["Retiring"] == 0
+        # Snapshot unaffected by later charges.
+        assert snap.cycles == 10
+
+    def test_consistency_violation_detected(self):
+        stats = TmamStats()
+        stats.charge_compute(10, 10)
+        stats.slots["Core"] += 5  # corrupt
+        with pytest.raises(SimulationError):
+            stats.check_consistency()

@@ -1,0 +1,63 @@
+"""Tests for the event-trace utilities."""
+
+from repro.sim.events import SUSPEND, Compute, Load, Prefetch
+from repro.sim.trace import TraceRecorder, loads_of, prefetches_of, record_events
+
+
+def sample_stream():
+    yield Compute(1, 1)
+    yield Prefetch(64)
+    yield Load(64, 8)
+    yield Load(128, 8)
+    return "finished"
+
+
+class TestRecordEvents:
+    def test_collects_all_events_and_result(self):
+        events, result = record_events(sample_stream())
+        assert result == "finished"
+        assert len(events) == 4
+
+    def test_loads_and_prefetches_extractors(self):
+        events, _ = record_events(sample_stream())
+        assert loads_of(events) == [64, 128]
+        assert prefetches_of(events) == [64]
+
+
+class TestTraceRecorder:
+    def test_iterates_transparently(self):
+        recorder = TraceRecorder(sample_stream())
+        seen = list(recorder)
+        assert len(seen) == 4
+        assert recorder.finished
+        assert recorder.result == "finished"
+
+    def test_send_passthrough(self):
+        def echo_stream():
+            got = yield Compute(1, 1)
+            yield Load(got, 8)
+            return got
+
+        recorder = TraceRecorder(echo_stream())
+        first = next(recorder)
+        assert isinstance(first, Compute)
+        second = recorder.send(640)
+        assert isinstance(second, Load) and second.addr == 640
+        try:
+            recorder.send(None)
+        except StopIteration:
+            pass
+        assert recorder.result == 640
+
+    def test_close(self):
+        recorder = TraceRecorder(sample_stream())
+        next(recorder)
+        recorder.close()  # no error; underlying generator closed
+
+    def test_suspension_events_recorded(self):
+        def stream():
+            yield SUSPEND
+            return None
+
+        events, _ = record_events(stream())
+        assert events == [SUSPEND]

@@ -1,0 +1,123 @@
+"""Tests for workload generators and the string codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.workloads.generators import (
+    GB,
+    MB,
+    PAPER_SIZE_GRID,
+    QUICK_SIZE_GRID,
+    lookup_indices,
+    lookup_values,
+    make_table,
+    sorted_lookup_values,
+)
+from repro.workloads.strings import (
+    KEY_WIDTH,
+    common_prefix_length,
+    index_to_key,
+    key_to_index,
+)
+
+
+class TestStringCodec:
+    def test_roundtrip(self):
+        for index in (0, 1, 999, 10**14):
+            assert key_to_index(index_to_key(index)) == index
+
+    def test_fixed_width(self):
+        assert len(index_to_key(0)) == KEY_WIDTH
+        assert len(index_to_key(10**14)) == KEY_WIDTH
+
+    def test_order_preserving(self):
+        keys = [index_to_key(i) for i in (0, 5, 50, 500, 10**10)]
+        assert keys == sorted(keys)
+
+    def test_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            index_to_key(-1)
+        with pytest.raises(WorkloadError):
+            index_to_key(10**15)
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            key_to_index(b"short")
+        with pytest.raises(WorkloadError):
+            key_to_index(b"abcdefghijklmno")
+
+    def test_common_prefix(self):
+        assert common_prefix_length(b"abc", b"abd") == 2
+        assert common_prefix_length(b"abc", b"abc") == 3
+        assert common_prefix_length(b"x", b"y") == 0
+
+    @given(a=st.integers(0, 10**15 - 1), b=st.integers(0, 10**15 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_order_preservation_property(self, a, b):
+        assert (a < b) == (index_to_key(a) < index_to_key(b))
+
+
+class TestGrids:
+    def test_paper_grid_spans_1mb_to_2gb(self):
+        assert PAPER_SIZE_GRID[0] == MB
+        assert PAPER_SIZE_GRID[-1] == 2 * GB
+        assert len(PAPER_SIZE_GRID) == 12
+        assert all(b == 2 * a for a, b in zip(PAPER_SIZE_GRID, PAPER_SIZE_GRID[1:]))
+
+    def test_quick_grid_brackets_llc(self):
+        assert any(size < 25 * MB for size in QUICK_SIZE_GRID)
+        assert any(size > 25 * MB for size in QUICK_SIZE_GRID)
+
+
+class TestTables:
+    def test_int_table(self):
+        table = make_table(AddressSpaceAllocator(), "t", MB)
+        assert table.size == MB // 4
+        assert table.value_at(100) == 100
+
+    def test_string_table(self):
+        table = make_table(AddressSpaceAllocator(), "t", MB, "string")
+        assert table.size == MB // 16
+        assert table.value_at(3) == index_to_key(3)
+
+    def test_unknown_element(self):
+        with pytest.raises(WorkloadError):
+            make_table(AddressSpaceAllocator(), "t", MB, "float")
+
+
+class TestLookups:
+    def test_deterministic_seed(self):
+        a = lookup_indices(100, 1000, seed=0)
+        b = lookup_indices(100, 1000, seed=0)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = lookup_indices(100, 10_000, seed=0)
+        b = lookup_indices(100, 10_000, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_values_are_in_domain(self):
+        table = make_table(AddressSpaceAllocator(), "t", MB)
+        values = lookup_values(500, table)
+        assert all(0 <= v < table.size for v in values)
+
+    def test_string_values_are_keys(self):
+        table = make_table(AddressSpaceAllocator(), "t", MB, "string")
+        values = lookup_values(10, table, element="string")
+        assert all(isinstance(v, bytes) and len(v) == KEY_WIDTH for v in values)
+
+    def test_sorted_variant_is_sorted_same_multiset(self):
+        table = make_table(AddressSpaceAllocator(), "t", MB)
+        plain = lookup_values(200, table, seed=3)
+        sorted_list = sorted_lookup_values(200, table, seed=3)
+        assert sorted_list == sorted(plain)
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            lookup_indices(0, 10)
+        with pytest.raises(WorkloadError):
+            lookup_indices(10, 0)
