@@ -16,6 +16,7 @@ Conventions:
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -33,6 +34,43 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 _RECORDED: list[tuple[str, str]] = []
 
+#: Machine-readable accumulation of every sweep point measured this run;
+#: written to ``benchmarks/results/BENCH_sim.json`` at session end.
+_JSON_DOC: dict = {"schema": "repro.bench-sim/1", "sweeps": {}}
+
+
+def _point_record(point) -> dict:
+    """Flatten one BinarySearchPoint into the BENCH_sim.json row shape."""
+    return {
+        "technique": point.technique,
+        "size_bytes": point.size_bytes,
+        "element": point.element,
+        "group_size": point.group_size,
+        "n_lookups": point.n_lookups,
+        "cycles_per_search": point.cycles_per_search,
+        "cpi": point.tmam.cpi,
+        "cycles_by_category_per_search": point.cycles_by_category_per_search,
+        "loads_per_search": dict(point.loads_per_search),
+        "walks_per_search": dict(point.walks_per_search),
+    }
+
+
+def _query_record(point) -> dict:
+    """Flatten one QueryPoint into the BENCH_sim.json row shape."""
+    return {
+        "store": point.store,
+        "strategy": point.strategy,
+        "dict_bytes": point.dict_bytes,
+        "n_predicates": point.n_predicates,
+        "total_cycles": point.total_cycles,
+        "locate_cycles": point.locate_cycles,
+        "scan_cycles": point.scan_cycles,
+        "response_ms": point.response_ms,
+        "locate_fraction": point.locate_fraction,
+        "locate_cpi": point.locate_tmam.cpi,
+        "locate_breakdown": point.locate_tmam.breakdown(),
+    }
+
 
 @pytest.fixture(scope="session")
 def record_table():
@@ -47,6 +85,11 @@ def record_table():
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _JSON_DOC["sweeps"]:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        artifact = RESULTS_DIR / "BENCH_sim.json"
+        artifact.write_text(json.dumps(_JSON_DOC, indent=2, sort_keys=True) + "\n")
+        terminalreporter.write_line(f"wrote {artifact}")
     if not _RECORDED:
         return
     terminalreporter.write_sep("=", "reproduced tables and figures")
@@ -73,6 +116,12 @@ def _sweep(element: str) -> dict:
             )
             for size in sizes
         ]
+    _JSON_DOC["sweeps"][f"binary_search_{element}"] = {
+        "scale": bench_scale(),
+        "points": [
+            _point_record(point) for column in points.values() for point in column
+        ],
+    }
     return {"sizes": sizes, "points": points, "scale": bench_scale()}
 
 
@@ -103,6 +152,12 @@ def _query_sweep() -> dict:
                 )
                 for size in sizes
             ]
+    _JSON_DOC["sweeps"]["query"] = {
+        "scale": bench_scale(),
+        "points": [
+            _query_record(point) for column in points.values() for point in column
+        ],
+    }
     return {
         "sizes": sizes,
         "points": points,

@@ -4,10 +4,13 @@
 Profiles three binary-search implementations on the simulated core and
 prints their TMAM pipeline-slot breakdowns, the load-serving-level
 histograms, and the page-walk profile — the counters behind the paper's
-Tables 1-2 and Figures 5-6.
+Tables 1-2 and Figures 5-6. It then records one span-traced CORO run
+and exports Chrome-trace/Perfetto + JSONL artifacts (docs/observability.md).
 
-Run:  python examples/tmam_profiling.py
+Run:  python examples/tmam_profiling.py [trace-output-dir]
 """
+
+import sys
 
 from repro import HASWELL
 from repro.analysis import (
@@ -16,6 +19,8 @@ from repro.analysis import (
     format_table,
     measure_binary_search,
 )
+from repro.analysis.tracing import traced_run
+from repro.obs.export import run_summary, write_run_artifacts
 from repro.sim.memory import HIT_LEVELS
 from repro.sim.tmam import CATEGORIES
 
@@ -76,6 +81,28 @@ def main() -> None:
         "speculates past them); CORO converts them into Retiring slots — "
         "the switch instructions that buy the overlap."
     )
+
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "/tmp/repro_trace"
+    export_trace(out_dir)
+
+
+def export_trace(out_dir: str) -> None:
+    """Span-trace a small CORO run and write the Perfetto artifacts."""
+    engine, recorder = traced_run("CORO", n_lookups=24)
+    summary = run_summary(
+        "tmam_profiling",
+        {
+            "CORO": {
+                "cycles": engine.clock,
+                "issue_width": engine.cost.issue_width,
+                "metrics": engine.metrics.snapshot(),
+                "cycles_by_kind": recorder.cycles_by_kind(),
+            }
+        },
+    )
+    paths = write_run_artifacts(out_dir, "coro", {"CORO": recorder}, summary)
+    print(f"\nspan trace: {len(recorder.spans)} spans over {engine.clock} cycles")
+    print(f"open {paths['trace']} at https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

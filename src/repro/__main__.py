@@ -1,21 +1,92 @@
-"""Command-line entry point: regenerate paper artifacts.
+"""Command-line entry point: regenerate paper artifacts and traces.
 
 Usage::
 
     python -m repro list                 # available experiments
     python -m repro table5 fig7          # run and print experiments
+    python -m repro table5 --json        # machine-readable data documents
+    python -m repro trace fig7 --out /tmp/t   # span-traced run artifacts
     REPRO_BENCH_SCALE=full python -m repro fig3a   # paper's full grid
+
+The ``trace`` verb runs a fully instrumented slice of an experiment's
+kernel and writes a Chrome-trace/Perfetto JSON, a run-summary JSON, and
+a JSONL event stream into ``--out`` (see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.analysis.figures import available_experiments, run_experiment
+from repro.analysis.figures import (
+    available_experiments,
+    render_experiment_data,
+    run_experiment_data,
+)
+
+
+def _unknown(names: list[str]) -> int:
+    """Report unknown experiment names on stderr; exit status 2."""
+    listing = ", ".join(available_experiments())
+    for name in names:
+        print(f"unknown experiment {name!r}; available: {listing}", file=sys.stderr)
+    return 2
+
+
+def _trace_main(argv: list[str]) -> int:
+    from repro.analysis.tracing import (
+        TRACE_DEFAULT_LOOKUPS,
+        TRACE_DEFAULT_SIZE,
+        trace_experiment,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run a span-traced slice of an experiment's lookup kernel and "
+            "write Chrome-trace, run-summary, and JSONL artifacts."
+        ),
+    )
+    parser.add_argument("experiment", help="experiment name (see 'list')")
+    parser.add_argument(
+        "--out", required=True, metavar="DIR", help="output directory for artifacts"
+    )
+    parser.add_argument(
+        "--lookups",
+        type=int,
+        default=TRACE_DEFAULT_LOOKUPS,
+        help=f"lookups per executor (default {TRACE_DEFAULT_LOOKUPS})",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=TRACE_DEFAULT_SIZE,
+        help=f"table size in bytes (default {TRACE_DEFAULT_SIZE})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment not in available_experiments():
+        return _unknown([args.experiment])
+    from repro.errors import ReproError
+
+    try:
+        paths = trace_experiment(
+            args.experiment, args.out, n_lookups=args.lookups, size_bytes=args.size
+        )
+    except ReproError as error:
+        print(f"trace failed: {error}", file=sys.stderr)
+        return 2
+    for kind, path in paths.items():
+        print(f"{kind}: {path}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -26,7 +97,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names (or 'list' to enumerate them)",
+        help="experiment names, 'list' to enumerate them, or 'trace' "
+        "(see 'python -m repro trace --help')",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print each experiment's data document as JSON instead of ASCII",
     )
     args = parser.parse_args(argv)
 
@@ -35,12 +112,16 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    unknown = [n for n in args.experiments if n not in available_experiments()]
+    if unknown:
+        return _unknown(unknown)
+
     for name in args.experiments:
-        try:
-            print(run_experiment(name))
-        except KeyError as error:
-            print(error.args[0], file=sys.stderr)
-            return 2
+        doc = run_experiment_data(name)
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_experiment_data(doc))
         print()
     return 0
 

@@ -26,6 +26,7 @@ from repro.analysis.reporting import (
     format_size,
     format_table,
     series_table,
+    snapshot_table,
 )
 
 __all__ = [
@@ -53,19 +54,30 @@ __all__ = [
     "format_size",
     "format_table",
     "series_table",
+    "snapshot_table",
 ]
 
-from repro.analysis.figures import available_experiments, run_experiment
+from repro.analysis.figures import (
+    available_experiments,
+    render_experiment_data,
+    run_experiment,
+    run_experiment_data,
+)
 from repro.analysis.results_io import (
     binary_search_csv,
     query_csv,
     read_csv_rows,
     write_csv,
 )
+from repro.analysis.tracing import trace_experiment, traced_run
 
 __all__ += [
     "available_experiments",
+    "render_experiment_data",
     "run_experiment",
+    "run_experiment_data",
+    "trace_experiment",
+    "traced_run",
     "binary_search_csv",
     "query_csv",
     "read_csv_rows",

@@ -1,12 +1,21 @@
 """One-call regeneration of each paper artifact (backs the CLI).
 
-Every function returns the reproduced table/figure as an ASCII string.
-The benchmark suite under ``benchmarks/`` is the asserted, recorded
-version of the same experiments; these entry points exist for
-interactive use::
+Every experiment is split into a *data* function returning a
+JSON-serialisable dict (``run_experiment_data``) and a generic renderer
+that turns that dict into the reproduced table/figure as an ASCII string
+(``run_experiment``). The benchmark suite under ``benchmarks/`` is the
+asserted, recorded version of the same experiments; these entry points
+exist for interactive use::
 
     python -m repro fig3a
-    python -m repro table5 fig7
+    python -m repro table5 fig7 --json
+
+Data documents come in two kinds:
+
+* ``{"kind": "table", "title", "headers", "rows"}``
+* ``{"kind": "figure", "title", "x_label", "x", "series"}`` with an
+  optional ``"footer"`` table — rendered as a series table plus an
+  ASCII chart.
 """
 
 from __future__ import annotations
@@ -27,7 +36,49 @@ from repro.analysis.reporting import ascii_chart, format_pct, format_size, forma
 from repro.sim.memory import HIT_LEVELS
 from repro.sim.tmam import CATEGORIES
 
-__all__ = ["EXPERIMENTS", "run_experiment", "available_experiments"]
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiment_data",
+    "render_experiment_data",
+    "available_experiments",
+]
+
+
+def _table_doc(title: str, headers: list, rows: list) -> dict:
+    return {"kind": "table", "title": title, "headers": headers, "rows": rows}
+
+
+def _figure_doc(
+    title: str, x_label: str, x: list, series: dict, footer: dict | None = None
+) -> dict:
+    doc = {
+        "kind": "figure",
+        "title": title,
+        "x_label": x_label,
+        "x": list(x),
+        "series": series,
+    }
+    if footer is not None:
+        doc["footer"] = footer
+    return doc
+
+
+def render_experiment_data(doc: dict) -> str:
+    """Render a data document as the paper-style ASCII artifact."""
+    if doc["kind"] == "table":
+        return format_table(doc["headers"], doc["rows"], title=doc["title"])
+    text = (
+        series_table(
+            doc["x_label"], doc["x"], doc["series"], title=doc["title"]
+        )
+        + "\n\n"
+        + ascii_chart(doc["x"], doc["series"])
+    )
+    footer = doc.get("footer")
+    if footer is not None:
+        text += "\n" + format_table(footer["headers"], footer["rows"])
+    return text
 
 
 def _binary_sweep(element: str, sort_lookups: bool = False) -> tuple[list, dict]:
@@ -51,7 +102,7 @@ def _binary_sweep(element: str, sort_lookups: bool = False) -> tuple[list, dict]
     return sizes, points
 
 
-def fig1() -> str:
+def fig1_data() -> dict:
     sizes = size_grid()
     n = lookups_per_point()
     series = {}
@@ -60,43 +111,37 @@ def fig1() -> str:
             round(measure_query(size, "main", strategy, n_predicates=n).response_ms, 2)
             for size in sizes
         ]
-    labels = [format_size(s) for s in sizes]
-    return (
-        series_table(
-            "dict size", labels, series,
-            title=f"Figure 1: IN-predicate response time (ms), {n} INTEGER values",
-        )
-        + "\n\n"
-        + ascii_chart(labels, series)
+    return _figure_doc(
+        f"Figure 1: IN-predicate response time (ms), {n} INTEGER values",
+        "dict size",
+        [format_size(s) for s in sizes],
+        series,
     )
 
 
-def _fig3(element: str) -> str:
+def _fig3_data(element: str) -> dict:
     sizes, points = _binary_sweep(element)
     series = {
         technique: [round(p.cycles_per_search) for p in column]
         for technique, column in points.items()
     }
-    labels = [format_size(s) for s in sizes]
-    return (
-        series_table(
-            "size", labels, series,
-            title=f"Figure 3 ({element} arrays): cycles/search",
-        )
-        + "\n\n"
-        + ascii_chart(labels, series)
+    return _figure_doc(
+        f"Figure 3 ({element} arrays): cycles/search",
+        "size",
+        [format_size(s) for s in sizes],
+        series,
     )
 
 
-def fig3a() -> str:
-    return _fig3("int")
+def fig3a_data() -> dict:
+    return _fig3_data("int")
 
 
-def fig3b() -> str:
-    return _fig3("string")
+def fig3b_data() -> dict:
+    return _fig3_data("string")
 
 
-def fig5() -> str:
+def fig5_data() -> dict:
     sizes, points = _binary_sweep("int")
     rows = []
     for technique, column in points.items():
@@ -106,13 +151,14 @@ def fig5() -> str:
                 [technique, format_size(point.size_bytes)]
                 + [round(cats[c]) for c in CATEGORIES]
             )
-    return format_table(
-        ["technique", "size", *CATEGORIES], rows,
-        title="Figure 5: cycles/search by TMAM category",
+    return _table_doc(
+        "Figure 5: cycles/search by TMAM category",
+        ["technique", "size", *CATEGORIES],
+        rows,
     )
 
 
-def fig6() -> str:
+def fig6_data() -> dict:
     sizes, points = _binary_sweep("int")
     rows = []
     for technique, column in points.items():
@@ -121,13 +167,14 @@ def fig6() -> str:
                 [technique, format_size(point.size_bytes)]
                 + [round(point.loads_per_search[level], 1) for level in HIT_LEVELS]
             )
-    return format_table(
-        ["technique", "size", *HIT_LEVELS], rows,
-        title="Figure 6: loads/search by serving level",
+    return _table_doc(
+        "Figure 6: loads/search by serving level",
+        ["technique", "size", *HIT_LEVELS],
+        rows,
     )
 
 
-def fig7() -> str:
+def fig7_data() -> dict:
     groups = list(range(1, 13))
     n = min(lookups_per_point(), 400)
     curves = {
@@ -142,21 +189,23 @@ def fig7() -> str:
         for technique in ("GP", "AMAC", "CORO")
     }
     estimates = estimate_best_group_sizes(size_bytes=256 << 20, n_lookups=n)
-    body = series_table(
-        "G", groups, curves,
-        title="Figure 7: cycles/search vs group size (256 MB int array)",
-    ) + "\n\n" + ascii_chart(groups, curves)
-    footer = format_table(
-        ["technique", "estimated G*", "measured best G"],
-        [
+    footer = {
+        "headers": ["technique", "estimated G*", "measured best G"],
+        "rows": [
             [t, estimates[t].estimate, groups[c.index(min(c))]]
             for t, c in curves.items()
         ],
+    }
+    return _figure_doc(
+        "Figure 7: cycles/search vs group size (256 MB int array)",
+        "G",
+        groups,
+        curves,
+        footer=footer,
     )
-    return body + "\n" + footer
 
 
-def fig8() -> str:
+def fig8_data() -> dict:
     sizes = size_grid()
     n = lookups_per_point()
     series = {}
@@ -172,18 +221,15 @@ def fig8() -> str:
                 )
                 for size in sizes
             ]
-    labels = [format_size(s) for s in sizes]
-    return (
-        series_table(
-            "dict size", labels, series,
-            title="Figure 8: IN-predicate response time (ms), Main & Delta",
-        )
-        + "\n\n"
-        + ascii_chart(labels, series)
+    return _figure_doc(
+        "Figure 8: IN-predicate response time (ms), Main & Delta",
+        "dict size",
+        [format_size(s) for s in sizes],
+        series,
     )
 
 
-def table1() -> str:
+def table1_data() -> dict:
     sizes = size_grid()
     n = lookups_per_point()
     cells = {
@@ -194,7 +240,8 @@ def table1() -> str:
         for store in ("main", "delta")
     }
     labels = [format_size(sizes[0]), format_size(sizes[-1])]
-    return format_table(
+    return _table_doc(
+        "Table 1: execution details of locate",
         ["", f"Main {labels[0]}", f"Main {labels[1]}",
          f"Delta {labels[0]}", f"Delta {labels[1]}"],
         [
@@ -203,11 +250,10 @@ def table1() -> str:
             ["CPI"]
             + [f"{q.locate_tmam.cpi:.1f}" for q in cells["main"] + cells["delta"]],
         ],
-        title="Table 1: execution details of locate",
     )
 
 
-def table2() -> str:
+def table2_data() -> dict:
     sizes = size_grid()
     n = lookups_per_point()
     columns = []
@@ -221,31 +267,31 @@ def table2() -> str:
         [category] + [format_pct(col[category]) for col in columns]
         for category in CATEGORIES
     ]
-    return format_table(headers, rows, title="Table 2: pipeline slots of locate")
+    return _table_doc("Table 2: pipeline slots of locate", headers, rows)
 
 
-def table5() -> str:
-    return format_table(
+def table5_data() -> dict:
+    return _table_doc(
+        "Table 5: LoC metrics over this repository's implementations",
         ["technique", "interleaved LoC", "diff-to-original", "total footprint"],
         [
             [m.technique, m.interleaved_loc, m.diff_to_original, m.total_footprint]
             for m in table5_metrics()
         ],
-        title="Table 5: LoC metrics over this repository's implementations",
     )
 
 
-EXPERIMENTS: dict[str, Callable[[], str]] = {
-    "fig1": fig1,
-    "fig3a": fig3a,
-    "fig3b": fig3b,
-    "fig5": fig5,
-    "fig6": fig6,
-    "fig7": fig7,
-    "fig8": fig8,
-    "table1": table1,
-    "table2": table2,
-    "table5": table5,
+EXPERIMENTS: dict[str, Callable[[], dict]] = {
+    "fig1": fig1_data,
+    "fig3a": fig3a_data,
+    "fig3b": fig3b_data,
+    "fig5": fig5_data,
+    "fig6": fig6_data,
+    "fig7": fig7_data,
+    "fig8": fig8_data,
+    "table1": table1_data,
+    "table2": table2_data,
+    "table5": table5_data,
 }
 
 
@@ -253,10 +299,18 @@ def available_experiments() -> list[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(name: str) -> str:
+def run_experiment_data(name: str) -> dict:
+    """Run ``name`` and return its machine-readable data document."""
     try:
-        return EXPERIMENTS[name]()
+        doc = EXPERIMENTS[name]()
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
         ) from None
+    doc["experiment"] = name
+    return doc
+
+
+def run_experiment(name: str) -> str:
+    """Run ``name`` and return the rendered ASCII table/figure."""
+    return render_experiment_data(run_experiment_data(name))

@@ -9,7 +9,11 @@ copied from the paper. (Absolute numbers differ from the C++ originals;
 the ordering — CORO-U smallest, AMAC largest — is the reproducible claim.)
 
 Doc-strings, comments, and blank lines are stripped first: the metric is
-about executable code.
+about executable code. Span-tracer instrumentation lines (the
+:mod:`repro.obs` hooks, recognisable by their ``tracer`` references) are
+stripped the same way — they are observability plumbing shared by every
+technique, not lookup logic, and counting them would skew the paper's
+implementation-effort comparison.
 """
 
 from __future__ import annotations
@@ -43,9 +47,14 @@ class LocMetrics:
     total_footprint: int
 
 
+#: Lines referencing the span tracer are observability hooks, not code
+#: under measurement (see module docstring).
+_INSTRUMENTATION_MARKERS = ("tracer.", "tracer =", "engine.tracer")
+
+
 def code_lines(obj) -> list[str]:
     """Executable source lines of a function/class: no comments, no
-    docstrings, no blanks."""
+    docstrings, no blanks, no span-tracer instrumentation."""
     source = textwrap.dedent(inspect.getsource(obj))
     # Collect docstring/comment positions via the token stream.
     drop: set[int] = set()
@@ -65,11 +74,18 @@ def code_lines(obj) -> list[str]:
                 for line in range(token.start[0], token.end[0] + 1):
                     drop.add(line)
     lines = []
+    instrumentation_depth = 0  # open parens of a spanning tracer call
     for number, line in enumerate(source.splitlines(), start=1):
         if number in drop:
             continue
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
+            continue
+        if instrumentation_depth > 0:
+            instrumentation_depth += stripped.count("(") - stripped.count(")")
+            continue
+        if any(marker in stripped for marker in _INSTRUMENTATION_MARKERS):
+            instrumentation_depth = stripped.count("(") - stripped.count(")")
             continue
         lines.append(stripped)
     return lines

@@ -15,6 +15,7 @@ __all__ = [
     "format_size",
     "format_pct",
     "series_table",
+    "snapshot_table",
     "banner",
 ]
 
@@ -78,6 +79,26 @@ def series_table(
         for index, x in enumerate(x_values)
     ]
     return format_table(headers, rows, title=title)
+
+
+def snapshot_table(snapshot: dict, *, title: str | None = None) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as an ASCII table.
+
+    Nested dicts flatten into dotted metric paths, one row per leaf, so
+    the whole counter hierarchy (``tmam.slots.Memory``,
+    ``memory.cache.l1.hits``, ...) prints as a single aligned listing.
+    """
+    rows: list[list[object]] = []
+
+    def walk(prefix: str, node: object) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), value)
+        else:
+            rows.append([prefix, node])
+
+    walk("", snapshot)
+    return format_table(["metric", "value"], rows, title=title)
 
 
 def banner(text: str) -> str:

@@ -254,10 +254,13 @@ def amac_run_bulk(
         return []
     results: list[object] = [None] * len(inputs)
     ctx = StreamContext()
+    tracer = engine.tracer
 
     group = min(group_size, len(inputs))
     buffer: list[tuple[int, AmacMachine] | None] = []
     for index in range(group):
+        if tracer.enabled:
+            tracer.declare_track(index, f"amac state {index}")
         machine = machine_factory()
         machine.start(inputs[index])
         buffer.append((index, machine))
@@ -270,6 +273,10 @@ def amac_run_bulk(
             if slot is None:
                 continue
             index, machine = slot
+            if tracer.enabled:
+                tracer.set_track(position)
+                begin = engine.clock
+                label = f"lookup {index}"
             engine.charge_switch("amac")
             while True:
                 outcome = machine.step(engine, ctx)
@@ -286,6 +293,10 @@ def amac_run_bulk(
                     buffer[position] = None
                     not_done -= 1
                     break
+            if tracer.enabled:
+                tracer.span("resume", begin, engine.clock, name=label)
+                if buffer[position] is not None:
+                    tracer.instant("suspend", engine.clock, name=label)
     return results
 
 

@@ -53,6 +53,7 @@ def gp_binary_search_bulk(
     costs = costs.for_table(table)
     switch_cycles, switch_instructions = engine.cost.gp_switch
     ctx = StreamContext()
+    tracer = engine.tracer
     results: list[int] = []
 
     for start in range(0, len(values), group_size):
@@ -61,13 +62,17 @@ def gp_binary_search_bulk(
         while size // 2 > 0:
             half = size // 2
             # Prefetch stage: one probe prefetch per stream in the group.
-            for state in group:
+            for offset, state in enumerate(group):
+                if tracer.enabled:
+                    tracer.set_track(offset)
                 probe = state.low + half
                 engine.dispatch(
                     Prefetch(table.address_of(probe), table.element_size), ctx
                 )
             # Load stage: consume the prefetched values.
-            for state in group:
+            for offset, state in enumerate(group):
+                if tracer.enabled:
+                    tracer.set_track(offset); begin = engine.clock  # noqa: E702
                 probe = state.low + half
                 engine.dispatch(
                     Load(table.address_of(probe), table.element_size), ctx
@@ -77,6 +82,10 @@ def gp_binary_search_bulk(
                 engine.compute(switch_cycles, switch_instructions)
                 if table.value_at(probe) <= state.value:
                     state.low = probe
+                if tracer.enabled:
+                    tracer.span(
+                        "resume", begin, engine.clock, name=f"lookup {start + offset}"
+                    )
             size -= half
         results.extend(state.low for state in group)
     return results

@@ -51,10 +51,14 @@ def run_interleaved(
         FramePool() if recycle_frames else None
     )
     results: list[object] = [None] * len(inputs)
+    tracer = engine.tracer
 
     group = min(group_size, len(inputs))
     slots: list[tuple[int, CoroutineHandle] | None] = []
     for index in range(group):
+        if tracer.enabled:
+            tracer.declare_track(index, f"frame {index}")
+            tracer.set_track(index)
         stream = factory(inputs[index], True)
         slots.append((index, CoroutineHandle(engine, stream, frame_pool=pool)))
 
@@ -67,11 +71,22 @@ def run_interleaved(
                 continue
             index, handle = slot
             if not handle.is_done():
+                if tracer.enabled:
+                    tracer.set_track(position)
+                    begin = engine.clock
                 engine.charge_switch(switch_kind)
                 handle.resume()
+                if tracer.enabled:
+                    tracer.span("resume", begin, engine.clock, name=f"lookup {index}")
+                    if not handle.is_done():
+                        tracer.instant(
+                            "suspend", engine.clock, name=f"lookup {index}"
+                        )
                 continue
             results[index] = handle.get_result()
             if next_input < len(inputs):
+                if tracer.enabled:
+                    tracer.set_track(position)
                 stream = factory(inputs[next_input], True)
                 slots[position] = (
                     next_input,

@@ -26,11 +26,23 @@ def run_sequential(
     factory: StreamFactory,
     inputs: Iterable[object],
 ) -> list[object]:
-    """Run one lookup per input, one after the other; results in order."""
+    """Run one lookup per input, one after the other; results in order.
+
+    Under tracing all lookups share one track — the elided frame — with
+    one ``lookup`` span each, so sequential baselines render as a single
+    back-to-back timeline next to the interleaved executors.
+    """
+    tracer = engine.tracer
+    if tracer.enabled:
+        tracer.declare_track(0, "sequential frame")
+        tracer.set_track(0)
     results: list[object] = []
-    for value in inputs:
+    for index, value in enumerate(inputs):
+        begin = engine.clock
         handle = CoroutineHandle(
             engine, factory(value, False), charge_allocation=False
         )
         results.append(handle.run_to_completion())
+        if tracer.enabled:
+            tracer.span("lookup", begin, engine.clock, name=f"lookup {index}")
     return results

@@ -1,0 +1,56 @@
+"""Observability: metrics registry, span tracing, and run artifacts.
+
+The paper argues through measurement — TMAM slot breakdowns (Tables 1–2),
+loads by serving level (Figure 6), per-phase cycle profiles (Figure 5) —
+so the simulator carries a first-class instrumentation layer:
+
+* :mod:`repro.obs.metrics` — a hierarchical registry of named counters,
+  gauges, and cycle-latency histograms. Simulator components register
+  their stats as *sources*; ``registry.snapshot()`` returns one nested
+  dict covering every counter the reporting layer prints.
+* :mod:`repro.obs.spans` — a cycle-stamped span tracer. Schedulers and
+  the execution engine record resume / compute / stall / switch spans
+  per coroutine frame, plus counter tracks (LFB occupancy, TLB walks),
+  making an interleaved group's schedule visible as a timeline.
+* :mod:`repro.obs.export` — exporters: JSONL events, Chrome-trace /
+  Perfetto JSON (one "thread" per coroutine frame, cycle timestamps),
+  and a JSON run summary.
+
+Instrumentation is **zero-overhead by default**: the engine ships with
+the shared :data:`~repro.obs.spans.NULL_RECORDER`, whose ``enabled``
+flag gates every hot-path hook, so un-traced runs charge bit-identical
+cycle counts.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    NULL_RECORDER,
+    NullRecorder,
+    RecordingStream,
+    Span,
+    SpanRecorder,
+    SPAN_KINDS,
+)
+from repro.obs.export import (
+    chrome_trace,
+    run_summary,
+    spans_jsonl,
+    write_run_artifacts,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "RecordingStream",
+    "Span",
+    "SpanRecorder",
+    "SPAN_KINDS",
+    "chrome_trace",
+    "run_summary",
+    "spans_jsonl",
+    "write_run_artifacts",
+]

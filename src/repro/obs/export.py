@@ -1,0 +1,165 @@
+"""Exporters: Chrome-trace / Perfetto JSON, JSONL events, run summaries.
+
+Three machine-readable views of one traced run:
+
+* :func:`chrome_trace` — the Trace Event Format consumed by Perfetto and
+  ``chrome://tracing``. Each executor becomes one *process* (``pid``),
+  each coroutine frame one *thread* (``tid``); spans are complete
+  (``"ph": "X"``) events, suspensions are instants, and counter tracks
+  (LFB occupancy, TLB walks) are ``"ph": "C"`` events. Timestamps are
+  simulated **cycles** (displayed as microseconds — 1 cycle reads as
+  1 µs in the UI).
+* :func:`spans_jsonl` — one JSON object per span / counter sample, in
+  recording order; greppable and streamable.
+* :func:`run_summary` — the per-executor registry snapshot plus span
+  aggregates, the artifact the bench trajectory and `--json` runs build
+  on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterator, Mapping
+
+from repro.obs.spans import SpanRecorder
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "RUN_SUMMARY_SCHEMA",
+    "chrome_trace",
+    "spans_jsonl",
+    "run_summary",
+    "write_run_artifacts",
+]
+
+CHROME_TRACE_SCHEMA = "repro.chrome-trace/1"
+RUN_SUMMARY_SCHEMA = "repro.run-summary/1"
+
+
+def chrome_trace(recorders: Mapping[str, SpanRecorder]) -> dict:
+    """Build one Trace Event Format document from named recorders.
+
+    ``recorders`` maps an executor name (one simulated run) to its span
+    recorder; each executor gets its own pid so Perfetto groups its
+    frame tracks together.
+    """
+    events: list[dict] = []
+    for pid, (process, recorder) in enumerate(recorders.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+        for track, label in sorted(recorder.tracks.items()):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": track,
+                    "args": {"name": label},
+                }
+            )
+        for span in recorder.spans:
+            if span.kind == "suspend" or span.start == span.end:
+                event = {
+                    "name": span.name or span.kind,
+                    "cat": span.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": span.start,
+                    "pid": pid,
+                    "tid": span.track,
+                }
+            else:
+                event = {
+                    "name": span.name or span.kind,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": span.start,
+                    "dur": span.duration,
+                    "pid": pid,
+                    "tid": span.track,
+                }
+            if span.attrs:
+                event["args"] = dict(span.attrs)
+            events.append(event)
+        for counter, samples in recorder.counters.items():
+            for cycle, value in samples:
+                events.append(
+                    {
+                        "name": counter,
+                        "ph": "C",
+                        "ts": cycle,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"value": value},
+                    }
+                )
+    return {
+        "schema": CHROME_TRACE_SCHEMA,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "cycles", "note": "1 trace µs == 1 simulated cycle"},
+        "traceEvents": events,
+    }
+
+
+def spans_jsonl(recorders: Mapping[str, SpanRecorder]) -> Iterator[str]:
+    """Yield one compact JSON line per span and counter sample."""
+    for process, recorder in recorders.items():
+        for span in recorder.spans:
+            record = span.as_dict()
+            record["process"] = process
+            yield json.dumps(record, sort_keys=True)
+        for counter, samples in recorder.counters.items():
+            for cycle, value in samples:
+                yield json.dumps(
+                    {
+                        "process": process,
+                        "counter": counter,
+                        "cycle": cycle,
+                        "value": value,
+                    },
+                    sort_keys=True,
+                )
+
+
+def run_summary(experiment: str, executors: Mapping[str, Mapping]) -> dict:
+    """Assemble the run-summary document for one traced experiment.
+
+    Each executor entry is expected to carry at least ``cycles``,
+    ``issue_width``, and a registry snapshot under ``metrics`` (the
+    tracing harness adds workload context such as ``n_lookups``).
+    """
+    return {
+        "schema": RUN_SUMMARY_SCHEMA,
+        "experiment": experiment,
+        "executors": {name: dict(data) for name, data in executors.items()},
+    }
+
+
+def write_run_artifacts(
+    out_dir: str | pathlib.Path,
+    experiment: str,
+    recorders: Mapping[str, SpanRecorder],
+    summary: Mapping,
+) -> dict[str, pathlib.Path]:
+    """Write trace + summary + JSONL artifacts; return their paths."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "trace": out / f"{experiment}_trace.json",
+        "summary": out / f"{experiment}_summary.json",
+        "events": out / f"{experiment}_events.jsonl",
+    }
+    paths["trace"].write_text(json.dumps(chrome_trace(recorders), indent=1) + "\n")
+    paths["summary"].write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    with paths["events"].open("w") as handle:
+        for line in spans_jsonl(recorders):
+            handle.write(line + "\n")
+    return paths

@@ -1,0 +1,252 @@
+"""Cycle-stamped span tracing for simulator runs.
+
+A *span* is an interval of simulated cycles attributed to one *track* —
+one coroutine frame (scheduler slot). Schedulers open ``resume`` spans
+around each frame resumption; inside them the execution engine records
+``compute``, ``stall`` (tagged with the serving hit level), ``switch``,
+and ``alloc`` spans, plus instantaneous ``suspend`` markers. Counter
+tracks sample time-varying values (LFB occupancy, cumulative TLB walks)
+alongside the spans. Together they render an interleaved group's
+schedule as a timeline — the profiler view behind the paper's Figures
+5–6 reasoning.
+
+Recording is **opt-in**. The engine holds :data:`NULL_RECORDER` by
+default; every hook is gated on ``recorder.enabled``, so untraced runs
+do no observability work at all and their cycle counts are bit-identical
+to an uninstrumented simulator.
+
+:class:`RecordingStream` is the one event-recording path: it wraps an
+instruction stream, forwards the *full* generator protocol (``send``,
+``throw``, ``close``), and hands every yielded event to a sink.
+:class:`~repro.sim.trace.TraceRecorder` and the span tracer's
+:meth:`SpanRecorder.wrap_stream` are both thin shims over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "SPAN_KINDS",
+    "Span",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "SpanRecorder",
+    "RecordingStream",
+]
+
+#: Span vocabulary, in rough nesting order.
+SPAN_KINDS = (
+    "lookup",  # one whole lookup, open across suspensions
+    "resume",  # scheduler resumed a frame until its next suspension
+    "compute",  # straight-line computation on the core
+    "stall",  # exposed memory latency (attrs: level, translation)
+    "switch",  # scheduler switch overhead (coro / amac / gp bookkeeping)
+    "alloc",  # coroutine frame allocation
+    "suspend",  # instantaneous: the frame suspended
+    "event",  # raw instruction-stream event (from RecordingStream)
+)
+
+
+@dataclass(slots=True)
+class Span:
+    """One attributed interval of simulated cycles."""
+
+    kind: str
+    track: int
+    start: int
+    end: int
+    name: str = ""
+    attrs: dict | None = None
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        record: dict = {
+            "kind": self.kind,
+            "track": self.track,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.name:
+            record["name"] = self.name
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+class NullRecorder:
+    """The default recorder: records nothing, costs nothing.
+
+    ``enabled`` is False, and hot paths check that flag before building
+    any span arguments — so the only per-event cost of the instrumented
+    simulator is one attribute test.
+    """
+
+    enabled = False
+
+    def declare_track(self, track: int, label: str) -> None:
+        pass
+
+    def set_track(self, track: int) -> None:
+        pass
+
+    def span(self, kind, start, end, name="", attrs=None) -> None:
+        pass
+
+    def instant(self, kind, cycle, name="", attrs=None) -> None:
+        pass
+
+    def counter(self, name, cycle, value) -> None:
+        pass
+
+    def wrap_stream(self, stream, label=""):
+        return stream
+
+
+#: Shared do-nothing recorder instance (the engine's default).
+NULL_RECORDER = NullRecorder()
+
+
+class SpanRecorder(NullRecorder):
+    """Collects spans and counter samples for one traced run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.tracks: dict[int, str] = {}
+        self.counters: dict[str, list[tuple[int, float]]] = {}
+        self.current_track = 0
+
+    # ------------------------------------------------------------------
+    # Track attribution (called by schedulers)
+    # ------------------------------------------------------------------
+
+    def declare_track(self, track: int, label: str) -> None:
+        """Name a track (one coroutine frame / scheduler slot)."""
+        self.tracks[track] = label
+
+    def set_track(self, track: int) -> None:
+        """Attribute subsequent engine-level spans to ``track``."""
+        if track not in self.tracks:
+            self.tracks[track] = f"frame {track}"
+        self.current_track = track
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def span(
+        self,
+        kind: str,
+        start: int,
+        end: int,
+        name: str = "",
+        attrs: dict | None = None,
+    ) -> None:
+        """Record an interval on the current track."""
+        self.spans.append(Span(kind, self.current_track, start, end, name, attrs))
+
+    def instant(
+        self, kind: str, cycle: int, name: str = "", attrs: dict | None = None
+    ) -> None:
+        """Record a zero-width marker on the current track."""
+        self.spans.append(Span(kind, self.current_track, cycle, cycle, name, attrs))
+
+    def counter(self, name: str, cycle: int, value: float) -> None:
+        """Sample a counter track; consecutive duplicates are elided."""
+        samples = self.counters.setdefault(name, [])
+        if samples and samples[-1][1] == value:
+            return
+        samples.append((cycle, value))
+
+    def wrap_stream(self, stream, label: str = "") -> "RecordingStream":
+        """Record every raw event of ``stream`` as an ``event`` instant.
+
+        Cycle attribution is unknown at the stream layer, so events are
+        stamped with their ordinal position; schedulers that need
+        cycle-accurate intervals use :meth:`span` instead.
+        """
+        track = self.current_track
+
+        def sink(event) -> None:
+            ordinal = len(self.spans)
+            self.spans.append(
+                Span("event", track, ordinal, ordinal, type(event).__name__, None)
+            )
+
+        return RecordingStream(stream, sink, label=label)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def spans_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for span in self.spans:
+            counts[span.kind] = counts.get(span.kind, 0) + 1
+        return counts
+
+    def cycles_by_kind(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for span in self.spans:
+            totals[span.kind] = totals.get(span.kind, 0) + span.duration
+        return totals
+
+
+class RecordingStream:
+    """Generator-protocol-preserving wrapper that observes every event.
+
+    Forwards ``send``, ``throw``, and ``close`` to the wrapped stream —
+    so conditional-suspension coroutines (which receive prefetch
+    outcomes via ``send``) and cancellation paths behave identically
+    under recording — while handing each yielded event to ``sink`` and
+    capturing the stream's return value.
+    """
+
+    def __init__(
+        self,
+        stream,
+        sink: Callable[[object], None],
+        *,
+        label: str = "",
+    ) -> None:
+        self._stream = stream
+        self._sink = sink
+        self.label = label
+        self.result: object = None
+        self.finished = False
+
+    def __iter__(self) -> Iterator:
+        return self
+
+    def __next__(self):
+        return self.send(None)
+
+    def send(self, value):
+        try:
+            event = self._stream.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.finished = True
+            raise
+        self._sink(event)
+        return event
+
+    def throw(self, exc, value=None, tb=None):
+        try:
+            event = self._stream.throw(exc, value, tb)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.finished = True
+            raise
+        self._sink(event)
+        return event
+
+    def close(self) -> None:
+        self.finished = True
+        self._stream.close()

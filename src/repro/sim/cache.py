@@ -35,6 +35,17 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         return CacheStats(self.hits, self.misses, self.installs, self.evictions)
 
+    def as_dict(self) -> dict:
+        """Plain-dict view (metrics-registry source)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "installs": self.installs,
+            "evictions": self.evictions,
+            "accesses": self.accesses,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class SetAssociativeCache:
     """One level of the cache hierarchy, keyed by cache-line number."""
@@ -84,6 +95,16 @@ class SetAssociativeCache:
         ways[line] = None
         self.stats.installs += 1
         return evicted
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Mount this level's counters in a metrics registry."""
+
+        def source() -> dict:
+            counters = self.stats.as_dict()
+            counters["resident_lines"] = self.resident_lines
+            return counters
+
+        registry.register_source(prefix, source)
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` if resident; return whether it was present."""

@@ -30,6 +30,8 @@ from typing import Generator, Iterable
 
 from repro.config import HASWELL, ArchSpec
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.sim.address import lines_touched
 from repro.sim.events import Compute, Event, FrameAlloc, Load, Prefetch, Store, Suspend
 from repro.sim.memory import MemorySystem
@@ -66,6 +68,8 @@ class ExecutionEngine:
         memory: MemorySystem | None = None,
         *,
         seed: int = 0,
+        tracer: NullRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.arch = arch
         self.cost = arch.cost
@@ -75,6 +79,20 @@ class ExecutionEngine:
         self.clock = 0
         self.tmam = TmamStats(issue_width=arch.cost.issue_width)
         self._rng = random.Random(seed)
+        #: Span recorder; the shared null recorder unless a run is traced.
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
+        #: Unified metrics registry covering engine, TMAM, and memory stats.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.register_source("engine", self._engine_metrics)
+        self.tmam.register_metrics(self.metrics)
+        self.memory.register_metrics(self.metrics)
+
+    def _engine_metrics(self) -> dict:
+        return {"cycles": self.clock, "issue_width": self.cost.issue_width}
+
+    def attach_tracer(self, tracer: NullRecorder) -> None:
+        """Record spans of subsequent execution into ``tracer``."""
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Primitives
@@ -83,7 +101,10 @@ class ExecutionEngine:
     def compute(self, cycles: int, instructions: int) -> None:
         """Advance the clock by straight-line computation."""
         self.tmam.charge_compute(cycles, instructions)
-        self.clock += max(cycles, -(-instructions // self.cost.issue_width))
+        advance = max(cycles, -(-instructions // self.cost.issue_width))
+        if self.tracer.enabled and advance:
+            self.tracer.span("compute", self.clock, self.clock + advance)
+        self.clock += advance
 
     def charge_switch(self, kind: str) -> None:
         """Charge one instruction-stream switch for technique ``kind``."""
@@ -91,7 +112,10 @@ class ExecutionEngine:
             cycles, instructions = getattr(self.cost, f"{kind}_switch")
         except AttributeError:
             raise SimulationError(f"unknown switch kind {kind!r}") from None
+        start = self.clock
         self.compute(cycles, instructions)
+        if self.tracer.enabled:
+            self.tracer.span("switch", start, self.clock, name=f"{kind} switch")
 
     def _translate(self, addr: int) -> None:
         """Translate ``addr``, charging any stall to the Memory category.
@@ -109,7 +133,19 @@ class ExecutionEngine:
             )
         if charged:
             self.tmam.charge_memory_stall(charged, translation=True)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "stall",
+                    self.clock,
+                    self.clock + charged,
+                    name="translation",
+                    attrs={"level": result.level, "translation": True},
+                )
             self.clock += charged
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "tlb_walks", self.clock, self.memory.tlb.stats.walks
+            )
 
     def execute_load(self, event: Load, ctx: StreamContext | None = None) -> None:
         """Execute a demand load, stalling for exposed latency."""
@@ -121,17 +157,36 @@ class ExecutionEngine:
             self.tmam.note_branch()
             if ctx.predicted_line != lines[0]:
                 self.tmam.charge_mispredict(self.cost.mispredict_penalty)
+                if self.tracer.enabled:
+                    self.tracer.span(
+                        "stall",
+                        self.clock,
+                        self.clock + self.cost.mispredict_penalty,
+                        name="mispredict",
+                        attrs={"mispredict": True},
+                    )
                 self.clock += self.cost.mispredict_penalty
             ctx.predicted_line = None
 
         issued_at = self.clock
         ready = self.clock
+        level = "L1"
         for line in lines:
             outcome = self.memory.load_line(line, self.clock)
             if outcome.issue_stall:
                 self.tmam.charge_memory_stall(outcome.issue_stall, lfb=True)
+                if self.tracer.enabled:
+                    self.tracer.span(
+                        "stall",
+                        self.clock,
+                        self.clock + outcome.issue_stall,
+                        name="lfb full",
+                        attrs={"lfb": True},
+                    )
                 self.clock += outcome.issue_stall
-            ready = max(ready, outcome.ready)
+            if outcome.ready >= ready:
+                ready = outcome.ready
+                level = outcome.level
 
         # Speculative issue of the predicted next load while this one stalls.
         hide = self.cost.ooo_hide
@@ -152,7 +207,19 @@ class ExecutionEngine:
         exposed = max(0, ready - self.clock - hide)
         if exposed:
             self.tmam.charge_memory_stall(exposed)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "stall",
+                    self.clock,
+                    self.clock + exposed,
+                    name=f"load {level}",
+                    attrs={"level": level},
+                )
             self.clock += exposed
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "lfb_occupancy", self.clock, self.memory.lfbs.occupancy
+            )
 
     def execute_store(self, event: Store) -> None:
         """Execute a store (read-for-ownership on a miss).
@@ -174,6 +241,14 @@ class ExecutionEngine:
         exposed = max(0, ready - self.clock - hide)
         if exposed:
             self.tmam.charge_memory_stall(exposed)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "stall",
+                    self.clock,
+                    self.clock + exposed,
+                    name="store",
+                    attrs={"store": True},
+                )
             self.clock += exposed
 
     def execute_prefetch(self, event: Prefetch) -> bool:
@@ -195,11 +270,26 @@ class ExecutionEngine:
             after = self.memory.prefetch_line(line, self.clock, nta=event.nta)
             if after > self.clock:
                 self.tmam.charge_memory_stall(after - self.clock, lfb=True)
+                if self.tracer.enabled:
+                    self.tracer.span(
+                        "stall",
+                        self.clock,
+                        after,
+                        name="lfb full",
+                        attrs={"lfb": True},
+                    )
                 self.clock = after
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "lfb_occupancy", self.clock, self.memory.lfbs.occupancy
+            )
         return cached
 
     def execute_frame_alloc(self) -> None:
+        start = self.clock
         self.compute(self.cost.frame_alloc_cycles, self.cost.frame_alloc_instructions)
+        if self.tracer.enabled:
+            self.tracer.span("alloc", start, self.clock, name="frame alloc")
 
     # ------------------------------------------------------------------
     # Stream driving

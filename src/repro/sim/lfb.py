@@ -61,6 +61,21 @@ class LineFillBuffers:
     def occupancy(self) -> int:
         return len(self._in_flight)
 
+    def as_dict(self) -> dict:
+        """Plain-dict view (metrics-registry source)."""
+        return {
+            "capacity": self.capacity,
+            "occupancy": self.occupancy,
+            "fills_issued": self.fills_issued,
+            "merges": self.merges,
+            "peak_occupancy": self.peak_occupancy,
+            "issue_stall_cycles": self.issue_stall_cycles,
+        }
+
+    def register_metrics(self, registry, prefix: str = "lfb") -> None:
+        """Mount fill-buffer counters in a metrics registry."""
+        registry.register_source(prefix, self.as_dict)
+
     def find(self, line: int) -> FillRequest | None:
         """Return the in-flight fill for ``line``, if any (no draining)."""
         return self._in_flight.get(line)

@@ -65,6 +65,16 @@ class MemoryStats:
         copy.prefetch_useless = self.prefetch_useless
         return copy
 
+    def as_dict(self) -> dict:
+        """Plain-dict view (metrics-registry source)."""
+        return {
+            "loads": self.loads,
+            "loads_by_level": dict(self.loads_by_level),
+            "l1d_misses": self.l1d_misses,
+            "prefetches": self.prefetches,
+            "prefetch_useless": self.prefetch_useless,
+        }
+
     def delta(self, earlier: "MemoryStats") -> "MemoryStats":
         """Return the counters accumulated since ``earlier``."""
         diff = MemoryStats()
@@ -92,6 +102,20 @@ class MemorySystem:
         #: Extra cycles added to every DRAM access (0 = local socket).
         #: Raised by the NUMA ablation to model remote-socket memory.
         self.extra_dram_latency = 0
+
+    def register_metrics(self, registry, prefix: str = "memory") -> None:
+        """Mount every memory-side counter in a metrics registry.
+
+        One call covers the demand-load classification plus the per-level
+        cache, LFB, and TLB counters — the engine calls this so that
+        ``engine.metrics.snapshot()`` is the whole machine.
+        """
+        registry.register_source(prefix, self.stats.as_dict)
+        self.l1.register_metrics(registry, "cache.l1")
+        self.l2.register_metrics(registry, "cache.l2")
+        self.l3.register_metrics(registry, "cache.l3")
+        self.lfbs.register_metrics(registry, "lfb")
+        self.tlb.register_metrics(registry, "tlb")
 
     # ------------------------------------------------------------------
     # Fill plumbing

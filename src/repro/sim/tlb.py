@@ -90,6 +90,17 @@ class TlbStats:
     def translations(self) -> int:
         return self.dtlb_hits + self.stlb_hits + self.walks
 
+    def as_dict(self) -> dict:
+        """Plain-dict view (metrics-registry source)."""
+        return {
+            "dtlb_hits": self.dtlb_hits,
+            "stlb_hits": self.stlb_hits,
+            "walks": self.walks,
+            "walks_by_level": dict(self.walks_by_level),
+            "walk_cycles": self.walk_cycles,
+            "translations": self.translations,
+        }
+
 
 class Tlb:
     """DTLB + STLB + page walker.
@@ -141,6 +152,10 @@ class Tlb:
         self._stlb.install(vpn)
         self._dtlb.install(vpn)
         return TranslationResult(cycles, level)
+
+    def register_metrics(self, registry, prefix: str = "tlb") -> None:
+        """Mount translation counters in a metrics registry."""
+        registry.register_source(prefix, self.stats.as_dict)
 
     def flush(self) -> None:
         """Empty both TLB levels (statistics are preserved)."""

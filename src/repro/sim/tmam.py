@@ -118,6 +118,27 @@ class TmamStats:
             for category, fraction in self.breakdown().items()
         }
 
+    def as_dict(self) -> dict:
+        """Every TMAM counter as one plain dict (metrics-registry source)."""
+        return {
+            "issue_width": self.issue_width,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "cpi": self.cpi,
+            "total_slots": self.total_slots,
+            "slots": dict(self.slots),
+            "breakdown": self.breakdown(),
+            "memory_stall_cycles": self.memory_stall_cycles,
+            "translation_stall_cycles": self.translation_stall_cycles,
+            "lfb_stall_cycles": self.lfb_stall_cycles,
+            "mispredicts": self.mispredicts,
+            "branches": self.branches,
+        }
+
+    def register_metrics(self, registry, prefix: str = "tmam") -> None:
+        """Mount these counters in a metrics registry under ``prefix``."""
+        registry.register_source(prefix, self.as_dict)
+
     def check_consistency(self) -> None:
         """Raise if slot accounting does not cover exactly all cycles."""
         total = sum(self.slots.values())

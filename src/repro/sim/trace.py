@@ -6,52 +6,29 @@ event flowing to the scheduler/engine, preserving the stream's behaviour
 equivalence* — e.g. that the implicit (synthetic) sorted array touches
 exactly the addresses the numpy-backed one touches, or that interleaved
 execution issues one prefetch per suspension.
+
+The recorder is a thin shim over :class:`repro.obs.spans.RecordingStream`
+— the one event-recording path shared with the span tracer — so it
+forwards the *full* generator protocol (``send``, ``throw``, ``close``)
+and behaves identically to the bare stream under conditional-suspension
+coroutines and cancellation.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
-
+from repro.obs.spans import RecordingStream
 from repro.sim.events import Event, Load, Prefetch
 from repro.sim.engine import InstructionStream
 
 __all__ = ["TraceRecorder", "record_events", "loads_of", "prefetches_of"]
 
 
-class TraceRecorder:
+class TraceRecorder(RecordingStream):
     """Wraps a stream, keeping a list of every event it yields."""
 
     def __init__(self, stream: InstructionStream) -> None:
-        self._stream = stream
         self.events: list[Event] = []
-        self.result: object = None
-        self.finished = False
-
-    def __iter__(self) -> Iterator[Event]:
-        return self
-
-    def __next__(self) -> Event:
-        try:
-            event = next(self._stream)
-        except StopIteration as stop:
-            self.result = stop.value
-            self.finished = True
-            raise
-        self.events.append(event)
-        return event
-
-    def send(self, value: object) -> Event:  # generator protocol passthrough
-        try:
-            event = self._stream.send(value)
-        except StopIteration as stop:
-            self.result = stop.value
-            self.finished = True
-            raise
-        self.events.append(event)
-        return event
-
-    def close(self) -> None:
-        self._stream.close()
+        super().__init__(stream, self.events.append)
 
 
 def record_events(stream: InstructionStream) -> tuple[list[Event], object]:

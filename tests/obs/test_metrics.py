@@ -1,0 +1,120 @@
+"""Tests for the metrics registry and its engine-wide snapshot invariants."""
+
+import pytest
+
+from repro.config import HASWELL
+from repro.errors import SimulationError
+from repro.indexes.binary_search import binary_search_coro
+from repro.indexes.sorted_array import SortedIntArray
+from repro.interleaving import run_interleaved
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.engine import ExecutionEngine
+from repro.sim.memory import HIT_LEVELS, MemorySystem
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("loads")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(SimulationError):
+            c.inc(-1)
+
+    def test_gauge_tracks_peak(self):
+        g = Gauge("occupancy")
+        g.set(3)
+        g.set(10)
+        g.set(2)
+        assert g.value == 2 and g.peak == 10
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram("latency")
+        for v in (1, 2, 300):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 3
+        assert d["min"] == 1 and d["max"] == 300
+        assert d["total"] == 303
+        assert sum(d["buckets"]) == 3
+        with pytest.raises(SimulationError):
+            h.observe(-1)
+
+
+class TestRegistry:
+    def test_instruments_are_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.hits") is reg.counter("a.hits")
+        with pytest.raises(SimulationError):
+            reg.gauge("a.hits")
+
+    def test_sources_mount_at_dotted_paths(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.l1.hits").inc(7)
+        reg.register_source("tmam", lambda: {"cycles": 11})
+        snap = reg.snapshot()
+        assert snap["cache"]["l1"]["hits"] == 7
+        assert snap["tmam"]["cycles"] == 11
+
+    def test_reregistering_a_source_replaces_it(self):
+        reg = MetricsRegistry()
+        reg.register_source("engine", lambda: {"cycles": 1})
+        reg.register_source("engine", lambda: {"cycles": 2})
+        assert reg.snapshot()["engine"]["cycles"] == 2
+
+    def test_snapshot_is_a_deep_copy(self):
+        reg = MetricsRegistry()
+        reg.register_source("m", lambda: {"inner": {"x": 1}})
+        snap = reg.snapshot()
+        snap["m"]["inner"]["x"] = 99
+        assert reg.snapshot()["m"]["inner"]["x"] == 1
+
+    def test_names_lists_every_path(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.register_source("a", dict)
+        assert reg.names() == ["a", "b"]
+
+
+def run_engine(n_lookups=8, group_size=4):
+    allocator = AddressSpaceAllocator(page_size=HASWELL.page_size)
+    table = SortedIntArray.from_values(allocator, "table", list(range(0, 4096, 3)))
+    engine = ExecutionEngine(HASWELL, MemorySystem(HASWELL))
+    values = [table.value_at(i * 37 % table.size) for i in range(n_lookups)]
+    run_interleaved(
+        engine,
+        lambda v, il: binary_search_coro(table, v, interleave=il),
+        values,
+        group_size,
+    )
+    engine.settle()
+    return engine
+
+
+class TestEngineSnapshotInvariants:
+    """The registry exposes everything reporting prints, and it adds up."""
+
+    def test_tmam_slots_sum_to_cycles_times_width(self):
+        engine = run_engine()
+        snap = engine.metrics.snapshot()
+        slots = snap["tmam"]["slots"]
+        expected = snap["engine"]["cycles"] * snap["engine"]["issue_width"]
+        assert sum(slots.values()) == pytest.approx(expected)
+        assert snap["tmam"]["total_slots"] == pytest.approx(expected)
+
+    def test_hit_level_loads_sum_to_total_loads(self):
+        engine = run_engine()
+        snap = engine.metrics.snapshot()
+        by_level = snap["memory"]["loads_by_level"]
+        assert set(by_level) == set(HIT_LEVELS)
+        assert sum(by_level.values()) == snap["memory"]["loads"]
+
+    def test_snapshot_matches_live_stats(self):
+        engine = run_engine()
+        snap = engine.metrics.snapshot()
+        assert snap["engine"]["cycles"] == engine.clock
+        assert snap["tmam"]["cycles"] == engine.tmam.cycles
+        assert snap["cache"]["l1"]["hits"] == engine.memory.l1.stats.hits
+        assert snap["tlb"]["walks"] == engine.memory.tlb.stats.walks
+        assert snap["lfb"]["fills_issued"] == engine.memory.lfbs.fills_issued

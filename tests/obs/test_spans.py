@@ -1,0 +1,150 @@
+"""Tests for the span tracer: recorder semantics and the golden schedule.
+
+The golden-file test pins the exact span sequence a 2-lookup interleaved
+run produces — the contract the Chrome-trace exporter and any timeline
+tooling rely on.
+"""
+
+from repro.config import HASWELL
+from repro.interleaving import run_interleaved
+from repro.obs.spans import (
+    NULL_RECORDER,
+    SPAN_KINDS,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+)
+from repro.sim import SUSPEND, Compute, ExecutionEngine
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.declare_track(0, "x")
+        NULL_RECORDER.set_track(3)
+        NULL_RECORDER.span("compute", 0, 5)
+        NULL_RECORDER.instant("suspend", 5)
+        NULL_RECORDER.counter("lfb", 0, 1)
+
+    def test_wrap_stream_is_identity(self):
+        stream = iter([1, 2])
+        assert NullRecorder().wrap_stream(stream) is stream
+
+    def test_engine_defaults_to_null_recorder(self):
+        assert ExecutionEngine(HASWELL).tracer is NULL_RECORDER
+
+
+class TestSpanRecorder:
+    def test_set_track_auto_declares(self):
+        rec = SpanRecorder()
+        rec.set_track(4)
+        assert rec.tracks[4] == "frame 4"
+        rec.declare_track(5, "amac state 5")
+        assert rec.tracks[5] == "amac state 5"
+
+    def test_spans_attributed_to_current_track(self):
+        rec = SpanRecorder()
+        rec.set_track(2)
+        rec.span("compute", 0, 3)
+        rec.instant("suspend", 3)
+        assert [(s.kind, s.track, s.duration) for s in rec.spans] == [
+            ("compute", 2, 3),
+            ("suspend", 2, 0),
+        ]
+
+    def test_counter_elides_consecutive_duplicates(self):
+        rec = SpanRecorder()
+        for cycle, value in ((0, 1), (5, 1), (9, 2), (12, 1)):
+            rec.counter("lfb_occupancy", cycle, value)
+        assert rec.counters["lfb_occupancy"] == [(0, 1), (9, 2), (12, 1)]
+
+    def test_summaries(self):
+        rec = SpanRecorder()
+        rec.span("compute", 0, 4)
+        rec.span("compute", 4, 6)
+        rec.span("stall", 6, 30)
+        assert rec.spans_by_kind() == {"compute": 2, "stall": 1}
+        assert rec.cycles_by_kind() == {"compute": 6, "stall": 24}
+
+    def test_span_as_dict_drops_empty_fields(self):
+        span = Span("stall", 1, 5, 9, name="load L3", attrs={"level": "L3"})
+        assert span.as_dict() == {
+            "kind": "stall",
+            "track": 1,
+            "start": 5,
+            "end": 9,
+            "name": "load L3",
+            "attrs": {"level": "L3"},
+        }
+        assert Span("compute", 0, 0, 4).as_dict() == {
+            "kind": "compute",
+            "track": 0,
+            "start": 0,
+            "end": 4,
+        }
+
+    def test_all_kinds_in_vocabulary(self):
+        for kind in ("lookup", "resume", "compute", "stall", "switch",
+                     "alloc", "suspend", "event"):
+            assert kind in SPAN_KINDS
+
+
+def one_suspension_stream(value, interleave):
+    def stream():
+        yield Compute(1, 1)
+        if interleave:
+            yield SUSPEND
+        yield Compute(1, 1)
+        return value
+
+    return stream()
+
+
+class TestGoldenInterleavedTrace:
+    """Pin the exact span sequence of a 2-lookup interleaved run."""
+
+    def run_traced(self):
+        recorder = SpanRecorder()
+        engine = ExecutionEngine(HASWELL, tracer=recorder)
+        results = run_interleaved(engine, one_suspension_stream, [7, 8], 2)
+        assert results == [7, 8]
+        return recorder
+
+    def test_golden_span_sequence(self):
+        recorder = self.run_traced()
+        golden = [
+            # Frame allocations for the two slots.
+            ("compute", 0), ("alloc", 0),
+            ("compute", 1), ("alloc", 1),
+            # Round 1: each frame computes, prefetches, suspends.
+            ("compute", 0), ("switch", 0), ("compute", 0),
+            ("resume", 0), ("suspend", 0),
+            ("compute", 1), ("switch", 1), ("compute", 1),
+            ("resume", 1), ("suspend", 1),
+            # Round 2: each frame finishes (no suspend marker).
+            ("compute", 0), ("switch", 0), ("compute", 0), ("resume", 0),
+            ("compute", 1), ("switch", 1), ("compute", 1), ("resume", 1),
+        ]
+        assert [(s.kind, s.track) for s in recorder.spans] == golden
+
+    def test_resume_spans_name_their_lookup(self):
+        recorder = self.run_traced()
+        names = [s.name for s in recorder.spans if s.kind == "resume"]
+        assert names == ["lookup 0", "lookup 1", "lookup 0", "lookup 1"]
+
+    def test_spans_are_monotone_and_cover_the_run(self):
+        recorder = self.run_traced()
+        for span in recorder.spans:
+            assert 0 <= span.start <= span.end
+        for kind in ("compute", "resume", "switch"):
+            starts = [s.start for s in recorder.spans if s.kind == kind]
+            assert starts == sorted(starts)  # clock order within a kind
+        resumes = [s for s in recorder.spans if s.kind == "resume"]
+        # Resume spans tile the run: round-robin means frame 1's resume
+        # starts exactly where frame 0's ended.
+        for left, right in zip(resumes, resumes[1:]):
+            assert right.start == left.end
+
+    def test_tracks_labelled_as_frames(self):
+        recorder = self.run_traced()
+        assert recorder.tracks == {0: "frame 0", 1: "frame 1"}

@@ -53,6 +53,26 @@ class TestTraceRecorder:
         recorder = TraceRecorder(sample_stream())
         next(recorder)
         recorder.close()  # no error; underlying generator closed
+        assert recorder.finished
+
+    def test_throw_passthrough(self):
+        def stream():
+            try:
+                yield Compute(1, 1)
+            except ValueError:
+                yield Load(64, 8)
+                return "recovered"
+
+        recorder = TraceRecorder(stream())
+        next(recorder)
+        event = recorder.throw(ValueError)
+        assert isinstance(event, Load) and event.addr == 64
+        assert [type(e).__name__ for e in recorder.events] == ["Compute", "Load"]
+        try:
+            recorder.send(None)
+        except StopIteration:
+            pass
+        assert recorder.result == "recovered" and recorder.finished
 
     def test_suspension_events_recorded(self):
         def stream():

@@ -16,7 +16,9 @@ def referenced_paths(text: str) -> set[str]:
 
 class TestDocsReferenceRealFiles:
     @pytest.mark.parametrize(
-        "doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/paper_mapping.md"]
+        "doc",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/paper_mapping.md",
+         "docs/observability.md"],
     )
     def test_referenced_files_exist(self, doc):
         text = (ROOT / doc).read_text()
