@@ -11,10 +11,9 @@ import numpy as np
 
 from repro.analysis import bench_scale, format_table, warm_llc_resident
 from repro.config import HASWELL
-from repro.indexes.binary_search import binary_search_baseline, binary_search_coro
 from repro.indexes.btree_blocked import BlockedBTree, blocked_lookup_stream
 from repro.indexes.sorted_array import int_array_of_bytes
-from repro.interleaving import run_interleaved, run_sequential
+from repro.interleaving import BulkLookup, get_executor
 from repro.sim import ExecutionEngine
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
@@ -32,29 +31,33 @@ def test_ablation_blocked_btree_vs_binary_search(benchmark, record_table):
         probes = [int(v) for v in rng.randint(0, array.size, n)]
         warm = [int(v) for v in rng.randint(0, array.size, n)]
 
+        tree_stream = lambda v, il: blocked_lookup_stream(tree, v, il)
         variants = {
-            "binary search / seq": lambda e, vs: run_sequential(
-                e, lambda v, il: binary_search_baseline(array, v), vs
+            "binary search / seq": (
+                "Baseline", lambda vs: BulkLookup.sorted_array(array, vs), None
             ),
-            "binary search / coro": lambda e, vs: run_interleaved(
-                e, lambda v, il: binary_search_coro(array, v, il), vs, 6
+            "binary search / coro": (
+                "CORO", lambda vs: BulkLookup.sorted_array(array, vs), 6
             ),
-            "blocked tree / seq": lambda e, vs: run_sequential(
-                e, lambda v, il: blocked_lookup_stream(tree, v, il), vs
+            "blocked tree / seq": (
+                "sequential", lambda vs: BulkLookup.stream(tree_stream, vs), None
             ),
-            "blocked tree / coro": lambda e, vs: run_interleaved(
-                e, lambda v, il: blocked_lookup_stream(tree, v, il), vs, 6
+            "blocked tree / coro": (
+                "CORO", lambda vs: BulkLookup.stream(tree_stream, vs), 6
             ),
         }
         out = {}
         reference = None
-        for label, runner in variants.items():
+        for label, (name, tasks_of, group) in variants.items():
+            executor = get_executor(name)
             memory = MemorySystem(HASWELL)
             warm_llc_resident(memory, [tree.region])
-            runner(ExecutionEngine(HASWELL, memory), warm)
+            executor.run(
+                tasks_of(warm), ExecutionEngine(HASWELL, memory), group_size=group
+            )
             engine = ExecutionEngine(HASWELL, memory)
             tmam0 = engine.tmam
-            results = runner(engine, probes)
+            results = executor.run(tasks_of(probes), engine, group_size=group)
             walks = memory.tlb.stats.walks
             out[label] = {
                 "cycles": engine.clock / n,

@@ -19,19 +19,27 @@ from repro.indexes.binary_search import (
     binary_search_coro_conditional,
 )
 from repro.indexes.sorted_array import int_array_of_bytes
-from repro.interleaving import run_interleaved
+from repro.interleaving import BulkLookup, CoroExecutor
 from repro.sim import ExecutionEngine
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
 
 
-def _measure(array, probes, warm, factory, **scheduler_kw):
+def _measure(array, probes, warm, factory, **executor_kw):
+    # Off-registry CoroExecutor instances carry the ablation knobs
+    # (recycle_frames etc.) the registered CORO executor defaults.
+    executor = CoroExecutor(**executor_kw)
     memory = MemorySystem(HASWELL)
     if array.nbytes <= HASWELL.l3.size:
         warm_llc_resident(memory, [array.region])
-    run_interleaved(ExecutionEngine(HASWELL, memory), factory, warm, 6, **scheduler_kw)
+    executor.run(
+        BulkLookup.stream(factory, warm), ExecutionEngine(HASWELL, memory),
+        group_size=6,
+    )
     engine = ExecutionEngine(HASWELL, memory)
-    results = run_interleaved(engine, factory, probes, 6, **scheduler_kw)
+    results = executor.run(
+        BulkLookup.stream(factory, probes), engine, group_size=6
+    )
     return engine.clock / len(probes), results
 
 

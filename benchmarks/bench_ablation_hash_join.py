@@ -10,8 +10,8 @@ import numpy as np
 
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
-from repro.indexes.hash_table import ChainedHashTable, hash_probe_stream
-from repro.interleaving import run_interleaved, run_sequential
+from repro.indexes.hash_table import ChainedHashTable
+from repro.interleaving import BulkLookup, get_executor
 from repro.sim import ExecutionEngine
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
@@ -32,17 +32,23 @@ def test_ablation_hash_probe_interleaving(benchmark, record_table):
         table.build(keys, keys)
         probes = [int(k) for k in rng.choice(keys, n_probes)]
         warm = [int(k) for k in rng.choice(keys, n_probes)]
-        factory = lambda key, il: hash_probe_stream(table, key, il)
 
         results = {}
-        for label, runner in (
-            ("sequential", lambda e, vs: run_sequential(e, factory, vs)),
-            ("interleaved G=8", lambda e, vs: run_interleaved(e, factory, vs, 8)),
+        for label, name, group in (
+            ("sequential", "sequential", None),
+            ("interleaved G=8", "CORO", 8),
         ):
+            executor = get_executor(name)
             memory = MemorySystem(HASWELL)
-            runner(ExecutionEngine(HASWELL, memory), warm)
+            executor.run(
+                BulkLookup.hash_probe(table, warm),
+                ExecutionEngine(HASWELL, memory),
+                group_size=group,
+            )
             engine = ExecutionEngine(HASWELL, memory)
-            values = runner(engine, probes)
+            values = executor.run(
+                BulkLookup.hash_probe(table, probes), engine, group_size=group
+            )
             results[label] = (engine.clock / n_probes, values)
         return results
 

@@ -12,9 +12,8 @@ import numpy as np
 
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
-from repro.indexes.binary_search import binary_search_baseline, binary_search_coro
 from repro.indexes.sorted_array import int_array_of_bytes
-from repro.interleaving import run_interleaved, run_sequential
+from repro.interleaving import BulkLookup, get_executor
 from repro.sim import ExecutionEngine
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
@@ -34,18 +33,21 @@ def test_ablation_huge_pages(benchmark, record_table):
             rng = np.random.RandomState(0)
             probes = [int(v) for v in rng.randint(0, array.size, n)]
             warm = [int(v) for v in rng.randint(0, array.size, n)]
-            for mode, runner in (
-                ("seq", lambda e, vs: run_sequential(
-                    e, lambda v, il: binary_search_baseline(array, v), vs
-                )),
-                ("coro", lambda e, vs: run_interleaved(
-                    e, lambda v, il: binary_search_coro(array, v, il), vs, 6
-                )),
+            for mode, name, group in (
+                ("seq", "Baseline", None),
+                ("coro", "CORO", 6),
             ):
+                executor = get_executor(name)
                 memory = MemorySystem(arch)
-                runner(ExecutionEngine(arch, memory), warm)
+                executor.run(
+                    BulkLookup.sorted_array(array, warm),
+                    ExecutionEngine(arch, memory),
+                    group_size=group,
+                )
                 engine = ExecutionEngine(arch, memory)
-                runner(engine, probes)
+                executor.run(
+                    BulkLookup.sorted_array(array, probes), engine, group_size=group
+                )
                 cycles = engine.clock / n
                 translation = engine.tmam.translation_stall_cycles / n
                 walks = memory.tlb.stats.walks

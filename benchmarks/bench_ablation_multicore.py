@@ -11,9 +11,8 @@ import numpy as np
 
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
-from repro.indexes.binary_search import binary_search_baseline, binary_search_coro
 from repro.indexes.sorted_array import int_array_of_bytes
-from repro.interleaving import run_interleaved, run_sequential
+from repro.interleaving import BulkLookup
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.multicore import MultiCoreSystem
 
@@ -29,21 +28,22 @@ def test_ablation_multicore_scaling(benchmark, record_table):
         probes = [int(v) for v in rng.randint(0, array.size, n)]
         warm = [int(v) for v in rng.randint(0, array.size, n)]
 
-        runners = {
-            "Baseline": lambda engine, shard: run_sequential(
-                engine, lambda v, il: binary_search_baseline(array, v), shard
-            ),
-            "CORO G=6": lambda engine, shard: run_interleaved(
-                engine, lambda v, il: binary_search_coro(array, v, il), shard, 6
-            ),
-        }
+        modes = [("Baseline", "Baseline", None), ("CORO G=6", "CORO", 6)]
         rows = []
         makespans = {}
         for n_cores in (1, 2, 4):
-            for label, runner in runners.items():
+            for label, executor, group in modes:
                 system = MultiCoreSystem(n_cores)
-                system.run(runner, warm)  # warm the shared LLC and TLBs
-                result = system.run(runner, probes)
+                system.run_bulk(  # warm the shared LLC and TLBs
+                    executor,
+                    BulkLookup.sorted_array(array, warm),
+                    group_size=group,
+                )
+                result = system.run_bulk(
+                    executor,
+                    BulkLookup.sorted_array(array, probes),
+                    group_size=group,
+                )
                 assert result.results_in_order() == probes
                 makespans[(n_cores, label)] = result.makespan
                 rows.append(

@@ -13,9 +13,8 @@ import numpy as np
 
 from repro.analysis import bench_scale, format_table, warm_llc_resident
 from repro.config import HASWELL
-from repro.indexes.binary_search import binary_search_baseline, binary_search_coro
 from repro.indexes.sorted_array import int_array_of_bytes
-from repro.interleaving import run_interleaved, run_sequential
+from repro.interleaving import BulkLookup, get_executor
 from repro.interleaving.model import InterleavingParams, optimal_group_size
 from repro.sim import ExecutionEngine
 from repro.sim.allocator import AddressSpaceAllocator
@@ -24,12 +23,19 @@ from repro.sim.memory import MemorySystem
 REMOTE_EXTRA = 120  # cycles added per DRAM access on the remote socket
 
 
-def _measure(extra_dram, runner, probes, warm, array):
+def _measure(extra_dram, executor_name, group, probes, warm, array):
+    executor = get_executor(executor_name)
     memory = MemorySystem(HASWELL)
     memory.extra_dram_latency = extra_dram
-    runner(ExecutionEngine(HASWELL, memory), warm)
+    executor.run(
+        BulkLookup.sorted_array(array, warm),
+        ExecutionEngine(HASWELL, memory),
+        group_size=group,
+    )
     engine = ExecutionEngine(HASWELL, memory)
-    results = runner(engine, probes)
+    results = executor.run(
+        BulkLookup.sorted_array(array, probes), engine, group_size=group
+    )
     return engine.clock / len(probes), results
 
 
@@ -42,18 +48,14 @@ def test_ablation_numa_remote_memory(benchmark, record_table):
         probes = [int(v) for v in rng.randint(0, array.size, n)]
         warm = [int(v) for v in rng.randint(0, array.size, n)]
 
-        seq = lambda e, vs: run_sequential(
-            e, lambda v, il: binary_search_baseline(array, v), vs
-        )
         # Remote latency raises T_stall: interleave wider.
         group = {0: 6, REMOTE_EXTRA: 9}
         rows = []
         for extra in (0, REMOTE_EXTRA):
-            coro = lambda e, vs: run_interleaved(
-                e, lambda v, il: binary_search_coro(array, v, il), vs, group[extra]
+            seq_cycles, r1 = _measure(extra, "Baseline", None, probes, warm, array)
+            coro_cycles, r2 = _measure(
+                extra, "CORO", group[extra], probes, warm, array
             )
-            seq_cycles, r1 = _measure(extra, seq, probes, warm, array)
-            coro_cycles, r2 = _measure(extra, coro, probes, warm, array)
             assert r1 == r2
             rows.append([extra, seq_cycles, coro_cycles])
         return rows

@@ -12,7 +12,7 @@ import numpy as np
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
 from repro.indexes.skip_list import SkipList, skip_lookup_stream
-from repro.interleaving import run_interleaved, run_sequential
+from repro.interleaving import BulkLookup, get_executor
 from repro.sim import ExecutionEngine
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
@@ -33,14 +33,23 @@ def test_ablation_skip_list_interleaving(benchmark, record_table):
         factory = lambda key, il: skip_lookup_stream(skiplist, key, il)
 
         results = {}
-        for label, runner in (
-            ("sequential", lambda e, ps: run_sequential(e, factory, ps)),
-            ("interleaved G=8", lambda e, ps: run_interleaved(e, factory, ps, 8)),
+        for label, name, group in (
+            ("sequential", "sequential", None),
+            ("interleaved G=8", "CORO", 8),
         ):
+            # Skip-list towers are a stream workload: the coroutine is
+            # supplied directly, and both schedulers drive it unchanged.
+            executor = get_executor(name)
             memory = MemorySystem(HASWELL)
-            runner(ExecutionEngine(HASWELL, memory), warm)
+            executor.run(
+                BulkLookup.stream(factory, warm),
+                ExecutionEngine(HASWELL, memory),
+                group_size=group,
+            )
             engine = ExecutionEngine(HASWELL, memory)
-            values = runner(engine, probes)
+            values = executor.run(
+                BulkLookup.stream(factory, probes), engine, group_size=group
+            )
             results[label] = (engine.clock / n_probes, values)
         return results
 

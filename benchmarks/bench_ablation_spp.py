@@ -12,7 +12,7 @@ import numpy as np
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
 from repro.indexes.sorted_array import int_array_of_bytes
-from repro.interleaving import gp_binary_search_bulk, spp_binary_search_bulk
+from repro.interleaving import BulkLookup, get_executor
 from repro.sim import ExecutionEngine
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
@@ -33,12 +33,20 @@ def test_ablation_spp_vs_gp(benchmark, record_table):
         reference = None
         for depth in (4, 6, 8, 10):
             cycles = {}
-            for label, bulk in (("GP", gp_binary_search_bulk),
-                                ("SPP", spp_binary_search_bulk)):
+            for label in ("GP", "SPP"):
+                executor = get_executor(label)
                 memory = MemorySystem(HASWELL)
-                bulk(ExecutionEngine(HASWELL, memory), array, warm, depth)
+                executor.run(
+                    BulkLookup.sorted_array(array, warm),
+                    ExecutionEngine(HASWELL, memory),
+                    group_size=depth,
+                )
                 engine = ExecutionEngine(HASWELL, memory)
-                results = bulk(engine, array, probes, depth)
+                results = executor.run(
+                    BulkLookup.sorted_array(array, probes),
+                    engine,
+                    group_size=depth,
+                )
                 if reference is None:
                     reference = results
                 assert results == reference

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Guard against schema drift in ``benchmarks/results/BENCH_sim.json``.
+
+The benchmark session writes one machine-readable document with every
+sweep point measured (see ``benchmarks/conftest.py``). Downstream
+consumers — plots, the paper-comparison notebooks, CI trend tracking —
+key off the ``repro.bench-sim/1`` shape, so CI runs this checker after
+the benchmark smoke job and fails the build if a field is renamed,
+dropped, or retyped without bumping the schema version.
+
+Usage::
+
+    python benchmarks/check_bench_schema.py [PATH] [--require SWEEP ...]
+
+PATH defaults to ``benchmarks/results/BENCH_sim.json``. ``--require``
+additionally fails if a named sweep is absent (the smoke job requires
+``binary_search_int``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import pathlib
+import sys
+
+SCHEMA = "repro.bench-sim/1"
+
+#: Field name -> type check, for binary-search sweep points
+#: (mirrors ``conftest._point_record``).
+BINARY_SEARCH_FIELDS = {
+    "technique": str,
+    "size_bytes": numbers.Integral,
+    "element": str,
+    "group_size": numbers.Integral,
+    "n_lookups": numbers.Integral,
+    "cycles_per_search": numbers.Real,
+    "cpi": numbers.Real,
+    "cycles_by_category_per_search": dict,
+    "loads_per_search": dict,
+    "walks_per_search": dict,
+}
+
+#: Mirrors ``conftest._query_record``.
+QUERY_FIELDS = {
+    "store": str,
+    "strategy": str,
+    "dict_bytes": numbers.Integral,
+    "n_predicates": numbers.Integral,
+    "total_cycles": numbers.Integral,
+    "locate_cycles": numbers.Integral,
+    "scan_cycles": numbers.Integral,
+    "response_ms": numbers.Real,
+    "locate_fraction": numbers.Real,
+    "locate_cpi": numbers.Real,
+    "locate_breakdown": dict,
+}
+
+VALID_SCALES = ("quick", "full")
+
+
+def check_point(sweep: str, index: int, point: object, errors: list[str]) -> None:
+    fields = QUERY_FIELDS if sweep == "query" else BINARY_SEARCH_FIELDS
+    if not isinstance(point, dict):
+        errors.append(f"{sweep}[{index}]: point is {type(point).__name__}, not object")
+        return
+    for field, expected in fields.items():
+        if field not in point:
+            errors.append(f"{sweep}[{index}]: missing field {field!r}")
+        elif not isinstance(point[field], expected) or isinstance(point[field], bool):
+            errors.append(
+                f"{sweep}[{index}].{field}: {type(point[field]).__name__} "
+                f"is not {expected.__name__}"
+            )
+    for field in point:
+        if field not in fields:
+            errors.append(f"{sweep}[{index}]: unknown field {field!r} (schema drift?)")
+
+
+def check_document(doc: object, required: list[str]) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level is {type(doc).__name__}, not object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    sweeps = doc.get("sweeps")
+    if not isinstance(sweeps, dict) or not sweeps:
+        errors.append("sweeps must be a non-empty object")
+        return errors
+    for name in required:
+        if name not in sweeps:
+            errors.append(f"required sweep {name!r} absent (have: {sorted(sweeps)})")
+    for name, sweep in sweeps.items():
+        if not isinstance(sweep, dict):
+            errors.append(f"{name}: sweep is {type(sweep).__name__}, not object")
+            continue
+        if sweep.get("scale") not in VALID_SCALES:
+            errors.append(f"{name}.scale is {sweep.get('scale')!r}")
+        points = sweep.get("points")
+        if not isinstance(points, list) or not points:
+            errors.append(f"{name}.points must be a non-empty list")
+            continue
+        for index, point in enumerate(points):
+            check_point(name, index, point, errors)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=str(
+            pathlib.Path(__file__).parent / "results" / "BENCH_sim.json"
+        ),
+    )
+    parser.add_argument("--require", action="append", default=[], metavar="SWEEP")
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.path)
+    if not path.exists():
+        print(f"FAIL: {path} does not exist (benchmarks not run?)", file=sys.stderr)
+        return 1
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        print(f"FAIL: {path} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+
+    errors = check_document(doc, args.require)
+    if errors:
+        print(f"FAIL: {path} drifted from {SCHEMA}:", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    n_points = sum(len(s["points"]) for s in doc["sweeps"].values())
+    print(f"OK: {path} matches {SCHEMA} ({len(doc['sweeps'])} sweeps, {n_points} points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,9 +18,8 @@ from repro import (
     DeltaDictionary,
     ExecutionEngine,
     csb_lookup_stream,
-    run_interleaved,
-    run_sequential,
 )
+from repro.interleaving import BulkLookup, get_executor
 
 
 def materialized_tree_demo() -> None:
@@ -48,14 +47,16 @@ def delta_dictionary_demo() -> None:
 
     rng = np.random.RandomState(0)
     probes = [int(v) for v in rng.randint(0, delta.n_values, 1_000)]
-    factory = lambda value, interleave: delta.locate_stream(value, interleave)
+    tasks = BulkLookup.stream(
+        lambda value, interleave: delta.locate_stream(value, interleave), probes
+    )
 
     engine = ExecutionEngine(HASWELL)
-    sequential = run_sequential(engine, factory, probes)
+    sequential = get_executor("sequential").run(tasks, engine)
     seq_cycles = engine.clock / len(probes)
 
     engine = ExecutionEngine(HASWELL)
-    interleaved = run_interleaved(engine, factory, probes, group_size=6)
+    interleaved = get_executor("CORO").run(tasks, engine, group_size=6)
     inter_cycles = engine.clock / len(probes)
 
     assert sequential == interleaved

@@ -18,10 +18,8 @@ from repro import (
     AddressSpaceAllocator,
     ChainedHashTable,
     ExecutionEngine,
-    hash_probe_stream,
-    run_interleaved,
-    run_sequential,
 )
+from repro.interleaving import BulkLookup, executors_supporting, get_executor
 
 BUILD_ROWS = 400_000
 PROBE_ROWS = 1_500
@@ -50,14 +48,16 @@ def main() -> None:
     rng.shuffle(probes)
     probes = [int(p) for p in probes]
 
-    factory = lambda key, interleave: hash_probe_stream(table, key, interleave)
+    tasks = BulkLookup.hash_probe(table, probes)
+    supported = [e.name for e in executors_supporting("hash_probe")]
+    print(f"executors with a hash-probe rewrite: {', '.join(supported)}")
 
     engine = ExecutionEngine(HASWELL)
-    sequential = run_sequential(engine, factory, probes)
+    sequential = get_executor("sequential").run(tasks, engine)
     seq_cycles = engine.clock / len(probes)
 
     engine = ExecutionEngine(HASWELL)
-    interleaved = run_interleaved(engine, factory, probes, group_size=8)
+    interleaved = get_executor("CORO").run(tasks, engine, group_size=8)
     inter_cycles = engine.clock / len(probes)
 
     assert sequential == interleaved

@@ -13,10 +13,9 @@ Run:  python examples/multicore_scaling.py
 
 import numpy as np
 
-from repro import AddressSpaceAllocator, binary_search_coro, int_array_of_bytes
+from repro import AddressSpaceAllocator, int_array_of_bytes
 from repro.analysis import format_table
-from repro.indexes.binary_search import binary_search_baseline
-from repro.interleaving import run_interleaved, run_sequential
+from repro.interleaving import BulkLookup
 from repro.sim.multicore import MultiCoreSystem
 
 ARRAY_BYTES = 256 << 20
@@ -30,21 +29,20 @@ def main() -> None:
     probes = [int(v) for v in rng.randint(0, array.size, N_LOOKUPS)]
     warm = [int(v) for v in rng.randint(0, array.size, N_LOOKUPS)]
 
-    runners = {
-        "sequential": lambda engine, shard: run_sequential(
-            engine, lambda v, il: binary_search_baseline(array, v), shard
-        ),
-        "CORO G=6": lambda engine, shard: run_interleaved(
-            engine, lambda v, il: binary_search_coro(array, v, il), shard, 6
-        ),
-    }
+    # Registry names + group sizes; each core drains its shard through a
+    # BulkPipeline of the named executor.
+    modes = [("Baseline", "Baseline", None), ("CORO G=6", "CORO", 6)]
 
     rows = []
     for n_cores in (1, 2, 4):
-        for label, runner in runners.items():
+        for label, executor, group in modes:
             system = MultiCoreSystem(n_cores)
-            system.run(runner, warm)  # warm shared LLC
-            result = system.run(runner, probes)
+            system.run_bulk(  # warm shared LLC
+                executor, BulkLookup.sorted_array(array, warm), group_size=group
+            )
+            result = system.run_bulk(
+                executor, BulkLookup.sorted_array(array, probes), group_size=group
+            )
             assert result.results_in_order() == probes
             rows.append(
                 [

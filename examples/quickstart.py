@@ -3,8 +3,9 @@
 
 Builds a 256 MB sorted dictionary (too big for the 25 MB last-level
 cache), runs 2,000 random lookups sequentially and interleaved, and
-prints the cycles-per-search comparison plus the policy the library
-would choose automatically.
+prints the cycles-per-search comparison. The execution policy — which
+technique, and how wide — comes from the calibrated Inequality-1 model;
+the chosen technique is then pulled from the executor registry by name.
 
 Run:  python examples/quickstart.py
 """
@@ -13,12 +14,10 @@ from repro import (
     HASWELL,
     AddressSpaceAllocator,
     ExecutionEngine,
-    binary_search_coro,
     choose_policy,
     int_array_of_bytes,
-    run_interleaved,
-    run_sequential,
 )
+from repro.interleaving import BulkLookup, get_executor
 from repro.workloads.generators import lookup_values
 
 
@@ -26,30 +25,25 @@ def main() -> None:
     allocator = AddressSpaceAllocator()
     table = int_array_of_bytes(allocator, "dictionary", 256 << 20)
     values = lookup_values(2_000, table, seed=0)
+    tasks = BulkLookup.sorted_array(table, values)
 
-    # Ask the library what it would do for this table and lookup count.
-    policy = choose_policy(HASWELL, table, len(values))
+    # Ask the library what it would do for this table and lookup count
+    # (technique=None ranks GP/AMAC/CORO by the cost model).
+    policy = choose_policy(HASWELL, table, len(values), technique=None)
     print(f"policy: {policy.describe()}")
 
     # Sequential execution: one lookup at a time, every deep probe pays
     # a DRAM round trip.
     engine = ExecutionEngine(HASWELL)
-    sequential = run_sequential(
-        engine,
-        lambda value, interleave: binary_search_coro(table, value, interleave),
-        values,
-    )
+    sequential = get_executor("sequential").run(tasks, engine)
     seq_cycles = engine.clock / len(values)
 
-    # Interleaved execution: the SAME coroutine, scheduled in a group —
+    # Policy-chosen execution: the SAME coroutine, scheduled in a group —
     # suspensions after each prefetch let other lookups run while the
     # cache line is in flight.
     engine = ExecutionEngine(HASWELL)
-    interleaved = run_interleaved(
-        engine,
-        lambda value, interleave: binary_search_coro(table, value, interleave),
-        values,
-        group_size=policy.group_size,
+    interleaved = get_executor(policy.executor_name).run(
+        tasks, engine, group_size=policy.group_size
     )
     inter_cycles = engine.clock / len(values)
 

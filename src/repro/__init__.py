@@ -71,13 +71,24 @@ from repro.indexes import (
     string_array_of_bytes,
 )
 from repro.interleaving import (
+    EXECUTOR_REGISTRY,
+    BulkLookup,
+    BulkPipeline,
     CoroutineHandle,
+    Executor,
+    ExecutionPolicy,
     FramePool,
     amac_binary_search_bulk,
     choose_policy,
+    choose_policy_for_bytes,
     default_group_size,
+    executor_names,
+    executors_supporting,
+    get_executor,
     gp_binary_search_bulk,
     optimal_group_size,
+    paper_techniques,
+    register_executor,
     run_interleaved,
     run_sequential,
 )
@@ -138,6 +149,17 @@ __all__ = [
     "optimal_group_size",
     "default_group_size",
     "choose_policy",
+    "choose_policy_for_bytes",
+    "ExecutionPolicy",
+    "EXECUTOR_REGISTRY",
+    "BulkLookup",
+    "BulkPipeline",
+    "Executor",
+    "executor_names",
+    "executors_supporting",
+    "get_executor",
+    "paper_techniques",
+    "register_executor",
     "MainDictionary",
     "DeltaDictionary",
     "EncodedColumn",

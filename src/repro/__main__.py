@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro list                 # available experiments
+    python -m repro list                 # experiments, executors, workload kinds
     python -m repro table5 fig7          # run and print experiments
     python -m repro table5 --json        # machine-readable data documents
     python -m repro trace fig7 --out /tmp/t   # span-traced run artifacts
@@ -31,7 +31,36 @@ def _unknown(names: list[str]) -> int:
     listing = ", ".join(available_experiments())
     for name in names:
         print(f"unknown experiment {name!r}; available: {listing}", file=sys.stderr)
+    print(
+        "run 'python -m repro list' to see experiments, executors, "
+        "and workload kinds",
+        file=sys.stderr,
+    )
     return 2
+
+
+def _list_main() -> int:
+    """Print experiments, registered executors, and workload kinds."""
+    from repro.interleaving.executor import (
+        WORKLOAD_KINDS,
+        executor_names,
+        get_executor,
+    )
+
+    print("experiments:")
+    for name in available_experiments():
+        print(f"  {name}")
+    print()
+    print("executors:")
+    for name in executor_names():
+        executor = get_executor(name)
+        kinds = ", ".join(executor.workload_kinds)
+        print(f"  {name:<12} G={executor.default_group_size:<3} [{kinds}]")
+    print()
+    print("workload kinds:")
+    for kind in WORKLOAD_KINDS:
+        print(f"  {kind}")
+    return 0
 
 
 def _trace_main(argv: list[str]) -> int:
@@ -108,9 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
-        for name in available_experiments():
-            print(name)
-        return 0
+        return _list_main()
 
     unknown = [n for n in args.experiments if n not in available_experiments()]
     if unknown:

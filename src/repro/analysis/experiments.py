@@ -27,19 +27,8 @@ from dataclasses import dataclass
 
 from repro.config import HASWELL, ArchSpec
 from repro.errors import WorkloadError
-from repro.indexes.binary_search import (
-    DEFAULT_COSTS,
-    SearchCosts,
-    binary_search_baseline,
-    binary_search_coro,
-    binary_search_std,
-)
-from repro.interleaving import (
-    amac_binary_search_bulk,
-    gp_binary_search_bulk,
-    run_interleaved,
-    run_sequential,
-)
+from repro.indexes.binary_search import DEFAULT_COSTS, SearchCosts
+from repro.interleaving.executor import BulkLookup, get_executor, paper_techniques
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.engine import ExecutionEngine
 from repro.sim.memory import HIT_LEVELS, MemorySystem
@@ -61,16 +50,22 @@ __all__ = [
     "size_grid",
     "lookups_per_point",
     "warm_llc_resident",
+    "warmed_engine",
     "run_binary_search_technique",
     "measure_binary_search",
     "measure_query",
 ]
 
-#: The five implementations of Section 5.1, in the paper's order.
-TECHNIQUES = ("std", "Baseline", "GP", "AMAC", "CORO")
+#: The five implementations of Section 5.1, in the paper's order —
+#: exactly the registry executors flagged as paper techniques.
+TECHNIQUES = paper_techniques()
 
-#: Best group sizes from Section 5.4.5 (GP capped by the 10 LFBs).
-DEFAULT_GROUP_SIZES = {"std": 1, "Baseline": 1, "GP": 10, "AMAC": 6, "CORO": 6}
+#: Best group sizes from Section 5.4.5 (GP capped by the 10 LFBs),
+#: as declared by each registered executor.
+DEFAULT_GROUP_SIZES = {
+    technique: get_executor(technique).default_group_size
+    for technique in TECHNIQUES
+}
 
 
 def bench_scale() -> str:
@@ -153,6 +148,30 @@ def warm_llc_resident(memory: MemorySystem, regions) -> None:
             memory.l3.install(line_no)
 
 
+def warmed_engine(
+    arch: ArchSpec,
+    warm_regions,
+    warm_up,
+    *,
+    recorder=None,
+) -> ExecutionEngine:
+    """Warm-up pass + fresh measurement engine over one memory system.
+
+    The shared methodology of every measurement in this module (and of
+    :mod:`repro.analysis.tracing`): install cache-resident structures
+    into the LLC, run ``warm_up(engine)`` over a throwaway engine to
+    reach steady state, settle outstanding fills, and return a fresh
+    engine — optionally span-traced via ``recorder`` — sharing the
+    warmed memory system. Counters read from the returned engine are
+    deltas of the measured pass alone.
+    """
+    memory = MemorySystem(arch)
+    warm_llc_resident(memory, warm_regions)
+    warm_up(ExecutionEngine(arch, memory))
+    memory.settle(10**15)
+    return ExecutionEngine(arch, memory, tracer=recorder)
+
+
 def run_binary_search_technique(
     engine: ExecutionEngine,
     technique: str,
@@ -161,27 +180,12 @@ def run_binary_search_technique(
     group_size: int,
     costs: SearchCosts = DEFAULT_COSTS,
 ) -> list[int]:
-    """Dispatch one bulk binary search under the named technique."""
-    if technique == "std":
-        return run_sequential(
-            engine, lambda v, il: binary_search_std(table, v, costs), values
-        )
-    if technique == "Baseline":
-        return run_sequential(
-            engine, lambda v, il: binary_search_baseline(table, v, costs), values
-        )
-    if technique == "GP":
-        return gp_binary_search_bulk(engine, table, values, group_size, costs)
-    if technique == "AMAC":
-        return amac_binary_search_bulk(engine, table, values, group_size, costs)
-    if technique == "CORO":
-        return run_interleaved(
-            engine,
-            lambda v, il: binary_search_coro(table, v, il, costs),
-            values,
-            group_size,
-        )
-    raise WorkloadError(f"unknown technique {technique!r}")
+    """Dispatch one bulk binary search through the executor registry."""
+    return get_executor(technique).run(
+        BulkLookup.sorted_array(table, values, costs),
+        engine,
+        group_size=group_size,
+    )
 
 
 def measure_binary_search(
@@ -216,14 +220,14 @@ def measure_binary_search(
     warm_seed = seed if warm_with_same_values else seed + 977
     warm_values = values_fn(n_lookups, table, warm_seed, element)
 
-    memory = MemorySystem(arch)
-    warm_llc_resident(memory, [table.region])
-    run_binary_search_technique(
-        ExecutionEngine(arch, memory), technique, table, warm_values, group_size
+    engine = warmed_engine(
+        arch,
+        [table.region],
+        lambda warm: run_binary_search_technique(
+            warm, technique, table, warm_values, group_size
+        ),
     )
-    memory.settle(10**15)
-
-    engine = ExecutionEngine(arch, memory)
+    memory = engine.memory
     memory_before = memory.stats.snapshot()
     walks_before = dict(memory.tlb.stats.walks_by_level)
     translation_before = 0  # fresh engine: tmam starts at zero
@@ -302,15 +306,14 @@ def measure_query(
         0, n_values, n_predicates
     ).tolist()
 
-    memory = MemorySystem(arch)
-    warm_llc_resident(memory, warm_regions)
-    run_in_predicate(
-        ExecutionEngine(arch, memory), column, warm_predicates,
-        strategy=strategy, group_size=group_size,
+    engine = warmed_engine(
+        arch,
+        warm_regions,
+        lambda warm: run_in_predicate(
+            warm, column, warm_predicates,
+            strategy=strategy, group_size=group_size,
+        ),
     )
-    memory.settle(10**15)
-
-    engine = ExecutionEngine(arch, memory)
     result = run_in_predicate(
         engine, column, predicates, strategy=strategy, group_size=group_size
     )

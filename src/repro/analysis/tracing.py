@@ -30,13 +30,13 @@ from repro.analysis.experiments import (
     DEFAULT_GROUP_SIZES,
     TECHNIQUES,
     run_binary_search_technique,
-    warm_llc_resident,
+    warmed_engine,
 )
+from repro.interleaving.executor import BulkLookup, get_executor
 from repro.obs.export import run_summary, write_run_artifacts
 from repro.obs.spans import SpanRecorder
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.engine import ExecutionEngine
-from repro.sim.memory import MemorySystem
 from repro.workloads.generators import lookup_values, make_table
 
 __all__ = ["TRACE_DEFAULT_LOOKUPS", "TRACE_DEFAULT_SIZE", "traced_run", "trace_experiment"]
@@ -61,22 +61,29 @@ def traced_run(
     system, then a fresh engine — with a live span recorder — runs the
     measured pass.
     """
-    group_size = group_size or DEFAULT_GROUP_SIZES[technique]
+    executor = get_executor(technique)
+    group_size = group_size or DEFAULT_GROUP_SIZES.get(
+        technique, executor.default_group_size
+    )
     allocator = AddressSpaceAllocator(page_size=arch.page_size)
     table = make_table(allocator, "array", size_bytes, "int")
     values = lookup_values(n_lookups, table, seed, "int")
     warm_values = lookup_values(n_lookups, table, seed + 977, "int")
 
-    memory = MemorySystem(arch)
-    warm_llc_resident(memory, [table.region])
-    run_binary_search_technique(
-        ExecutionEngine(arch, memory), technique, table, warm_values, group_size
+    engine = warmed_engine(
+        arch,
+        [table.region],
+        lambda warm: run_binary_search_technique(
+            warm, technique, table, warm_values, group_size
+        ),
     )
-    memory.settle(10**15)
-
     recorder = SpanRecorder()
-    engine = ExecutionEngine(arch, memory, tracer=recorder)
-    run_binary_search_technique(engine, technique, table, values, group_size)
+    executor.run(
+        BulkLookup.sorted_array(table, values),
+        engine,
+        group_size=group_size,
+        recorder=recorder,
+    )
     engine.settle()
     return engine, recorder
 

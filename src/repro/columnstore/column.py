@@ -4,7 +4,11 @@ The encoded representation of Section 2.1: the dictionary maps values to
 a dense integer range, and the column body is the vector of codes. Bulk
 ``locate`` over a list of values is the index join S |><| D this paper is
 about; :meth:`EncodedColumn.encode_values` exposes it under every
-execution strategy (sequential, GP, AMAC, coroutines).
+execution strategy (sequential, GP, AMAC, coroutines) by dispatching
+through the executor registry. When no strategy is forced, the
+calibration-driven :func:`~repro.interleaving.policies.choose_policy`
+decides — small dictionaries run sequentially, DRAM-resident ones
+interleave at the Inequality-1 group size.
 """
 
 from __future__ import annotations
@@ -16,10 +20,8 @@ import numpy as np
 from repro.errors import ColumnStoreError
 from repro.indexes.base import INVALID_CODE
 from repro.indexes.binary_search import DEFAULT_COSTS, SearchCosts
-from repro.interleaving.amac import amac_run_bulk
-from repro.interleaving.gp import gp_binary_search_bulk
-from repro.interleaving.interleaved import run_interleaved
-from repro.interleaving.sequential import run_sequential
+from repro.interleaving.executor import BulkLookup, get_executor
+from repro.interleaving.policies import ExecutionPolicy, choose_policy_for_bytes
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.engine import ExecutionEngine
 
@@ -29,6 +31,14 @@ __all__ = ["EncodedColumn", "ENCODE_STRATEGIES"]
 
 #: Execution strategies understood by :meth:`EncodedColumn.encode_values`.
 ENCODE_STRATEGIES = ("sequential", "interleaved", "gp", "amac")
+
+#: Historic strategy names -> executor registry keys.
+_STRATEGY_EXECUTORS = {
+    "sequential": "sequential",
+    "interleaved": "coro",
+    "gp": "gp",
+    "amac": "amac",
+}
 
 
 class EncodedColumn:
@@ -74,6 +84,33 @@ class EncodedColumn:
     def n_rows(self) -> int:
         return int(self.codes.size)
 
+    @property
+    def dictionary_bytes(self) -> int:
+        """Dictionary footprint ``locate`` walks (the paper's x-axis)."""
+        return self.dictionary.nbytes
+
+    def locate_policy(
+        self, engine: ExecutionEngine, n_lookups: int
+    ) -> ExecutionPolicy:
+        """Pick the execution policy for a bulk locate of ``n_lookups``.
+
+        Delta dictionaries restrict the candidates to the coroutine
+        scheduler — GP and AMAC only have the sorted-array rewrite, which
+        is the paper's maintenance-cost argument in policy form.
+        """
+        candidates = (
+            ("gp", "amac", "coro")
+            if isinstance(self.dictionary, MainDictionary)
+            else ("coro",)
+        )
+        return choose_policy_for_bytes(
+            engine.arch,
+            self.dictionary_bytes,
+            n_lookups,
+            technique=None,
+            candidates=candidates,
+        )
+
     def decode_row(self, row: int) -> int:
         """Value of one row (pure Python)."""
         return self.dictionary.extract(int(self.codes[row]))
@@ -92,21 +129,18 @@ class EncodedColumn:
         pointer-chasing; ``strategy="interleaved"`` hides their misses
         with the same scheduler the encode side uses.
         """
+        if strategy not in ("sequential", "interleaved"):
+            raise ColumnStoreError(
+                f"unknown strategy {strategy!r}; decode supports "
+                "sequential/interleaved"
+            )
         codes = [int(self.codes[row]) for row in rows]
         dictionary = self.dictionary
-        if strategy == "sequential":
-            return run_sequential(
-                engine, lambda c, il: dictionary.extract_stream(c, il), codes
-            )
-        if strategy == "interleaved":
-            return run_interleaved(
-                engine,
-                lambda c, il: dictionary.extract_stream(c, il),
-                codes,
-                group_size,
-            )
-        raise ColumnStoreError(
-            f"unknown strategy {strategy!r}; decode supports sequential/interleaved"
+        tasks = BulkLookup.stream(
+            lambda c, il: dictionary.extract_stream(c, il), codes
+        )
+        return get_executor(_STRATEGY_EXECUTORS[strategy]).run(
+            tasks, engine, group_size=group_size
         )
 
     # ------------------------------------------------------------------
@@ -118,9 +152,10 @@ class EncodedColumn:
         engine: ExecutionEngine,
         values: Sequence[int],
         *,
-        strategy: str = "sequential",
-        group_size: int = 6,
+        strategy: str | None = "sequential",
+        group_size: int | None = None,
         costs: SearchCosts = DEFAULT_COSTS,
+        policy: ExecutionPolicy | None = None,
     ) -> list[int]:
         """Locate every value, with the chosen execution strategy.
 
@@ -128,56 +163,47 @@ class EncodedColumn:
         GP and AMAC are only available for Main dictionaries (they are
         binary-search rewrites); the coroutine strategies work for both
         stores — the paper's practicality argument.
+
+        ``strategy=None`` defers to ``policy`` (or, when that is also
+        unset, to :meth:`locate_policy`'s calibration-driven choice);
+        an explicit strategy always wins.
         """
+        if strategy is None:
+            if policy is None:
+                policy = self.locate_policy(engine, len(values))
+            strategy = (
+                "interleaved" if policy.technique.lower() == "coro"
+                else policy.technique.lower()
+            ) if policy.interleave else "sequential"
+            group_size = group_size or policy.group_size
+        if strategy not in ENCODE_STRATEGIES:
+            raise ColumnStoreError(
+                f"unknown strategy {strategy!r}; expected one of {ENCODE_STRATEGIES}"
+            )
+        group_size = group_size or 6
         dictionary = self.dictionary
-        if strategy == "sequential":
-            return run_sequential(
-                engine,
-                lambda v, il: dictionary.locate_stream(v, il, costs),
-                values,
+        if strategy in ("sequential", "interleaved"):
+            tasks = BulkLookup.stream(
+                lambda v, il: dictionary.locate_stream(v, il, costs), values
             )
-        if strategy == "interleaved":
-            return run_interleaved(
-                engine,
-                lambda v, il: dictionary.locate_stream(v, il, costs),
-                values,
-                group_size,
+            return get_executor(_STRATEGY_EXECUTORS[strategy]).run(
+                tasks, engine, group_size=group_size
             )
-        if strategy in ("gp", "amac"):
-            if not isinstance(dictionary, MainDictionary):
-                raise ColumnStoreError(
-                    f"{strategy} was only implemented for the sorted Main "
-                    "dictionary; rewriting it for the Delta tree is exactly "
-                    "the cost the paper's coroutines avoid"
-                )
-            lows = (
-                gp_binary_search_bulk(
-                    engine, dictionary.array, values, group_size, costs
-                )
-                if strategy == "gp"
-                else _amac_locate(engine, dictionary, values, group_size, costs)
+        if not isinstance(dictionary, MainDictionary):
+            raise ColumnStoreError(
+                f"{strategy} was only implemented for the sorted Main "
+                "dictionary; rewriting it for the Delta tree is exactly "
+                "the cost the paper's coroutines avoid"
             )
-            if strategy == "gp":
-                return [
-                    low if dictionary.array.value_at(low) == value else INVALID_CODE
-                    for low, value in zip(lows, values)
-                ]
-            return lows
-        raise ColumnStoreError(
-            f"unknown strategy {strategy!r}; expected one of {ENCODE_STRATEGIES}"
+        lows = get_executor(_STRATEGY_EXECUTORS[strategy]).run(
+            BulkLookup.sorted_array(dictionary.array, values, costs),
+            engine,
+            group_size=group_size,
         )
-
-
-def _amac_locate(engine, dictionary, values, group_size, costs):
-    from repro.interleaving.amac import BinarySearchMachine
-
-    lows = amac_run_bulk(
-        engine,
-        lambda: BinarySearchMachine(dictionary.array, costs),
-        values,
-        group_size,
-    )
-    return [
-        low if dictionary.array.value_at(low) == value else INVALID_CODE
-        for low, value in zip(lows, values)
-    ]
+        # GP and AMAC return lower-bound positions; the dictionary join
+        # needs membership, so map misses to INVALID_CODE (pure Python —
+        # no simulated cycles).
+        return [
+            low if dictionary.array.value_at(low) == value else INVALID_CODE
+            for low, value in zip(lows, values)
+        ]

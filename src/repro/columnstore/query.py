@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.indexes.base import INVALID_CODE
+from repro.interleaving.policies import ExecutionPolicy
 from repro.sim.engine import ExecutionEngine
 from repro.sim.tmam import TmamStats
 
@@ -84,19 +85,30 @@ def run_in_predicate(
     column: EncodedColumn,
     predicate_values: Sequence[int],
     *,
-    strategy: str = "sequential",
-    group_size: int = 6,
+    strategy: str | None = None,
+    group_size: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> QueryResult:
     """Execute an IN-predicate query over an encoded column.
 
     ``strategy`` selects how the encode phase (the index join) runs; the
     scan phase is identical in all cases, which is exactly the paper's
     point — interleaving is confined to the lookup code.
+
+    By default (``strategy=None``, ``policy=None``) the encode phase
+    runs under the calibration-driven execution policy: dictionaries
+    that fit the last-level cache stay sequential, DRAM-resident ones
+    interleave with the technique and group size Inequality 1 picks.
+    Pass ``strategy`` (or a precomputed ``policy``) to override.
     """
     locate_start = engine.clock
     tmam_before = engine.tmam.snapshot()
     codes = column.encode_values(
-        engine, predicate_values, strategy=strategy, group_size=group_size
+        engine,
+        predicate_values,
+        strategy=strategy,
+        group_size=group_size,
+        policy=policy,
     )
     engine.settle()
     locate_profile = PhaseProfile(

@@ -91,10 +91,14 @@ class ColumnTable:
         column: str,
         predicate_values: Sequence[int],
         *,
-        strategy: str = "sequential",
-        group_size: int = 6,
+        strategy: str | None = None,
+        group_size: int | None = None,
     ) -> dict[str, QueryResult]:
-        """IN-predicate query over both parts; results keyed by part name."""
+        """IN-predicate query over both parts; results keyed by part name.
+
+        ``strategy=None`` lets each part pick its own calibration-driven
+        policy (the Delta's candidate set is coroutine-only).
+        """
         self._check_column(column)
         results: dict[str, QueryResult] = {}
         main = self._main[column]
@@ -105,7 +109,12 @@ class ColumnTable:
             )
         delta = self._delta[column]
         if delta.n_rows:
-            delta_strategy = strategy if strategy in ("sequential", "interleaved") else "sequential"
+            # GP/AMAC are sorted-array rewrites; the Delta tree falls back.
+            delta_strategy = (
+                strategy
+                if strategy in (None, "sequential", "interleaved")
+                else "sequential"
+            )
             results["delta"] = run_in_predicate(
                 engine, delta.as_column(), predicate_values,
                 strategy=delta_strategy, group_size=group_size,
@@ -117,8 +126,8 @@ class ColumnTable:
         engine: ExecutionEngine,
         predicates: "dict[str, Sequence[int]]",
         *,
-        strategy: str = "sequential",
-        group_size: int = 6,
+        strategy: str | None = None,
+        group_size: int | None = None,
     ) -> dict[str, "np.ndarray"]:
         """Conjunctive IN-predicates: rows satisfying *every* column's list.
 

@@ -9,6 +9,9 @@
   memory access chaining (Listing 4).
 * :mod:`~repro.interleaving.model` — Inequality 1 and the group-size
   estimator of Section 5.4.5.
+* :mod:`~repro.interleaving.executor` — the Executor protocol, the
+  string-keyed registry all layers dispatch through, and the batching
+  :class:`~repro.interleaving.executor.BulkPipeline`.
 """
 
 from repro.interleaving.amac import (
@@ -21,6 +24,19 @@ from repro.interleaving.amac import (
     amac_csb_lookup_bulk,
     amac_hash_probe_bulk,
     amac_run_bulk,
+)
+from repro.interleaving.executor import (
+    EXECUTOR_REGISTRY,
+    WORKLOAD_KINDS,
+    BulkLookup,
+    BulkPipeline,
+    CoroExecutor,
+    Executor,
+    executor_names,
+    executors_supporting,
+    get_executor,
+    paper_techniques,
+    register_executor,
 )
 from repro.interleaving.gp import gp_binary_search_bulk
 from repro.interleaving.handle import CoroutineHandle, FramePool
@@ -35,6 +51,7 @@ from repro.interleaving.model import (
 from repro.interleaving.policies import (
     ExecutionPolicy,
     choose_policy,
+    choose_policy_for_bytes,
     default_group_size,
 )
 from repro.interleaving.sequential import StreamFactory, run_sequential
@@ -64,5 +81,17 @@ __all__ = [
     "residual_stall",
     "ExecutionPolicy",
     "choose_policy",
+    "choose_policy_for_bytes",
     "default_group_size",
+    "EXECUTOR_REGISTRY",
+    "WORKLOAD_KINDS",
+    "BulkLookup",
+    "BulkPipeline",
+    "CoroExecutor",
+    "Executor",
+    "executor_names",
+    "executors_supporting",
+    "get_executor",
+    "paper_techniques",
+    "register_executor",
 ]

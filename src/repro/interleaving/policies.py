@@ -1,4 +1,4 @@
-"""Execution-policy selection: sequential or interleaved, and how wide.
+"""Execution-policy selection: which executor, and how wide.
 
 The paper's guidance (Sections 4 and 5.4.5): interleave when lookups will
 miss the last-level cache and there are enough independent lookups to
@@ -7,6 +7,19 @@ technique is *slower* than Baseline because the switch overhead buys
 nothing. The default group size comes from Inequality 1 evaluated with
 the architecture's calibrated cost model, capped by the line-fill-buffer
 count.
+
+:func:`choose_policy` turns that guidance into a dispatchable decision:
+given a table, a lookup count, and (optionally) a candidate set of
+registered executors, it returns an :class:`ExecutionPolicy` naming the
+technique and group size to run. When no technique is forced, the
+candidates are ranked by the cost model — per switch point, technique
+``t`` at its Inequality-1 group size ``G_t`` costs
+
+    T_compute + T_switch(t) + residual_stall(t, G_t)
+
+which is why GP (lowest switch overhead) wins where its rewrite exists
+and CORO carries everything else. The columnstore query path runs on
+this policy by default (with an explicit strategy as the override).
 """
 
 from __future__ import annotations
@@ -15,9 +28,23 @@ from dataclasses import dataclass
 
 from repro.config import ArchSpec
 from repro.indexes.base import SearchableTable
-from repro.interleaving.model import InterleavingParams, optimal_group_size
+from repro.interleaving.model import (
+    InterleavingParams,
+    optimal_group_size,
+    residual_stall,
+)
 
-__all__ = ["ExecutionPolicy", "choose_policy", "default_group_size"]
+__all__ = [
+    "ExecutionPolicy",
+    "choose_policy",
+    "choose_policy_for_bytes",
+    "default_group_size",
+    "ADAPTIVE_CANDIDATES",
+]
+
+#: Techniques the adaptive policy ranks when none is forced, in paper
+#: order. Restricted per call to those supporting the workload at hand.
+ADAPTIVE_CANDIDATES = ("gp", "amac", "coro")
 
 
 @dataclass(frozen=True)
@@ -27,10 +54,43 @@ class ExecutionPolicy:
     interleave: bool
     group_size: int
     reason: str
+    #: Registry name of the executor to dispatch through
+    #: (``"sequential"`` when ``interleave`` is False).
+    technique: str = "CORO"
 
     def describe(self) -> str:
-        mode = f"interleaved (G={self.group_size})" if self.interleave else "sequential"
+        mode = (
+            f"interleaved {self.technique} (G={self.group_size})"
+            if self.interleave
+            else "sequential"
+        )
         return f"{mode}: {self.reason}"
+
+    @property
+    def executor_name(self) -> str:
+        """The registry key this policy dispatches to."""
+        return self.technique if self.interleave else "sequential"
+
+
+def _switch_cycles(arch: ArchSpec, technique: str) -> int:
+    cost = arch.cost
+    cycles = {
+        "gp": cost.gp_switch[0],
+        "amac": cost.amac_switch[0],
+        "coro": cost.coro_switch[0],
+    }.get(technique.lower())
+    if cycles is None:
+        raise ValueError(f"unknown technique {technique!r}")
+    return cycles
+
+
+def _params(arch: ArchSpec, technique: str) -> InterleavingParams:
+    cost = arch.cost
+    return InterleavingParams(
+        t_compute=cost.search_iter_cycles + cost.prefetch_issue_cycles,
+        t_stall=max(0, arch.dram_latency - cost.ooo_hide),
+        t_switch=_switch_cycles(arch, technique),
+    )
 
 
 def default_group_size(arch: ArchSpec, technique: str = "coro") -> int:
@@ -40,48 +100,87 @@ def default_group_size(arch: ArchSpec, technique: str = "coro") -> int:
     ``T_compute`` one search iteration; ``T_switch`` the technique's
     switch cost. Capped by the line-fill buffers.
     """
-    cost = arch.cost
-    switch_cycles = {
-        "gp": cost.gp_switch[0],
-        "amac": cost.amac_switch[0],
-        "coro": cost.coro_switch[0],
-    }.get(technique)
-    if switch_cycles is None:
-        raise ValueError(f"unknown technique {technique!r}")
-    params = InterleavingParams(
-        t_compute=cost.search_iter_cycles + cost.prefetch_issue_cycles,
-        t_stall=max(0, arch.dram_latency - cost.ooo_hide),
-        t_switch=switch_cycles,
-    )
+    params = _params(arch, technique)
     return min(optimal_group_size(params), arch.n_line_fill_buffers)
 
 
-def choose_policy(
+def _rank_candidates(
+    arch: ArchSpec, candidates: tuple[str, ...]
+) -> tuple[str, int, float]:
+    """Best (technique, group size, per-switch-point cost) by the model."""
+    best: tuple[str, int, float] | None = None
+    for technique in candidates:
+        params = _params(arch, technique)
+        group = min(optimal_group_size(params), arch.n_line_fill_buffers)
+        cost = params.t_compute + params.t_switch + residual_stall(params, group)
+        if best is None or cost < best[2]:
+            best = (technique, group, cost)
+    if best is None:
+        raise ValueError("no candidate techniques to rank")
+    return best
+
+
+def choose_policy_for_bytes(
     arch: ArchSpec,
-    table: SearchableTable,
+    table_bytes: int,
     n_lookups: int,
-    technique: str = "coro",
+    technique: str | None = None,
+    *,
+    candidates: tuple[str, ...] = ADAPTIVE_CANDIDATES,
 ) -> ExecutionPolicy:
-    """Pick sequential vs interleaved execution for a bulk lookup."""
-    table_bytes = table.size * table.element_size
+    """Pick an execution policy for a structure of ``table_bytes`` bytes.
+
+    ``technique`` forces one technique (old behaviour); ``None`` ranks
+    ``candidates`` by the calibrated Inequality-1 cost model. Structures
+    that fit the last-level cache, and lookup lists too short to cover a
+    miss, stay sequential either way.
+    """
+    if technique is not None:
+        chosen, group = technique, default_group_size(arch, technique)
+    else:
+        chosen, group, _ = _rank_candidates(arch, candidates)
     if table_bytes <= arch.l3.size:
         return ExecutionPolicy(
             False,
             1,
             f"table ({table_bytes >> 10} KB) fits the last-level cache "
             f"({arch.l3.size >> 10} KB); lookups rarely miss",
+            technique=chosen.upper(),
         )
-    group = default_group_size(arch, technique)
     if n_lookups < 2 or n_lookups < group:
         return ExecutionPolicy(
             False,
             1,
             f"only {n_lookups} independent lookups — not enough to cover "
             f"a miss (need ~{group})",
+            technique=chosen.upper(),
         )
     return ExecutionPolicy(
         True,
         group,
         f"table ({table_bytes >> 20} MB) exceeds the last-level cache; "
-        f"Inequality 1 suggests G={group}",
+        f"Inequality 1 suggests {chosen.upper()} with G={group}",
+        technique=chosen.upper(),
+    )
+
+
+def choose_policy(
+    arch: ArchSpec,
+    table: SearchableTable,
+    n_lookups: int,
+    technique: str | None = "coro",
+    *,
+    candidates: tuple[str, ...] = ADAPTIVE_CANDIDATES,
+) -> ExecutionPolicy:
+    """Pick sequential vs interleaved execution for a bulk table lookup.
+
+    Pass ``technique=None`` for calibration-driven adaptive selection
+    across ``candidates`` (see :func:`choose_policy_for_bytes`).
+    """
+    return choose_policy_for_bytes(
+        arch,
+        table.size * table.element_size,
+        n_lookups,
+        technique,
+        candidates=candidates,
     )

@@ -134,3 +134,49 @@ class MultiCoreSystem:
                 )
             )
         return MultiCoreResult(cores=cores)
+
+    def run_bulk(
+        self,
+        executor_name: str,
+        tasks,
+        *,
+        group_size: int | None = None,
+        batch_size: int = 4096,
+        seed: int = 0,
+    ) -> MultiCoreResult:
+        """Partition a :class:`~repro.interleaving.executor.BulkLookup`
+        across cores, each core draining its shard through a
+        :class:`~repro.interleaving.executor.BulkPipeline`.
+
+        The registry-name counterpart of :meth:`run`: pick a technique
+        by name (``"CORO"``, ``"GP"``, ...) and let the pipeline bound
+        each core's scheduler group-fill loops to ``batch_size`` inputs.
+        """
+        # Imported here: repro.interleaving imports repro.sim at module
+        # load, so the reverse edge must stay lazy.
+        from dataclasses import replace as _replace
+
+        from repro.interleaving.executor import BulkPipeline, get_executor
+
+        pipeline = BulkPipeline(get_executor(executor_name), batch_size)
+        engines = self.engines(seed)
+        cores = []
+        for index, engine in enumerate(engines):
+            shard = tasks.inputs[index :: self.n_cores]
+            results = (
+                pipeline.run(
+                    _replace(tasks, inputs=shard), engine, group_size=group_size
+                )
+                if shard
+                else []
+            )
+            engine.settle()
+            cores.append(
+                CoreResult(
+                    core=index,
+                    cycles=engine.clock,
+                    n_items=len(shard),
+                    results=list(results),
+                )
+            )
+        return MultiCoreResult(cores=cores)

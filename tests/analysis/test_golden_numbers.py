@@ -1,0 +1,34 @@
+"""Golden-number regression: cycles/search pinned across refactors.
+
+These values were captured from the measurement harness at one fixed
+sweep point (16 MB implicit int array, 64 lookups, seed 0, default
+group sizes) *before* the executor-registry refactor. Every technique's
+count must stay bit-identical: executors are adapters over the original
+bulk entry points and may not charge a single extra cycle. If a change
+legitimately alters the cost model, recapture these numbers in the same
+commit and say why.
+"""
+
+import pytest
+
+from repro.analysis.experiments import measure_binary_search
+
+GOLDEN_CYCLES_PER_SEARCH = {
+    "std": 856.765625,
+    "Baseline": 978.515625,
+    "GP": 767.609375,
+    "AMAC": 1236.5625,
+    "CORO": 1214.71875,
+}
+
+SIZE_BYTES = 16 << 20
+N_LOOKUPS = 64
+
+
+class TestGoldenNumbers:
+    @pytest.mark.parametrize("technique", sorted(GOLDEN_CYCLES_PER_SEARCH))
+    def test_cycles_per_search_bit_identical(self, technique):
+        point = measure_binary_search(
+            SIZE_BYTES, technique, n_lookups=N_LOOKUPS
+        )
+        assert point.cycles_per_search == GOLDEN_CYCLES_PER_SEARCH[technique]

@@ -71,6 +71,68 @@ class TestEncodedColumn:
             column.encode_values(ExecutionEngine(HASWELL), [1], strategy="gp")
 
 
+class TestPolicyDrivenEncode:
+    """The query path defaults to the calibration-driven policy."""
+
+    def test_small_dictionary_policy_is_sequential(self):
+        column = make_column(list(range(1_000)))
+        policy = column.locate_policy(ExecutionEngine(HASWELL), 100)
+        assert not policy.interleave
+        assert policy.executor_name == "sequential"
+
+    def test_large_dictionary_policy_interleaves(self):
+        from repro.columnstore import MainDictionary
+
+        alloc = AddressSpaceAllocator()
+        dictionary = MainDictionary.implicit(alloc, "d", 256 << 20)
+        column = EncodedColumn(dictionary, np.array([0, 1]), alloc, "c")
+        policy = column.locate_policy(ExecutionEngine(HASWELL), 10_000)
+        assert policy.interleave
+        assert policy.technique in ("GP", "AMAC", "CORO")
+
+    def test_delta_policy_candidates_are_coroutine_only(self):
+        from repro.columnstore import DeltaDictionary
+
+        alloc = AddressSpaceAllocator()
+        delta_dict = DeltaDictionary.implicit(alloc, "dd", 256 << 20)
+        column = EncodedColumn(delta_dict, np.array([0, 1]), alloc, "c")
+        policy = column.locate_policy(ExecutionEngine(HASWELL), 10_000)
+        assert policy.interleave
+        assert policy.technique == "CORO"
+
+    def test_default_query_matches_forced_sequential(self):
+        rng = np.random.RandomState(9)
+        rows = rng.randint(0, 400, 2_000)
+        column = make_column(rows)
+        predicates = rng.randint(0, 450, 30).tolist()
+        defaulted = run_in_predicate(ExecutionEngine(HASWELL), column, predicates)
+        forced = run_in_predicate(
+            ExecutionEngine(HASWELL), column, predicates, strategy="sequential"
+        )
+        # The tiny dictionary fits the LLC, so the policy picks
+        # sequential — identical results *and* identical cycles.
+        assert defaulted.codes == forced.codes
+        assert defaulted.total_cycles == forced.total_cycles
+
+    def test_explicit_policy_override(self):
+        from repro.interleaving import ExecutionPolicy
+
+        rng = np.random.RandomState(11)
+        rows = rng.randint(0, 400, 2_000)
+        column = make_column(rows)
+        predicates = rng.randint(0, 450, 30).tolist()
+        policy = ExecutionPolicy(True, 4, "forced for test", technique="CORO")
+        overridden = run_in_predicate(
+            ExecutionEngine(HASWELL), column, predicates, policy=policy
+        )
+        forced = run_in_predicate(
+            ExecutionEngine(HASWELL), column, predicates,
+            strategy="interleaved", group_size=4,
+        )
+        assert overridden.codes == forced.codes
+        assert overridden.total_cycles == forced.total_cycles
+
+
 class TestScan:
     def test_matching_rows(self):
         column = make_column([10, 20, 10, 30, 20, 20])

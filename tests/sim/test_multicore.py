@@ -114,3 +114,48 @@ class TestRun:
         system = MultiCoreSystem(2, extra_dram_latency=100)
         outcome = system.memories[0].load_line(7, 0)
         assert outcome.ready == HASWELL.dram_latency + 100
+
+
+class TestRunBulk:
+    def test_run_bulk_matches_run(self):
+        from repro.interleaving import BulkLookup
+
+        table, probes = make_workload(64 << 20, n=120)
+        system = MultiCoreSystem(3)
+        by_name = system.run_bulk(
+            "CORO", BulkLookup.sorted_array(table, probes), group_size=6
+        )
+        system2 = MultiCoreSystem(3)
+        by_runner = system2.run(
+            lambda engine, shard: run_interleaved(
+                engine, lambda v, il: binary_search_coro(table, v, il), shard, 6
+            ),
+            probes,
+        )
+        assert by_name.results_in_order() == by_runner.results_in_order()
+        assert by_name.makespan == by_runner.makespan
+
+    def test_run_bulk_batches_through_pipeline(self):
+        from repro.interleaving import BulkLookup
+
+        table, probes = make_workload(64 << 20, n=90)
+        system = MultiCoreSystem(2)
+        batched = system.run_bulk(
+            "CORO",
+            BulkLookup.sorted_array(table, probes),
+            group_size=6,
+            batch_size=16,
+        )
+        system2 = MultiCoreSystem(2)
+        unbatched = system2.run_bulk(
+            "CORO", BulkLookup.sorted_array(table, probes), group_size=6
+        )
+        assert batched.results_in_order() == unbatched.results_in_order()
+
+    def test_run_bulk_empty(self):
+        from repro.interleaving import BulkLookup
+
+        table, _ = make_workload(1 << 20, n=4)
+        system = MultiCoreSystem(8)
+        result = system.run_bulk("sequential", BulkLookup.sorted_array(table, []))
+        assert result.total_items == 0

@@ -18,7 +18,7 @@ class TestDocsReferenceRealFiles:
     @pytest.mark.parametrize(
         "doc",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/paper_mapping.md",
-         "docs/observability.md"],
+         "docs/observability.md", "docs/architecture.md"],
     )
     def test_referenced_files_exist(self, doc):
         text = (ROOT / doc).read_text()
