@@ -1,20 +1,26 @@
 #!/usr/bin/env python
-"""Guard against schema drift in ``benchmarks/results/BENCH_sim.json``.
+"""Guard against schema drift in the machine-readable benchmark artifacts.
 
-The benchmark session writes one machine-readable document with every
-sweep point measured (see ``benchmarks/conftest.py``). Downstream
-consumers — plots, the paper-comparison notebooks, CI trend tracking —
-key off the ``repro.bench-sim/1`` shape, so CI runs this checker after
-the benchmark smoke job and fails the build if a field is renamed,
-dropped, or retyped without bumping the schema version.
+The benchmark session writes machine-readable documents — every offline
+sweep point into ``BENCH_sim.json`` (see ``benchmarks/conftest.py``) and
+the serving-layer load sweep into ``BENCH_service.json`` (see
+``benchmarks/bench_service_latency.py``). Downstream consumers — plots,
+the paper-comparison notebooks, CI trend tracking — key off the
+``repro.bench-sim/1`` / ``repro.service/1`` shapes, so CI runs this
+checker after the benchmark smoke job and fails the build if a field is
+renamed, dropped, or retyped without bumping the schema version.
 
-Usage::
+The document kind is dispatched on its ``schema`` field, so the same
+invocation validates either artifact::
 
     python benchmarks/check_bench_schema.py [PATH] [--require SWEEP ...]
+    python benchmarks/check_bench_schema.py benchmarks/results/BENCH_service.json
 
 PATH defaults to ``benchmarks/results/BENCH_sim.json``. ``--require``
 additionally fails if a named sweep is absent (the smoke job requires
-``binary_search_int``).
+``binary_search_int``; ignored for service documents). Service documents
+additionally get semantic checks: offered load strictly positive and
+latency percentiles monotone (p50 <= p95 <= p99) at every point.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import pathlib
 import sys
 
 SCHEMA = "repro.bench-sim/1"
+SERVICE_SCHEMA = "repro.service/1"
 
 #: Field name -> type check, for binary-search sweep points
 #: (mirrors ``conftest._point_record``).
@@ -58,6 +65,34 @@ QUERY_FIELDS = {
 }
 
 VALID_SCALES = ("quick", "full")
+
+#: Field name -> type check, for serving-sweep points
+#: (mirrors ``repro.service.loadgen._point``).
+SERVICE_POINT_FIELDS = {
+    "technique": str,
+    "load_multiplier": numbers.Real,
+    "offered_load": numbers.Real,
+    "throughput": numbers.Real,
+    "completed": numbers.Integral,
+    "served": numbers.Integral,
+    "makespan": numbers.Integral,
+    "mean_batch_size": numbers.Real,
+    "peak_queue_depth": numbers.Integral,
+    "slo_attainment": (numbers.Real, type(None)),
+    "p50": numbers.Integral,
+    "p95": numbers.Integral,
+    "p99": numbers.Integral,
+    "mean_queue_wait": numbers.Real,
+    "mean_batch_wait": numbers.Real,
+    "mean_execution": numbers.Real,
+    "arrivals": numbers.Integral,
+    "admitted": numbers.Integral,
+    "rejected": numbers.Integral,
+    "rate_limited": numbers.Integral,
+    "dropped": numbers.Integral,
+    "shed": numbers.Integral,
+    "batches": numbers.Integral,
+}
 
 
 def check_point(sweep: str, index: int, point: object, errors: list[str]) -> None:
@@ -106,6 +141,68 @@ def check_document(doc: object, required: list[str]) -> list[str]:
     return errors
 
 
+def check_service_point(index: int, point: object, errors: list[str]) -> None:
+    if not isinstance(point, dict):
+        errors.append(f"points[{index}]: point is {type(point).__name__}, not object")
+        return
+    for field, expected in SERVICE_POINT_FIELDS.items():
+        if field not in point:
+            errors.append(f"points[{index}]: missing field {field!r}")
+        elif not isinstance(point[field], expected) or isinstance(point[field], bool):
+            expected_name = (
+                "/".join(t.__name__ for t in expected)
+                if isinstance(expected, tuple)
+                else expected.__name__
+            )
+            errors.append(
+                f"points[{index}].{field}: {type(point[field]).__name__} "
+                f"is not {expected_name}"
+            )
+    for field in point:
+        if field not in SERVICE_POINT_FIELDS:
+            errors.append(f"points[{index}]: unknown field {field!r} (schema drift?)")
+    # Semantic invariants (cheap enough to enforce here, and exactly the
+    # two CI cares about): the sweep actually offered load, and the
+    # latency distribution is self-consistent.
+    offered = point.get("offered_load")
+    if isinstance(offered, numbers.Real) and offered <= 0:
+        errors.append(f"points[{index}]: offered_load {offered} is not > 0")
+    p50, p95, p99 = point.get("p50"), point.get("p95"), point.get("p99")
+    if (
+        all(isinstance(p, numbers.Real) for p in (p50, p95, p99))
+        and not p50 <= p95 <= p99
+    ):
+        errors.append(
+            f"points[{index}]: percentiles not monotone "
+            f"(p50={p50}, p95={p95}, p99={p99})"
+        )
+
+
+def check_service_document(doc: dict) -> list[str]:
+    errors: list[str] = []
+    for field, expected in (
+        ("scenario", str),
+        ("arrival_kind", str),
+        ("n_requests", numbers.Integral),
+        ("seed", numbers.Integral),
+        ("seq_capacity_per_kcycle", numbers.Real),
+        ("seq_cycles_per_lookup", numbers.Real),
+    ):
+        if field not in doc:
+            errors.append(f"missing field {field!r}")
+        elif not isinstance(doc[field], expected):
+            errors.append(
+                f"{field}: {type(doc[field]).__name__} is not {expected.__name__}"
+            )
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        errors.append("points must be a non-empty list")
+        return errors
+    for index, point in enumerate(points):
+        check_service_point(index, point, errors)
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -128,14 +225,28 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: {path} is not valid JSON: {error}", file=sys.stderr)
         return 1
 
-    errors = check_document(doc, args.require)
+    if isinstance(doc, dict) and doc.get("schema") == SERVICE_SCHEMA:
+        errors = check_service_document(doc)
+        schema = SERVICE_SCHEMA
+    else:
+        errors = check_document(doc, args.require)
+        schema = SCHEMA
     if errors:
-        print(f"FAIL: {path} drifted from {SCHEMA}:", file=sys.stderr)
+        print(f"FAIL: {path} drifted from {schema}:", file=sys.stderr)
         for error in errors:
             print(f"  - {error}", file=sys.stderr)
         return 1
-    n_points = sum(len(s["points"]) for s in doc["sweeps"].values())
-    print(f"OK: {path} matches {SCHEMA} ({len(doc['sweeps'])} sweeps, {n_points} points)")
+    if schema == SERVICE_SCHEMA:
+        print(
+            f"OK: {path} matches {schema} "
+            f"({doc['scenario']!r}, {len(doc['points'])} points)"
+        )
+    else:
+        n_points = sum(len(s["points"]) for s in doc["sweeps"].values())
+        print(
+            f"OK: {path} matches {schema} "
+            f"({len(doc['sweeps'])} sweeps, {n_points} points)"
+        )
     return 0
 
 

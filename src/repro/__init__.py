@@ -19,6 +19,8 @@ Layers (bottom-up):
   group-size model.
 * :mod:`repro.columnstore` — SAP HANA-like substrate: Main/Delta
   dictionaries, encoded columns, IN-predicate queries.
+* :mod:`repro.service` — the online serving layer: simulated-time
+  arrivals, admission control, request coalescing, SLO accounting.
 * :mod:`repro.workloads` / :mod:`repro.analysis` — workload generation,
   measurement harness, reporting, Table-5 LoC analysis.
 
@@ -100,6 +102,15 @@ from repro.columnstore import (
     MainDictionary,
     run_in_predicate,
 )
+from repro.service import (
+    Scenario,
+    ServiceConfig,
+    ServiceReport,
+    ServiceServer,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.sim import AddressSpaceAllocator, ExecutionEngine, MemorySystem
 
 __version__ = "1.0.0"
@@ -166,4 +177,11 @@ __all__ = [
     "DeltaStore",
     "ColumnTable",
     "run_in_predicate",
+    "Scenario",
+    "ServiceConfig",
+    "ServiceReport",
+    "ServiceServer",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
 ]

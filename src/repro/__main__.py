@@ -1,16 +1,21 @@
-"""Command-line entry point: regenerate paper artifacts and traces.
+"""Command-line entry point: regenerate paper artifacts, traces, serving runs.
 
 Usage::
 
-    python -m repro list                 # experiments, executors, workload kinds
+    python -m repro list                 # experiments, executors, scenarios
     python -m repro table5 fig7          # run and print experiments
     python -m repro table5 --json        # machine-readable data documents
     python -m repro trace fig7 --out /tmp/t   # span-traced run artifacts
+    python -m repro serve mixed          # online-serving load sweep
+    python -m repro serve quick --json --seed 3
     REPRO_BENCH_SCALE=full python -m repro fig3a   # paper's full grid
 
 The ``trace`` verb runs a fully instrumented slice of an experiment's
 kernel and writes a Chrome-trace/Perfetto JSON, a run-summary JSON, and
-a JSONL event stream into ``--out`` (see docs/observability.md).
+a JSONL event stream into ``--out`` (see docs/observability.md). The
+``serve`` verb runs a named serving scenario — seeded arrivals,
+admission control, request coalescing — and prints the per-technique
+throughput-vs-latency table (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -28,24 +33,33 @@ from repro.analysis.figures import (
 
 def _unknown(names: list[str]) -> int:
     """Report unknown experiment names on stderr; exit status 2."""
+    from repro.service.scenarios import SCENARIO_REGISTRY
+
     listing = ", ".join(available_experiments())
     for name in names:
         print(f"unknown experiment {name!r}; available: {listing}", file=sys.stderr)
+        if name.lower() in SCENARIO_REGISTRY:
+            print(
+                f"({name!r} is a serving scenario — did you mean "
+                f"'python -m repro serve {name}'?)",
+                file=sys.stderr,
+            )
     print(
         "run 'python -m repro list' to see experiments, executors, "
-        "and workload kinds",
+        "workload kinds, and serving scenarios",
         file=sys.stderr,
     )
     return 2
 
 
 def _list_main() -> int:
-    """Print experiments, registered executors, and workload kinds."""
+    """Print experiments, executors, workload kinds, and scenarios."""
     from repro.interleaving.executor import (
         WORKLOAD_KINDS,
         executor_names,
         get_executor,
     )
+    from repro.service.scenarios import SCENARIO_REGISTRY
 
     print("experiments:")
     for name in available_experiments():
@@ -60,6 +74,58 @@ def _list_main() -> int:
     print("workload kinds:")
     for kind in WORKLOAD_KINDS:
         print(f"  {kind}")
+    print()
+    print("scenarios (python -m repro serve <name>):")
+    for scenario in SCENARIO_REGISTRY.values():
+        techniques = "/".join(scenario.techniques)
+        print(
+            f"  {scenario.name:<8} {scenario.arrival_kind:<8} "
+            f"loads x{list(scenario.loads)} [{techniques}]"
+        )
+    return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    from repro.errors import ReproError
+    from repro.service.loadgen import render_service_doc, run_scenario
+    from repro.service.scenarios import scenario_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Run a named online-serving scenario (seeded arrivals, "
+            "admission control, request coalescing) and print the "
+            "per-technique throughput/latency table."
+        ),
+    )
+    parser.add_argument(
+        "scenario", help=f"scenario name ({', '.join(scenario_names())})"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the service data document as JSON instead of ASCII",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for arrivals and probe values (default 0)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        doc = run_scenario(args.scenario, seed=args.seed)
+    except ReproError as error:
+        print(f"serve failed: {error}", file=sys.stderr)
+        print(
+            f"registered scenarios: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_service_doc(doc))
     return 0
 
 
@@ -115,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -126,8 +194,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names, 'list' to enumerate them, or 'trace' "
-        "(see 'python -m repro trace --help')",
+        help="experiment names, 'list' to enumerate them, 'trace' "
+        "(see 'python -m repro trace --help'), or 'serve' "
+        "(see 'python -m repro serve --help')",
     )
     parser.add_argument(
         "--json",

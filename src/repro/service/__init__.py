@@ -1,0 +1,82 @@
+"""repro.service — the simulated-time online serving layer.
+
+The paper evaluates interleaved index joins as offline bulk probes; this
+package carries the same executors into *online* traffic, where the
+robustness claim actually bites: a server cannot choose its workload.
+Requests arrive in simulated cycles through pluggable arrival processes
+(:mod:`~repro.service.arrivals`), pass an admission controller with a
+bounded queue and token-bucket rate limiting
+(:mod:`~repro.service.admission`), coalesce into
+``max_batch``/``max_wait_cycles``-bounded groups
+(:mod:`~repro.service.coalescer`), and dispatch through the executor
+registry onto shared-LLC engine shards
+(:mod:`~repro.service.server`). Named scenarios and the
+throughput-vs-latency sweep live in :mod:`~repro.service.scenarios` and
+:mod:`~repro.service.loadgen`; ``python -m repro serve <scenario>`` is
+the CLI surface and ``docs/serving.md`` the narrative.
+"""
+
+from repro.service.admission import (
+    OVERLOAD_POLICIES,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.service.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.service.coalescer import Coalescer
+from repro.service.loadgen import (
+    SERVICE_SCHEMA,
+    render_service_doc,
+    run_scenario,
+    sequential_capacity,
+)
+from repro.service.request import OUTCOMES, Request
+from repro.service.scenarios import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.service.server import (
+    PERCENTILES,
+    ServiceConfig,
+    ServiceReport,
+    ServiceServer,
+    percentile,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "OUTCOMES",
+    "OVERLOAD_POLICIES",
+    "PERCENTILES",
+    "SCENARIO_REGISTRY",
+    "SERVICE_SCHEMA",
+    "AdmissionController",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "Coalescer",
+    "ClosedLoopArrivals",
+    "PoissonArrivals",
+    "Request",
+    "Scenario",
+    "ServiceConfig",
+    "ServiceReport",
+    "ServiceServer",
+    "TokenBucket",
+    "get_scenario",
+    "make_arrivals",
+    "percentile",
+    "register_scenario",
+    "render_service_doc",
+    "run_scenario",
+    "scenario_names",
+    "sequential_capacity",
+]

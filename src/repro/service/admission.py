@@ -1,0 +1,146 @@
+"""Admission control: the bounded front door of the serving layer.
+
+Two mechanisms, composable:
+
+* a **token bucket** rate limiter — refills at ``rate_per_kcycle``
+  tokens per kilocycle up to ``burst`` capacity; an arrival with no
+  token available is rate-limited before it ever sees the queue;
+* a **bounded queue** with a configurable overload policy once the
+  queue holds ``capacity`` waiting requests:
+
+  - ``"reject"`` — refuse the arrival (the client sees an error now
+    rather than a timeout later),
+  - ``"drop"`` — tail-drop it silently (lossy telemetry-style traffic),
+  - ``"shed"`` — divert it to the sequential overflow lane: it bypasses
+    the coalescer and runs ungrouped, trading its own latency for not
+    growing the queue (Section 4's "interleaving needs enough
+    independent lookups" inverted: an overloaded server stops waiting
+    for company).
+
+Every decision increments a counter in a :class:`~repro.obs.metrics.
+MetricsRegistry`, and the queue depth is tracked as a gauge whose peak
+is the "never grew beyond Q" witness the overload tests assert on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.service.request import Request
+
+__all__ = ["OVERLOAD_POLICIES", "TokenBucket", "AdmissionController"]
+
+#: What happens to an arrival once the queue is full.
+OVERLOAD_POLICIES = ("reject", "drop", "shed")
+
+
+class TokenBucket:
+    """A seedless, deterministic token bucket over simulated cycles."""
+
+    def __init__(self, rate_per_kcycle: float, burst: int) -> None:
+        if rate_per_kcycle <= 0:
+            raise ConfigurationError("token refill rate must be positive")
+        if burst < 1:
+            raise ConfigurationError("token bucket needs capacity for one token")
+        self.rate_per_kcycle = rate_per_kcycle
+        self.burst = burst
+        self._level = float(burst)
+        self._last_refill = 0
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def try_take(self, cycle: int) -> bool:
+        """Refill for elapsed cycles, then take one token if available."""
+        elapsed = max(0, cycle - self._last_refill)
+        self._last_refill = max(self._last_refill, cycle)
+        self._level = min(
+            float(self.burst), self._level + elapsed * self.rate_per_kcycle / 1000.0
+        )
+        if self._level >= 1.0:
+            self._level -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Bounded FIFO queue + optional rate limiting, metrics-instrumented.
+
+    The controller owns the waiting room the coalescer drains: ``offer``
+    stamps each arrival with a verdict (``"admit"``, ``"reject"``,
+    ``"drop"``, or ``"shed"``), and admitted requests wait in
+    :attr:`queue` in arrival order.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        policy: str = "reject",
+        rate_limiter: TokenBucket | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("admission queue needs capacity for one request")
+        if policy not in OVERLOAD_POLICIES:
+            raise ConfigurationError(
+                f"unknown overload policy {policy!r}; expected one of "
+                f"{OVERLOAD_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.rate_limiter = rate_limiter
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queue: deque[Request] = deque()
+        self._arrivals = self.metrics.counter("service.arrivals")
+        self._admitted = self.metrics.counter("service.admitted")
+        self._rejected = self.metrics.counter("service.rejected")
+        self._rate_limited = self.metrics.counter("service.rate_limited")
+        self._dropped = self.metrics.counter("service.dropped")
+        self._shed = self.metrics.counter("service.shed")
+        self._depth = self.metrics.gauge("service.queue_depth")
+
+    # ------------------------------------------------------------------
+    # The front door
+    # ------------------------------------------------------------------
+
+    def offer(self, request: Request) -> str:
+        """Decide one arrival's fate; enqueue it if admitted."""
+        self._arrivals.inc()
+        if self.rate_limiter is not None and not self.rate_limiter.try_take(
+            request.arrival
+        ):
+            self._rate_limited.inc()
+            self._rejected.inc()
+            request.outcome = "rejected"
+            return "reject"
+        if len(self.queue) >= self.capacity:
+            if self.policy == "shed":
+                self._shed.inc()
+                request.outcome = "shed"
+                return "shed"
+            counter = self._dropped if self.policy == "drop" else self._rejected
+            counter.inc()
+            request.outcome = "dropped" if self.policy == "drop" else "rejected"
+            return self.policy
+        self._admitted.inc()
+        self.queue.append(request)
+        self._depth.set(len(self.queue))
+        return "admit"
+
+    def take(self, n: int) -> list[Request]:
+        """Pop up to ``n`` requests from the head, in arrival order."""
+        batch = [self.queue.popleft() for _ in range(min(n, len(self.queue)))]
+        self._depth.set(len(self.queue))
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    @property
+    def peak_depth(self) -> int:
+        """Deepest the queue ever got (the bounded-queue witness)."""
+        return int(self._depth.peak)

@@ -1,0 +1,240 @@
+"""Pluggable arrival processes for the serving layer, in simulated cycles.
+
+An online serving path cannot choose its workload — the arrival process
+*is* the experiment knob. Three processes cover the classic shapes:
+
+* :class:`PoissonArrivals` — open-loop memoryless traffic at a fixed
+  offered load (requests per kilocycle), the M/x/c baseline.
+* :class:`BurstyArrivals` — open-loop traffic alternating between a
+  burst rate and a base rate on a fixed period: the overload-recovery
+  shape admission control exists for.
+* :class:`ClosedLoopArrivals` — a fixed client population, each issuing
+  its next request ``think_cycles`` after its previous one completed:
+  the self-throttling shape (offered load tracks service capacity).
+
+Every process takes an **explicit RNG seed** and owns a private
+``random.Random`` — no global RNG state is touched, so two runs with the
+same seed produce bit-identical arrival sequences (pinned by
+``tests/service/test_arrivals.py``). Times are integer cycles; the
+sequence each process emits is non-decreasing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "ClosedLoopArrivals",
+    "make_arrivals",
+]
+
+
+class ArrivalProcess:
+    """Common interface the server's event loop drives.
+
+    ``peek`` returns the next arrival cycle without consuming it (or
+    ``None`` when no arrival is currently scheduled), ``pop`` consumes
+    it, and ``notify_completion`` lets closed-loop processes schedule
+    follow-up arrivals. Open-loop processes pre-generate their whole
+    schedule on construction.
+    """
+
+    kind = "?"
+
+    def __init__(self, n_requests: int, seed: int) -> None:
+        if n_requests <= 0:
+            raise WorkloadError("arrival process needs at least one request")
+        self.n_requests = n_requests
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._issued = 0
+
+    @property
+    def issued(self) -> int:
+        """Arrivals handed out via :meth:`pop` so far."""
+        return self._issued
+
+    def peek(self) -> int | None:
+        raise NotImplementedError  # pragma: no cover
+
+    def pop(self) -> int:
+        raise NotImplementedError  # pragma: no cover
+
+    def notify_completion(self, cycle: int) -> None:
+        """A request completed at ``cycle`` (open-loop: ignored)."""
+
+    def drain(self) -> list[int]:
+        """Consume every currently schedulable arrival (for tests)."""
+        times = []
+        while self.peek() is not None:
+            times.append(self.pop())
+        return times
+
+
+class _OpenLoop(ArrivalProcess):
+    """Pre-generated arrival schedule; completions do not feed back."""
+
+    def __init__(self, n_requests: int, seed: int) -> None:
+        super().__init__(n_requests, seed)
+        self._times = self._generate()
+        if any(b < a for a, b in zip(self._times, self._times[1:])):
+            raise WorkloadError("arrival times must be non-decreasing")
+
+    def _generate(self) -> list[int]:
+        raise NotImplementedError  # pragma: no cover
+
+    def peek(self) -> int | None:
+        return self._times[self._issued] if self._issued < len(self._times) else None
+
+    def pop(self) -> int:
+        cycle = self._times[self._issued]
+        self._issued += 1
+        return cycle
+
+
+def _check_rate(rate: float, name: str) -> None:
+    if rate <= 0:
+        raise WorkloadError(f"{name} must be positive, not {rate!r}")
+
+
+class PoissonArrivals(_OpenLoop):
+    """Memoryless open-loop arrivals at ``rate_per_kcycle`` offered load."""
+
+    kind = "poisson"
+
+    def __init__(self, rate_per_kcycle: float, n_requests: int, seed: int) -> None:
+        _check_rate(rate_per_kcycle, "rate_per_kcycle")
+        self.rate_per_kcycle = rate_per_kcycle
+        super().__init__(n_requests, seed)
+
+    def _generate(self) -> list[int]:
+        rate = self.rate_per_kcycle / 1000.0
+        clock = 0.0
+        times = []
+        for _ in range(self.n_requests):
+            clock += self._rng.expovariate(rate)
+            times.append(int(clock))
+        return times
+
+
+class BurstyArrivals(_OpenLoop):
+    """Open-loop arrivals alternating burst and base rates.
+
+    Each period of ``burst_cycles + gap_cycles`` starts with a burst
+    phase at ``burst_rate_per_kcycle`` and relaxes to
+    ``base_rate_per_kcycle`` for the remainder — a deterministic-phase,
+    random-increment approximation of a Markov-modulated Poisson
+    process, chosen so the phase schedule itself never depends on the
+    RNG (two seeds see the same bursts, at the same cycles).
+    """
+
+    kind = "bursty"
+
+    def __init__(
+        self,
+        base_rate_per_kcycle: float,
+        burst_rate_per_kcycle: float,
+        burst_cycles: int,
+        gap_cycles: int,
+        n_requests: int,
+        seed: int,
+    ) -> None:
+        _check_rate(base_rate_per_kcycle, "base_rate_per_kcycle")
+        _check_rate(burst_rate_per_kcycle, "burst_rate_per_kcycle")
+        if burst_cycles <= 0 or gap_cycles <= 0:
+            raise WorkloadError("burst and gap phases must span at least one cycle")
+        self.base_rate_per_kcycle = base_rate_per_kcycle
+        self.burst_rate_per_kcycle = burst_rate_per_kcycle
+        self.burst_cycles = burst_cycles
+        self.gap_cycles = gap_cycles
+        super().__init__(n_requests, seed)
+
+    def _rate_at(self, cycle: float) -> float:
+        period = self.burst_cycles + self.gap_cycles
+        in_burst = (cycle % period) < self.burst_cycles
+        rate = self.burst_rate_per_kcycle if in_burst else self.base_rate_per_kcycle
+        return rate / 1000.0
+
+    def _generate(self) -> list[int]:
+        clock = 0.0
+        times = []
+        for _ in range(self.n_requests):
+            clock += self._rng.expovariate(self._rate_at(clock))
+            times.append(int(clock))
+        return times
+
+
+class ClosedLoopArrivals(ArrivalProcess):
+    """A fixed population of clients with think time between requests.
+
+    ``n_clients`` requests are scheduled up front (staggered uniformly
+    over one think time so clients do not arrive in lockstep); every
+    completion schedules that client's next arrival ``think_cycles``
+    later (with ±20% seeded jitter), until ``n_requests`` have been
+    issued. Offered load therefore tracks completion rate — the closed
+    system can overrun a queue only up to its own population size.
+    """
+
+    kind = "closed"
+
+    def __init__(
+        self,
+        n_clients: int,
+        think_cycles: int,
+        n_requests: int,
+        seed: int,
+    ) -> None:
+        if n_clients <= 0:
+            raise WorkloadError("closed loop needs at least one client")
+        if think_cycles <= 0:
+            raise WorkloadError("think time must be positive")
+        super().__init__(n_requests, seed)
+        self.n_clients = min(n_clients, n_requests)
+        self.think_cycles = think_cycles
+        self._scheduled = 0
+        self._heap: list[int] = []
+        for _ in range(self.n_clients):
+            heapq.heappush(self._heap, int(self._rng.uniform(0, think_cycles)))
+            self._scheduled += 1
+
+    def peek(self) -> int | None:
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> int:
+        self._issued += 1
+        return heapq.heappop(self._heap)
+
+    def notify_completion(self, cycle: int) -> None:
+        if self._scheduled >= self.n_requests:
+            return
+        jitter = self._rng.uniform(0.8, 1.2)
+        heapq.heappush(self._heap, cycle + max(1, int(self.think_cycles * jitter)))
+        self._scheduled += 1
+
+
+#: Arrival process kinds, keyed for scenario descriptions and the CLI.
+ARRIVAL_KINDS = {
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+    "closed": ClosedLoopArrivals,
+}
+
+
+def make_arrivals(
+    kind: str, n_requests: int, seed: int, **params: object
+) -> ArrivalProcess:
+    """Build an arrival process by kind name (scenario plumbing)."""
+    cls = ARRIVAL_KINDS.get(kind)
+    if cls is None:
+        raise WorkloadError(
+            f"unknown arrival kind {kind!r}; expected one of "
+            f"{', '.join(sorted(ARRIVAL_KINDS))}"
+        )
+    return cls(n_requests=n_requests, seed=seed, **params)

@@ -1,0 +1,67 @@
+"""Request coalescing: turn an arrival trickle into interleavable groups.
+
+The paper's machinery only pays off with enough *independent* lookups in
+flight (Inequality 1); an online server gets them by waiting — briefly —
+for company. The coalescer watches the admission queue and fires a batch
+when either bound is hit:
+
+* **size bound** — ``max_batch`` requests are waiting (the batch trigger
+  back-dates to the cycle the ``max_batch``-th request arrived, because
+  that is when the decision was actually forced), or
+* **time bound** — the oldest waiting request has waited
+  ``max_wait_cycles`` (the knob trading per-request latency for group
+  size: Cimple's batch-size trade-off as a deadline).
+
+The coalescer is pure decision logic — it never advances time itself.
+The server asks :meth:`next_trigger` when planning its next event and
+calls :meth:`take` once a shard actually starts the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.service.admission import AdmissionController
+from repro.service.request import Request
+
+__all__ = ["Coalescer"]
+
+
+@dataclass
+class Coalescer:
+    """Size/deadline-bounded batch formation over the admission queue."""
+
+    admission: AdmissionController
+    max_batch: int
+    max_wait_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("coalescer needs a batch of at least one")
+        if self.max_wait_cycles < 0:
+            raise ConfigurationError("max_wait_cycles cannot be negative")
+
+    def next_trigger(self) -> int | None:
+        """Cycle at which the pending batch is (or was) forced out.
+
+        ``None`` while nothing waits. With ``max_batch`` requests
+        waiting, the trigger is the arrival of the request that filled
+        the batch; otherwise it is the head request's deadline. Either
+        may lie in the past — the batch then dispatches as soon as a
+        shard frees up, and the interval in between is queue wait, not
+        batch wait.
+        """
+        queue = self.admission.queue
+        if not queue:
+            return None
+        if len(queue) >= self.max_batch:
+            return queue[self.max_batch - 1].arrival
+        return queue[0].arrival + self.max_wait_cycles
+
+    def take(self, trigger: int) -> list[Request]:
+        """Pop the batch and stamp every member with its trigger cycle."""
+        batch = self.admission.take(self.max_batch)
+        for request in batch:
+            request.trigger = trigger
+        return batch

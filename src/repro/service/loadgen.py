@@ -1,0 +1,212 @@
+"""Load generation: sweep a scenario into a throughput-vs-latency curve.
+
+:func:`run_scenario` is the one entry point behind ``python -m repro
+serve``, ``benchmarks/bench_service_latency.py``, and the example. For
+each (technique, load) point it builds a seeded arrival process and a
+seeded probe-value list, runs a fresh :class:`~repro.service.server.
+ServiceServer`, and flattens the report into a plain dict — the
+``repro.service/1`` data document.
+
+Offered load is calibrated, not guessed: the sweep first measures the
+sequential executor's warm cycles-per-lookup on the scenario's table and
+derives the socket's sequential capacity in requests per kilocycle.
+Scenario load multipliers scale that capacity, so "2.0" saturates the
+sequential server by construction — which is exactly where the paper's
+robustness claim becomes a serving claim: the interleaved executors'
+knees sit further right, so they are still inside their capacity when
+the sequential curve has already folded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import HASWELL, ArchSpec, scaled
+from repro.interleaving.executor import BulkLookup, get_executor
+from repro.service.arrivals import make_arrivals
+from repro.service.scenarios import Scenario, get_scenario
+from repro.service.server import ServiceReport, ServiceServer
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.sim.engine import ExecutionEngine
+from repro.workloads.generators import make_table
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "sequential_capacity",
+    "run_scenario",
+    "render_service_doc",
+]
+
+#: Schema tag of the service data document / BENCH_service.json.
+SERVICE_SCHEMA = "repro.service/1"
+
+
+def _arch_for(scenario: Scenario) -> ArchSpec:
+    return HASWELL if scenario.arch_scale == 1 else scaled(scenario.arch_scale)
+
+
+def sequential_capacity(
+    table, arch: ArchSpec, *, n_shards: int, seed: int = 0, n_probe: int = 48
+) -> tuple[float, float]:
+    """Warm sequential service rate of the whole socket.
+
+    Returns ``(capacity_per_kcycle, cycles_per_lookup)``: one cold pass
+    warms the caches, a second pass over fresh values is measured — the
+    same two-pass methodology as the offline harness, without dragging
+    :mod:`repro.analysis` into the service layer.
+    """
+    engine = ExecutionEngine(arch, seed=seed)
+    executor = get_executor("sequential")
+    rng = np.random.RandomState(seed + 53)
+    warm = [int(v) for v in rng.randint(0, table.size, n_probe)]
+    executor.run(BulkLookup.sorted_array(table, warm), engine)
+    engine.settle()
+    probe = [int(v) for v in rng.randint(0, table.size, n_probe)]
+    before = engine.clock
+    executor.run(BulkLookup.sorted_array(table, probe), engine)
+    engine.settle()
+    cycles_per_lookup = (engine.clock - before) / n_probe
+    return n_shards * 1000.0 / cycles_per_lookup, cycles_per_lookup
+
+
+def _arrival_params(scenario: Scenario, rate_per_kcycle: float) -> dict:
+    """Kind-specific arrival parameters hitting ``rate_per_kcycle``."""
+    params = dict(scenario.arrival_params)
+    if scenario.arrival_kind == "poisson":
+        params["rate_per_kcycle"] = rate_per_kcycle
+    elif scenario.arrival_kind == "bursty":
+        # Bursts at 2.5x and lulls at 0.4x bracket the average rate.
+        params.setdefault("base_rate_per_kcycle", rate_per_kcycle * 0.4)
+        params.setdefault("burst_rate_per_kcycle", rate_per_kcycle * 2.5)
+    elif scenario.arrival_kind == "closed":
+        # Each client offers ~1000/think requests per kilocycle while
+        # un-queued, so the population sets the un-throttled load.
+        think = params.get("think_cycles", 8_000)
+        params["n_clients"] = max(1, round(rate_per_kcycle * think / 1000.0))
+    return params
+
+
+def _point(
+    report: ServiceReport, load_multiplier: float, offered: float
+) -> dict:
+    record = {
+        "technique": report.technique,
+        "load_multiplier": load_multiplier,
+        "offered_load": offered,
+        "throughput": report.throughput_per_kcycle,
+        "completed": report.completed,
+        "served": report.served,
+        "makespan": report.makespan,
+        "mean_batch_size": report.mean_batch_size(),
+        "peak_queue_depth": report.peak_queue_depth,
+        "slo_attainment": report.slo_attainment,
+    }
+    record.update(report.latency_percentiles())
+    record.update(
+        {f"mean_{k}": v for k, v in report.mean_decomposition().items()}
+    )
+    record.update(report.counters)
+    return record
+
+
+def run_scenario(scenario: Scenario | str, *, seed: int = 0) -> dict:
+    """Run every (technique, load) point; return the data document."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    arch = _arch_for(scenario)
+    allocator = AddressSpaceAllocator(page_size=arch.page_size)
+    table = make_table(allocator, "serve/dict", scenario.table_bytes)
+    capacity, cycles_per_lookup = sequential_capacity(
+        table, arch, n_shards=scenario.config.n_shards, seed=seed
+    )
+    rng = np.random.RandomState(seed + 11)
+    values = [int(v) for v in rng.randint(0, table.size, scenario.n_requests)]
+
+    points = []
+    for technique in scenario.techniques:
+        config = scenario.config
+        if technique.lower() in ("sequential", "std", "baseline"):
+            config = _replace_config(config, technique=technique, group_size=1)
+        else:
+            config = _replace_config(config, technique=technique)
+        for multiplier in scenario.loads:
+            rate = multiplier * capacity
+            arrivals = make_arrivals(
+                scenario.arrival_kind,
+                scenario.n_requests,
+                seed,
+                **_arrival_params(scenario, rate),
+            )
+            server = ServiceServer(table, config, arch=arch, seed=seed)
+            report = server.serve(arrivals, values)
+            points.append(_point(report, multiplier, rate))
+
+    return {
+        "kind": "service",
+        "schema": SERVICE_SCHEMA,
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "arrival_kind": scenario.arrival_kind,
+        "arch": arch.name,
+        "table_bytes": scenario.table_bytes,
+        "n_requests": scenario.n_requests,
+        "seed": seed,
+        "seq_capacity_per_kcycle": capacity,
+        "seq_cycles_per_lookup": cycles_per_lookup,
+        "points": points,
+    }
+
+
+def _replace_config(config, **changes):
+    import dataclasses
+
+    return dataclasses.replace(config, **changes)
+
+
+def render_service_doc(doc: dict) -> str:
+    """Render a service document as the CLI's ASCII artifact."""
+    from repro.analysis.reporting import format_table
+
+    headers = [
+        "technique",
+        "xload",
+        "offered/kcyc",
+        "thruput/kcyc",
+        "p50",
+        "p95",
+        "p99",
+        "q-wait",
+        "b-wait",
+        "exec",
+        "rej",
+        "drop",
+        "shed",
+        "slo%",
+    ]
+    rows = []
+    for p in doc["points"]:
+        slo = p.get("slo_attainment")
+        rows.append(
+            [
+                p["technique"],
+                f"{p['load_multiplier']:g}",
+                f"{p['offered_load']:.2f}",
+                f"{p['throughput']:.2f}",
+                p["p50"],
+                p["p95"],
+                p["p99"],
+                round(p["mean_queue_wait"]),
+                round(p["mean_batch_wait"]),
+                round(p["mean_execution"]),
+                p["rejected"],
+                p["dropped"],
+                p["shed"],
+                "-" if slo is None else f"{100 * slo:.0f}",
+            ]
+        )
+    title = (
+        f"serve {doc['scenario']}: {doc['arrival_kind']} arrivals, "
+        f"{doc['table_bytes'] >> 20} MB table on {doc['arch']}, "
+        f"seq capacity {doc['seq_capacity_per_kcycle']:.2f} req/kcycle"
+    )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,92 @@
+"""The unit of online work: one lookup request and its latency anatomy.
+
+A :class:`Request` is a single index-join probe that arrived at a known
+simulated cycle. As it moves through the serving pipeline (admission →
+coalescer → executor batch → completion) the server stamps cycle
+timestamps onto it; the latency decomposition properties slice the
+end-to-end latency into the three phases the serving layer controls:
+
+* **batch wait** — cycles spent in the coalescer while the batch was
+  still forming (bounded by ``max_wait_cycles``),
+* **queue wait** — cycles spent waiting for an engine shard after the
+  batch trigger fired (grows under overload),
+* **execution** — cycles the executor charged for the batch that
+  carried this request.
+
+The invariant ``queue_wait + batch_wait + execution_cycles ==
+latency`` holds for every completed request by construction (and is
+pinned by ``tests/service/test_server.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["OUTCOMES", "Request"]
+
+#: Terminal states a request can reach.
+OUTCOMES = ("completed", "rejected", "dropped", "shed")
+
+
+@dataclass
+class Request:
+    """One online lookup: a probe value plus its serving timestamps."""
+
+    index: int
+    value: object
+    arrival: int
+    #: Terminal state; "completed" covers the normal batched path and
+    #: shed requests keep "shed" even though they also complete.
+    outcome: str = "completed"
+    #: Cycle the batch trigger fired (batch full or deadline reached).
+    trigger: int | None = None
+    #: Cycle the carrying batch started executing on a shard.
+    dispatch: int | None = None
+    #: Cycle the carrying batch finished executing.
+    completion: int | None = None
+    result: object = None
+
+    # ------------------------------------------------------------------
+    # Latency decomposition
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.completion is not None
+
+    def _require_finished(self) -> None:
+        if not self.finished:
+            raise SimulationError(
+                f"request {self.index} has no completion timestamp yet"
+            )
+
+    @property
+    def batch_wait(self) -> int:
+        """Cycles spent while the batch was still forming.
+
+        Requests that joined the queue after the trigger had already
+        fired (they filled a later slot of an overloaded queue) spent no
+        time forming the batch, hence the clamp at zero.
+        """
+        self._require_finished()
+        return max(0, self.trigger - self.arrival)
+
+    @property
+    def queue_wait(self) -> int:
+        """Cycles spent waiting for a free shard after the trigger."""
+        self._require_finished()
+        return (self.dispatch - self.arrival) - self.batch_wait
+
+    @property
+    def execution_cycles(self) -> int:
+        """Cycles the executor charged for the carrying batch."""
+        self._require_finished()
+        return self.completion - self.dispatch
+
+    @property
+    def latency(self) -> int:
+        """End-to-end cycles from arrival to completion."""
+        self._require_finished()
+        return self.completion - self.arrival

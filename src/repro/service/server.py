@@ -1,0 +1,365 @@
+"""The simulated-time online server: arrivals → admission → batches → shards.
+
+:class:`ServiceServer` runs a discrete-event simulation over the same
+cycle domain as the execution engine. Requests arrive via an
+:class:`~repro.service.arrivals.ArrivalProcess`; the
+:class:`~repro.service.admission.AdmissionController` bounds the waiting
+room; the :class:`~repro.service.coalescer.Coalescer` forms groups; each
+group dispatches through the executor registry onto the least-loaded of
+``n_shards`` engine shards (private L1/L2/TLB, shared LLC — one
+:class:`~repro.sim.multicore.MultiCoreSystem` under the hood). The
+executor charges exactly the cycles the offline bulk path charges, so
+the serving layer's latency numbers sit on the same calibrated cost
+model as every figure in the repo.
+
+Event loop invariant: simulated time advances to the earlier of the next
+arrival and the next feasible dispatch (batch trigger *and* a free
+shard); arrivals at or before a dispatch instant are admitted first so
+they can still join the batch. Shed requests (overload policy
+``"shed"``) run ungrouped on a dedicated sequential overflow engine.
+
+Everything observable lands in a :class:`~repro.obs.metrics.
+MetricsRegistry`: admission counters, queue-depth gauge, and
+per-phase latency histograms (``service.latency.*``). The
+:class:`ServiceReport` adds exact percentiles (nearest-rank over the
+full latency list) and SLO attainment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import HASWELL, ArchSpec
+from repro.errors import ConfigurationError, SimulationError
+from repro.interleaving.executor import BulkLookup, get_executor
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.arrivals import ArrivalProcess
+from repro.service.coalescer import Coalescer
+from repro.service.request import Request
+from repro.sim.engine import ExecutionEngine
+from repro.sim.multicore import MultiCoreSystem
+
+__all__ = ["PERCENTILES", "ServiceConfig", "ServiceReport", "ServiceServer", "percentile"]
+
+#: The SLO percentiles every report carries.
+PERCENTILES = (50, 95, 99)
+
+
+def percentile(sorted_values: list, q: float):
+    """Nearest-rank percentile of an ascending-sorted list."""
+    if not sorted_values:
+        return 0
+    if not 0 < q <= 100:
+        raise SimulationError(f"percentile {q!r} outside (0, 100]")
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil(n*q/100)
+    return sorted_values[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning of one serving run (technique, batching, admission, SLO)."""
+
+    technique: str = "CORO"
+    #: ``None`` -> the executor's paper default (Section 5.4.5).
+    group_size: int | None = None
+    max_batch: int = 32
+    max_wait_cycles: int = 4000
+    queue_capacity: int = 256
+    overload_policy: str = "reject"
+    #: Token-bucket refill rate; ``None`` disables rate limiting.
+    rate_limit_per_kcycle: float | None = None
+    rate_limit_burst: int = 32
+    n_shards: int = 2
+    #: Per-shard untimed lookups before serving starts (warm caches).
+    warmup_requests: int = 32
+    #: End-to-end latency SLO in cycles; ``None`` skips attainment.
+    slo_cycles: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError("server needs at least one shard")
+        if self.warmup_requests < 0:
+            raise ConfigurationError("warmup_requests cannot be negative")
+
+
+@dataclass
+class ServiceReport:
+    """Everything one serving run measured."""
+
+    technique: str
+    config: ServiceConfig
+    requests: list[Request]
+    makespan: int
+    metrics: MetricsRegistry
+    #: Ascending end-to-end latencies of batch-completed requests.
+    latencies: list[int] = field(init=False)
+    #: Ascending end-to-end latencies of shed (overflow-lane) requests.
+    shed_latencies: list[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.latencies = sorted(
+            r.latency for r in self.requests if r.outcome == "completed"
+        )
+        self.shed_latencies = sorted(
+            r.latency for r in self.requests if r.outcome == "shed" and r.finished
+        )
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def served(self) -> int:
+        """Requests that got an answer (batched + shed lane)."""
+        return self.completed + len(self.shed_latencies)
+
+    @property
+    def throughput_per_kcycle(self) -> float:
+        """Answered requests per kilocycle of simulated wall time."""
+        return self.served * 1000.0 / self.makespan if self.makespan else 0.0
+
+    @property
+    def offered_per_kcycle(self) -> float:
+        """Arrivals per kilocycle actually seen by the front door."""
+        arrivals = self.counters["arrivals"]
+        return arrivals * 1000.0 / self.makespan if self.makespan else 0.0
+
+    @property
+    def counters(self) -> dict:
+        tree = self.metrics.snapshot()["service"]
+        return {
+            key: tree[key]
+            for key in (
+                "arrivals",
+                "admitted",
+                "rejected",
+                "rate_limited",
+                "dropped",
+                "shed",
+                "completed",
+                "batches",
+            )
+        }
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return int(self.metrics.snapshot()["service"]["queue_depth"]["peak"])
+
+    def latency_percentiles(self) -> dict[str, int]:
+        return {f"p{q}": int(percentile(self.latencies, q)) for q in PERCENTILES}
+
+    def mean_decomposition(self) -> dict[str, float]:
+        """Mean cycles per completed request, by serving phase."""
+        done = [r for r in self.requests if r.outcome == "completed"]
+        n = len(done) or 1
+        return {
+            "queue_wait": sum(r.queue_wait for r in done) / n,
+            "batch_wait": sum(r.batch_wait for r in done) / n,
+            "execution": sum(r.execution_cycles for r in done) / n,
+        }
+
+    @property
+    def slo_attainment(self) -> float | None:
+        """Fraction of answered requests within the SLO (``None`` = no SLO)."""
+        slo = self.config.slo_cycles
+        if slo is None:
+            return None
+        if not self.served:
+            return 0.0
+        within = sum(1 for v in self.latencies if v <= slo)
+        within += sum(1 for v in self.shed_latencies if v <= slo)
+        return within / self.served
+
+    def mean_batch_size(self) -> float:
+        batches = self.counters["batches"]
+        return self.completed / batches if batches else 0.0
+
+
+@dataclass
+class _Shard:
+    engine: ExecutionEngine
+    busy_until: int = 0
+
+
+class ServiceServer:
+    """One table, one technique, N engine shards, simulated online time."""
+
+    def __init__(
+        self,
+        table,
+        config: ServiceConfig,
+        *,
+        arch: ArchSpec = HASWELL,
+        seed: int = 0,
+    ) -> None:
+        self.table = table
+        self.config = config
+        self.arch = arch
+        self.seed = seed
+        self.executor = get_executor(config.technique)
+        self.group_size = config.group_size or self.executor.default_group_size
+        self.metrics = MetricsRegistry()
+        rate = config.rate_limit_per_kcycle
+        self.admission = AdmissionController(
+            config.queue_capacity,
+            policy=config.overload_policy,
+            rate_limiter=(
+                TokenBucket(rate, config.rate_limit_burst) if rate else None
+            ),
+            metrics=self.metrics,
+        )
+        self.coalescer = Coalescer(
+            self.admission, config.max_batch, config.max_wait_cycles
+        )
+        self._completed = self.metrics.counter("service.completed")
+        self._batches = self.metrics.counter("service.batches")
+        self._hist = {
+            phase: self.metrics.histogram(f"service.latency.{phase}")
+            for phase in ("e2e", "queue_wait", "batch_wait", "execution")
+        }
+        self._shed_hist = self.metrics.histogram("service.latency.shed_e2e")
+
+        self.system = MultiCoreSystem(config.n_shards, arch)
+        self.shards = [
+            _Shard(engine) for engine in self.system.engines(seed)
+        ]
+        # The overflow lane: its own engine over its own memory, so shed
+        # traffic degrades its own latency rather than the batched path's.
+        self._overflow = _Shard(ExecutionEngine(arch, seed=seed + 7919))
+        self._warm_up()
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+
+    def _warm_up(self) -> None:
+        n = self.config.warmup_requests
+        if not n:
+            return
+        rng = np.random.RandomState(self.seed + 101)
+        values = [int(v) for v in rng.randint(0, self.table.size, n)]
+        tasks = BulkLookup.sorted_array(self.table, values)
+        for shard in self.shards:
+            self.executor.run(tasks, shard.engine, group_size=self.group_size)
+            shard.engine.settle()
+        get_executor("sequential").run(tasks, self._overflow.engine)
+        self._overflow.engine.settle()
+        # Warm-up cycles are not service time: shards start idle at 0.
+        for shard in (*self.shards, self._overflow):
+            shard.busy_until = 0
+
+    # ------------------------------------------------------------------
+    # Execution plumbing
+    # ------------------------------------------------------------------
+
+    def _execute(self, shard: _Shard, values: list, executor, group_size: int) -> tuple[list, int]:
+        """Run one batch on ``shard``'s engine; return (results, cycles)."""
+        before = shard.engine.clock
+        results = executor.run(
+            BulkLookup.sorted_array(self.table, values),
+            shard.engine,
+            group_size=group_size,
+        )
+        shard.engine.settle()
+        return results, shard.engine.clock - before
+
+    def _least_loaded(self) -> _Shard:
+        return min(self.shards, key=lambda s: s.busy_until)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def serve(self, arrivals: ArrivalProcess, values) -> ServiceReport:
+        """Drive the arrival process to exhaustion; return the report.
+
+        ``values`` supplies the probe value of each request by arrival
+        index (any indexable; typically a seeded numpy draw).
+        """
+        requests: list[Request] = []
+        now = 0
+        makespan = 0
+        index = 0
+        while True:
+            next_arrival = arrivals.peek()
+            dispatch_at = self._next_dispatch()
+            if next_arrival is None and dispatch_at is None:
+                break
+            if dispatch_at is None or (
+                next_arrival is not None and next_arrival <= dispatch_at
+            ):
+                now = max(now, arrivals.pop())
+                request = Request(index, values[index], arrival=now)
+                index += 1
+                requests.append(request)
+                verdict = self.admission.offer(request)
+                if verdict == "shed":
+                    completion = self._run_shed(request, now)
+                    arrivals.notify_completion(completion)
+                    makespan = max(makespan, completion)
+                elif verdict != "admit":
+                    # Refused requests leave the system immediately; a
+                    # closed-loop client retries after thinking.
+                    arrivals.notify_completion(now)
+                continue
+            now = max(now, dispatch_at)
+            completion = self._run_batch(now)
+            for _ in range(self._last_batch_size):
+                arrivals.notify_completion(completion)
+            makespan = max(makespan, completion)
+        return ServiceReport(
+            technique=self.executor.name,
+            config=self.config,
+            requests=requests,
+            makespan=makespan,
+            metrics=self.metrics,
+        )
+
+    def _next_dispatch(self) -> int | None:
+        """Earliest cycle the pending batch can actually start, if any."""
+        trigger = self.coalescer.next_trigger()
+        if trigger is None:
+            return None
+        return max(trigger, self._least_loaded().busy_until)
+
+    def _run_batch(self, now: int) -> int:
+        # The loop only reaches here past the dispatch plan, so the
+        # trigger (unchanged since planning) is never in the future.
+        trigger = self.coalescer.next_trigger()
+        batch = self.coalescer.take(trigger)
+        shard = self._least_loaded()
+        start = max(now, shard.busy_until)
+        _, cycles = self._execute(
+            shard, [r.value for r in batch], self.executor, self.group_size
+        )
+        completion = start + cycles
+        shard.busy_until = completion
+        self._batches.inc()
+        self._last_batch_size = len(batch)
+        for request in batch:
+            request.dispatch = start
+            request.completion = completion
+            self._completed.inc()
+            self._hist["e2e"].observe(request.latency)
+            self._hist["queue_wait"].observe(request.queue_wait)
+            self._hist["batch_wait"].observe(request.batch_wait)
+            self._hist["execution"].observe(request.execution_cycles)
+        return completion
+
+    def _run_shed(self, request: Request, now: int) -> int:
+        """Serve one shed request ungrouped on the overflow engine."""
+        lane = self._overflow
+        start = max(now, lane.busy_until)
+        _, cycles = self._execute(lane, [request.value], get_executor("sequential"), 1)
+        completion = start + cycles
+        lane.busy_until = completion
+        request.trigger = start
+        request.dispatch = start
+        request.completion = completion
+        self._shed_hist.observe(request.latency)
+        return completion
+
+    _last_batch_size = 0

@@ -185,6 +185,53 @@ class TestBulkPipeline:
         assert len(spans) == 3  # 4 + 4 + 2
 
 
+class TestEmptyAndOversizedWorkloads:
+    """Degenerate shapes the serving layer's coalescer can produce:
+    empty batches and batches smaller than the group size."""
+
+    def test_empty_task_list_returns_empty_for_every_executor(self):
+        array = small_array()
+        tasks = BulkLookup.sorted_array(array, [])
+        for name in executor_names():
+            engine = ExecutionEngine(HASWELL)
+            assert get_executor(name).run(tasks, engine) == [], name
+
+    def test_empty_pipeline_returns_empty_and_charges_nothing(self):
+        tasks = BulkLookup.sorted_array(small_array(), [])
+        engine = ExecutionEngine(HASWELL)
+        result = BulkPipeline(get_executor("CORO"), batch_size=8).run(
+            tasks, engine, group_size=6
+        )
+        assert result == []
+        assert engine.clock == 0
+
+    def test_group_size_beyond_task_count_is_not_padded(self):
+        array = small_array()
+        probes = [3, 1, 4]
+        for name in ("GP", "AMAC", "CORO", "SPP"):
+            result = get_executor(name).run(
+                BulkLookup.sorted_array(array, probes),
+                ExecutionEngine(HASWELL),
+                group_size=64,
+            )
+            assert result == probes, name  # implicit array: value == index
+
+    def test_pipeline_batch_beyond_task_count_is_one_batch(self):
+        array = small_array()
+        probes = [5, 2]
+        recorder = SpanRecorder()
+        result = BulkPipeline(get_executor("CORO"), batch_size=1000).run(
+            BulkLookup.sorted_array(array, probes),
+            ExecutionEngine(HASWELL),
+            group_size=6,
+            recorder=recorder,
+        )
+        assert result == probes
+        spans = [s for s in recorder.spans if s.kind == "executor"]
+        assert len(spans) == 1
+        assert spans[0].attrs["n_inputs"] == 2
+
+
 class TestSpanTagging:
     def test_executor_span_carries_name_and_workload(self):
         array = small_array()

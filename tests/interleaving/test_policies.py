@@ -1,0 +1,125 @@
+"""Tests for policy selection corners: tie-breaking and candidate
+restriction (the Delta-dictionary CORO rule)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import HASWELL
+from repro.interleaving.policies import (
+    ADAPTIVE_CANDIDATES,
+    _rank_candidates,
+    choose_policy_for_bytes,
+)
+from repro.sim import ExecutionEngine
+from repro.sim.allocator import AddressSpaceAllocator
+
+BIG = 256 << 20  # comfortably past the Haswell LLC
+
+
+def uniform_cost_arch():
+    """An arch where every technique's switch cost is identical, so the
+    Inequality-1 ranking is a pure tie."""
+    cost = dataclasses.replace(
+        HASWELL.cost,
+        gp_switch=HASWELL.cost.coro_switch,
+        amac_switch=HASWELL.cost.coro_switch,
+    )
+    return dataclasses.replace(HASWELL, cost=cost)
+
+
+class TestTieBreaking:
+    def test_equal_costs_pick_the_first_candidate(self):
+        # _rank_candidates keeps the incumbent on ties (strict <), so
+        # candidate order is the tie-break — paper order, GP first.
+        arch = uniform_cost_arch()
+        technique, _, _ = _rank_candidates(arch, ADAPTIVE_CANDIDATES)
+        assert technique == ADAPTIVE_CANDIDATES[0] == "gp"
+
+    def test_candidate_order_decides_ties(self):
+        arch = uniform_cost_arch()
+        reversed_order = tuple(reversed(ADAPTIVE_CANDIDATES))
+        technique, _, _ = _rank_candidates(arch, reversed_order)
+        assert technique == reversed_order[0] == "coro"
+
+    def test_tie_break_is_deterministic_through_choose_policy(self):
+        arch = uniform_cost_arch()
+        policies = [
+            choose_policy_for_bytes(arch, BIG, 10_000, technique=None)
+            for _ in range(3)
+        ]
+        assert len({p.technique for p in policies}) == 1
+        assert policies[0].technique == "GP"
+
+    def test_haswell_costs_are_not_tied(self):
+        # On the real calibration GP's switch is strictly cheapest, so
+        # the tie-break never has to fire for the default arch.
+        technique, _, cost = _rank_candidates(HASWELL, ADAPTIVE_CANDIDATES)
+        others = [
+            _rank_candidates(HASWELL, (candidate,))[2]
+            for candidate in ADAPTIVE_CANDIDATES
+            if candidate != technique
+        ]
+        assert all(cost < other for other in others)
+
+    def test_empty_candidate_set_rejected(self):
+        with pytest.raises(ValueError, match="no candidate"):
+            _rank_candidates(HASWELL, ())
+
+    def test_single_candidate_restriction_is_honoured(self):
+        policy = choose_policy_for_bytes(
+            HASWELL, BIG, 10_000, technique=None, candidates=("coro",)
+        )
+        assert policy.technique == "CORO" and policy.interleave
+
+
+class TestDeltaDictionaryRestriction:
+    """Delta dictionaries only have a coroutine lookup (their extra
+    suspension point has no GP/AMAC rewrite), so locate_policy must
+    restrict the adaptive candidates to CORO."""
+
+    @staticmethod
+    def _column(kind):
+        import numpy as np
+
+        from repro.columnstore import EncodedColumn
+
+        alloc = AddressSpaceAllocator()
+        dictionary = kind.implicit(alloc, "dict", BIG)
+        return EncodedColumn(dictionary, np.array([0, 1, 2]), alloc, "col")
+
+    def test_delta_policy_is_coro_even_where_gp_wins_on_main(self):
+        from repro.columnstore import DeltaDictionary, MainDictionary
+
+        # On the tied cost model GP wins the open (Main) ranking purely
+        # by candidate order — yet Delta still must come out CORO,
+        # proving the restriction is a candidate-set cut, not a ranking
+        # outcome that could flip with calibration.
+        engine = ExecutionEngine(uniform_cost_arch())
+        main_policy = self._column(MainDictionary).locate_policy(engine, 10_000)
+        delta_policy = self._column(DeltaDictionary).locate_policy(engine, 10_000)
+        assert main_policy.interleave and main_policy.technique == "GP"
+        assert delta_policy.interleave and delta_policy.technique == "CORO"
+
+    def test_calibrated_haswell_picks_coro_for_both_kinds(self):
+        from repro.columnstore import DeltaDictionary, MainDictionary
+
+        # The real calibration happens to rank CORO cheapest anyway
+        # (lowest residual stall at the LFB cap), so Main and Delta
+        # agree — the restriction only matters when they would not.
+        engine = ExecutionEngine(HASWELL)
+        for kind in (MainDictionary, DeltaDictionary):
+            policy = self._column(kind).locate_policy(engine, 10_000)
+            assert policy.interleave and policy.technique == "CORO"
+
+    def test_small_delta_still_falls_back_to_sequential(self):
+        import numpy as np
+
+        from repro.columnstore import DeltaDictionary, EncodedColumn
+
+        alloc = AddressSpaceAllocator()
+        delta_dict = DeltaDictionary.from_values(alloc, "dd", [3, 1, 2])
+        column = EncodedColumn(delta_dict, np.array([0, 1, 2]), alloc, "c")
+        policy = column.locate_policy(ExecutionEngine(HASWELL), 10_000)
+        assert not policy.interleave
+        assert policy.executor_name == "sequential"

@@ -1,0 +1,130 @@
+"""Tests for the admission controller: bounded queue, policies, bucket."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import (
+    OVERLOAD_POLICIES,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.service.request import Request
+
+
+def offer_n(controller, n, start_cycle=0):
+    """Offer ``n`` back-to-back arrivals; return their verdicts."""
+    return [
+        controller.offer(Request(i, i, arrival=start_cycle + i))
+        for i in range(n)
+    ]
+
+
+class TestBoundedQueue:
+    def test_queue_never_exceeds_capacity(self):
+        controller = AdmissionController(4)
+        verdicts = offer_n(controller, 10)
+        assert verdicts == ["admit"] * 4 + ["reject"] * 6
+        assert len(controller) == 4
+        assert controller.peak_depth == 4
+
+    def test_counters_account_for_every_arrival(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(3, metrics=metrics)
+        offer_n(controller, 8)
+        tree = metrics.snapshot()["service"]
+        assert tree["arrivals"] == 8
+        assert tree["admitted"] == 3
+        assert tree["rejected"] == 5
+        assert tree["admitted"] + tree["rejected"] == tree["arrivals"]
+
+    def test_take_drains_in_arrival_order_and_updates_depth(self):
+        controller = AdmissionController(8)
+        offer_n(controller, 5)
+        batch = controller.take(3)
+        assert [r.index for r in batch] == [0, 1, 2]
+        assert len(controller) == 2
+        assert controller.take(10) and len(controller) == 0
+        assert controller.peak_depth == 5  # peak survives the drain
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(0)
+
+
+class TestOverloadPolicies:
+    def test_all_policies_are_exercisable(self):
+        assert OVERLOAD_POLICIES == ("reject", "drop", "shed")
+
+    def test_drop_policy_marks_outcome_and_counter(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(2, policy="drop", metrics=metrics)
+        requests = [Request(i, i, arrival=i) for i in range(4)]
+        verdicts = [controller.offer(r) for r in requests]
+        assert verdicts == ["admit", "admit", "drop", "drop"]
+        assert requests[3].outcome == "dropped"
+        assert metrics.snapshot()["service"]["dropped"] == 2
+
+    def test_shed_policy_diverts_without_queueing(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(2, policy="shed", metrics=metrics)
+        requests = [Request(i, i, arrival=i) for i in range(4)]
+        verdicts = [controller.offer(r) for r in requests]
+        assert verdicts == ["admit", "admit", "shed", "shed"]
+        assert requests[2].outcome == "shed"
+        assert len(controller) == 2  # shed traffic never entered the queue
+        assert metrics.snapshot()["service"]["shed"] == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            AdmissionController(4, policy="backpressure")
+
+
+class TestTokenBucket:
+    def test_burst_then_starvation(self):
+        bucket = TokenBucket(rate_per_kcycle=1.0, burst=3)
+        assert [bucket.try_take(0) for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_refills_with_elapsed_cycles(self):
+        bucket = TokenBucket(rate_per_kcycle=1.0, burst=1)
+        assert bucket.try_take(0)
+        assert not bucket.try_take(10)  # 0.01 tokens refilled
+        assert bucket.try_take(1_500)  # 1.5 kcycles -> >1 token
+
+    def test_level_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_kcycle=10.0, burst=2)
+        bucket.try_take(0)
+        bucket.try_take(1_000_000)  # eons later: still only ``burst`` held
+        assert bucket.level <= 2
+
+    def test_time_going_backwards_is_tolerated(self):
+        bucket = TokenBucket(rate_per_kcycle=1.0, burst=2)
+        assert bucket.try_take(5_000)
+        assert bucket.try_take(4_000)  # no negative refill, no crash
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(0.0, 4)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(1.0, 0)
+
+
+class TestRateLimitedAdmission:
+    def test_rate_limited_arrivals_count_as_rejected_too(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(
+            10,
+            rate_limiter=TokenBucket(rate_per_kcycle=0.001, burst=2),
+            metrics=metrics,
+        )
+        verdicts = offer_n(controller, 5)
+        assert verdicts == ["admit", "admit", "reject", "reject", "reject"]
+        tree = metrics.snapshot()["service"]
+        assert tree["rate_limited"] == 3
+        assert tree["rejected"] == 3  # the limiter refuses via "reject"
+        assert len(controller) == 2

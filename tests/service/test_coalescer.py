@@ -1,0 +1,66 @@
+"""Tests for batch formation: size and deadline triggers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.admission import AdmissionController
+from repro.service.coalescer import Coalescer
+from repro.service.request import Request
+
+
+def make_coalescer(max_batch=4, max_wait=1_000, capacity=64):
+    admission = AdmissionController(capacity)
+    return Coalescer(admission, max_batch, max_wait), admission
+
+
+class TestTriggers:
+    def test_empty_queue_has_no_trigger(self):
+        coalescer, _ = make_coalescer()
+        assert coalescer.next_trigger() is None
+
+    def test_partial_batch_triggers_at_head_deadline(self):
+        coalescer, admission = make_coalescer(max_batch=4, max_wait=1_000)
+        admission.offer(Request(0, 0, arrival=100))
+        admission.offer(Request(1, 1, arrival=700))
+        assert coalescer.next_trigger() == 1_100  # head arrival + wait
+
+    def test_full_batch_back_dates_to_the_filling_arrival(self):
+        coalescer, admission = make_coalescer(max_batch=3, max_wait=10_000)
+        for index, arrival in enumerate((100, 150, 220, 300)):
+            admission.offer(Request(index, index, arrival=arrival))
+        # The third request filled the batch at cycle 220 — the deadline
+        # (100 + 10_000) never enters into it.
+        assert coalescer.next_trigger() == 220
+
+    def test_zero_wait_means_immediate_dispatch(self):
+        coalescer, admission = make_coalescer(max_batch=8, max_wait=0)
+        admission.offer(Request(0, 0, arrival=500))
+        assert coalescer.next_trigger() == 500
+
+
+class TestTake:
+    def test_take_pops_at_most_max_batch_and_stamps_trigger(self):
+        coalescer, admission = make_coalescer(max_batch=3)
+        requests = [Request(i, i, arrival=10 * i) for i in range(5)]
+        for request in requests:
+            admission.offer(request)
+        batch = coalescer.take(trigger=20)
+        assert [r.index for r in batch] == [0, 1, 2]
+        assert all(r.trigger == 20 for r in batch)
+        assert len(admission) == 2
+        assert requests[3].trigger is None  # still waiting
+
+    def test_take_of_partial_queue_returns_what_is_there(self):
+        coalescer, admission = make_coalescer(max_batch=10)
+        admission.offer(Request(0, 0, arrival=0))
+        assert len(coalescer.take(trigger=1_000)) == 1
+
+
+class TestValidation:
+    def test_batch_of_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_coalescer(max_batch=0)
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_coalescer(max_wait=-1)
