@@ -4,9 +4,11 @@
 The benchmark session writes machine-readable documents — every offline
 sweep point into ``BENCH_sim.json`` (see ``benchmarks/conftest.py``) and
 the serving-layer load sweep into ``BENCH_service.json`` (see
-``benchmarks/bench_service_latency.py``). Downstream consumers — plots,
-the paper-comparison notebooks, CI trend tracking — key off the
-``repro.bench-sim/1`` / ``repro.service/1`` shapes, so CI runs this
+``benchmarks/bench_service_latency.py``), and the fault-injected sweep
+into ``BENCH_chaos.json`` (see ``benchmarks/bench_chaos.py``).
+Downstream consumers — plots, the paper-comparison notebooks, CI trend
+tracking — key off the ``repro.bench-sim/1`` / ``repro.service/1`` /
+``repro.chaos/1`` shapes, so CI runs this
 checker after the benchmark smoke job and fails the build if a field is
 renamed, dropped, or retyped without bumping the schema version.
 
@@ -33,6 +35,7 @@ import sys
 
 SCHEMA = "repro.bench-sim/1"
 SERVICE_SCHEMA = "repro.service/1"
+CHAOS_SCHEMA = "repro.chaos/1"
 
 #: Field name -> type check, for binary-search sweep points
 #: (mirrors ``conftest._point_record``).
@@ -94,6 +97,23 @@ SERVICE_POINT_FIELDS = {
     "batches": numbers.Integral,
 }
 
+#: Extra per-point fields of fault-injected sweeps (``repro.chaos/1``;
+#: mirrors ``repro.service.loadgen._chaos_point``).
+CHAOS_POINT_FIELDS = {
+    **SERVICE_POINT_FIELDS,
+    "timeouts": numbers.Integral,
+    "retries": numbers.Integral,
+    "failed": numbers.Integral,
+    "hedges": numbers.Integral,
+    "hedge_wins": numbers.Integral,
+    "batch_failures": numbers.Integral,
+    "degraded_batches": numbers.Integral,
+    "fallback_batches": numbers.Integral,
+    "outage_delays": numbers.Integral,
+    "faults_by_kind": dict,
+    "fault_events": numbers.Integral,
+}
+
 
 def check_point(sweep: str, index: int, point: object, errors: list[str]) -> None:
     fields = QUERY_FIELDS if sweep == "query" else BINARY_SEARCH_FIELDS
@@ -141,11 +161,14 @@ def check_document(doc: object, required: list[str]) -> list[str]:
     return errors
 
 
-def check_service_point(index: int, point: object, errors: list[str]) -> None:
+def check_service_point(
+    index: int, point: object, errors: list[str], *, chaos: bool = False
+) -> None:
+    fields = CHAOS_POINT_FIELDS if chaos else SERVICE_POINT_FIELDS
     if not isinstance(point, dict):
         errors.append(f"points[{index}]: point is {type(point).__name__}, not object")
         return
-    for field, expected in SERVICE_POINT_FIELDS.items():
+    for field, expected in fields.items():
         if field not in point:
             errors.append(f"points[{index}]: missing field {field!r}")
         elif not isinstance(point[field], expected) or isinstance(point[field], bool):
@@ -159,7 +182,7 @@ def check_service_point(index: int, point: object, errors: list[str]) -> None:
                 f"is not {expected_name}"
             )
     for field in point:
-        if field not in SERVICE_POINT_FIELDS:
+        if field not in fields:
             errors.append(f"points[{index}]: unknown field {field!r} (schema drift?)")
     # Semantic invariants (cheap enough to enforce here, and exactly the
     # two CI cares about): the sweep actually offered load, and the
@@ -178,16 +201,19 @@ def check_service_point(index: int, point: object, errors: list[str]) -> None:
         )
 
 
-def check_service_document(doc: dict) -> list[str]:
+def check_service_document(doc: dict, *, chaos: bool = False) -> list[str]:
     errors: list[str] = []
-    for field, expected in (
+    doc_fields = [
         ("scenario", str),
         ("arrival_kind", str),
         ("n_requests", numbers.Integral),
         ("seed", numbers.Integral),
         ("seq_capacity_per_kcycle", numbers.Real),
         ("seq_cycles_per_lookup", numbers.Real),
-    ):
+    ]
+    if chaos:
+        doc_fields.append(("fault_profile", str))
+    for field, expected in doc_fields:
         if field not in doc:
             errors.append(f"missing field {field!r}")
         elif not isinstance(doc[field], expected):
@@ -199,7 +225,7 @@ def check_service_document(doc: dict) -> list[str]:
         errors.append("points must be a non-empty list")
         return errors
     for index, point in enumerate(points):
-        check_service_point(index, point, errors)
+        check_service_point(index, point, errors, chaos=chaos)
     return errors
 
 
@@ -228,6 +254,9 @@ def main(argv: list[str] | None = None) -> int:
     if isinstance(doc, dict) and doc.get("schema") == SERVICE_SCHEMA:
         errors = check_service_document(doc)
         schema = SERVICE_SCHEMA
+    elif isinstance(doc, dict) and doc.get("schema") == CHAOS_SCHEMA:
+        errors = check_service_document(doc, chaos=True)
+        schema = CHAOS_SCHEMA
     else:
         errors = check_document(doc, args.require)
         schema = SCHEMA
@@ -236,7 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         for error in errors:
             print(f"  - {error}", file=sys.stderr)
         return 1
-    if schema == SERVICE_SCHEMA:
+    if schema in (SERVICE_SCHEMA, CHAOS_SCHEMA):
         print(
             f"OK: {path} matches {schema} "
             f"({doc['scenario']!r}, {len(doc['points'])} points)"

@@ -1,108 +1,37 @@
 #!/usr/bin/env python3
 """The serving layer: why the robust technique wins *online*.
 
-Runs the ``quick`` serving scenario by hand — seeded Poisson arrivals,
-a bounded admission queue, a deadline-bounded coalescer, dispatch onto
-shared-LLC engine shards — once with the sequential executor and once
-with CORO, at a light load and at 2.5x the sequential server's measured
-capacity. The offline story (Figure 3) is "interleaving keeps its
-throughput as the index outgrows the LLC"; the online restatement is
-"interleaving keeps its latency tail as the *load* outgrows the
-sequential knee", under an identical arrival sequence.
+Runs the registered ``quick`` serving scenario through the
+:mod:`repro.api` facade — seeded Poisson arrivals, a bounded admission
+queue, a deadline-bounded coalescer, dispatch onto shared-LLC engine
+shards — with the sequential executor and with CORO, at a light load
+and at 2.5x the sequential server's measured capacity. The offline
+story (Figure 3) is "interleaving keeps its throughput as the index
+outgrows the LLC"; the online restatement is "interleaving keeps its
+latency tail as the *load* outgrows the sequential knee", under an
+identical arrival sequence.
 
 Run:  python examples/online_serving.py       (see docs/serving.md)
 """
 
-from repro import scaled
-from repro.analysis import format_table
-from repro.service import (
-    ServiceConfig,
-    ServiceServer,
-    make_arrivals,
-    sequential_capacity,
-)
-from repro.sim.allocator import AddressSpaceAllocator
-from repro.workloads.generators import make_table
-
-import dataclasses
-
-import numpy as np
-
-TABLE_BYTES = 2 << 20  # 2 MB — past the scaled LLC, like Figure 3's tail
-N_REQUESTS = 150
-SEED = 0
+from repro import api
 
 
 def main() -> None:
-    arch = scaled(64)  # shrink the hierarchy so the demo runs in seconds
-    allocator = AddressSpaceAllocator(page_size=arch.page_size)
-    table = make_table(allocator, "serve/dict", TABLE_BYTES)
-    config = ServiceConfig(
-        max_batch=16,
-        max_wait_cycles=2_500,
-        queue_capacity=48,
-        n_shards=2,
-        warmup_requests=16,
-        slo_cycles=25_000,
-    )
+    result = api.serve("quick", seed=0)
+    print(result.render())
 
-    # Loads are multipliers of *measured* sequential capacity, so "2.5"
-    # saturates the sequential server by construction.
-    capacity, cycles_per_lookup = sequential_capacity(
-        table, arch, n_shards=config.n_shards, seed=SEED
-    )
+    light = {t: result.point(t, 0.5) for t in ("sequential", "CORO")}
+    heavy = {t: result.point(t, 2.5) for t in ("sequential", "CORO")}
     print(
-        f"sequential capacity: {capacity:.2f} req/kcycle "
-        f"({cycles_per_lookup:.0f} cycles/lookup, {config.n_shards} shards)\n"
-    )
-
-    rng = np.random.RandomState(SEED + 11)
-    values = [int(v) for v in rng.randint(0, table.size, N_REQUESTS)]
-
-    rows = []
-    for multiplier in (0.5, 2.5):
-        for technique, group in (("sequential", 1), ("CORO", None)):
-            cfg = dataclasses.replace(
-                config, technique=technique, group_size=group
-            )
-            # Same kind + same seed => the two techniques face the
-            # bit-identical arrival sequence at each load point.
-            arrivals = make_arrivals(
-                "poisson",
-                N_REQUESTS,
-                SEED,
-                rate_per_kcycle=multiplier * capacity,
-            )
-            server = ServiceServer(table, cfg, arch=arch, seed=SEED)
-            report = server.serve(arrivals, values)
-            pct = report.latency_percentiles()
-            decomp = report.mean_decomposition()
-            rows.append(
-                [
-                    f"{multiplier:g}x",
-                    technique,
-                    f"{report.throughput_per_kcycle:.2f}",
-                    pct["p50"],
-                    pct["p99"],
-                    round(decomp["queue_wait"]),
-                    round(decomp["execution"]),
-                    report.counters["rejected"],
-                    f"{100 * report.slo_attainment:.0f}",
-                ]
-            )
-
-    print(format_table(
-        ["load", "technique", "thruput/kcyc", "p50", "p99",
-         "q-wait", "exec", "rej", "slo%"],
-        rows,
-        title=f"{N_REQUESTS} Poisson requests, {TABLE_BYTES >> 20} MB table",
-    ))
-    print(
-        "\nat 0.5x both meet the SLO — an empty queue hides the executor.\n"
-        "at 2.5x sequential's p99 is queue wait (work stacks up behind a\n"
-        "slow server, then gets rejected); CORO executes each batch in\n"
-        "fewer cycles, so the same queue drains: higher throughput AND a\n"
-        "lower tail under the identical arrival sequence."
+        f"\nat 0.5x both meet the SLO "
+        f"(p99 {light['sequential']['p99']} vs {light['CORO']['p99']} cycles)"
+        " — an empty queue hides the executor.\n"
+        f"at 2.5x sequential's p99 ({heavy['sequential']['p99']}) is queue\n"
+        "wait (work stacks up behind a slow server, then gets rejected);\n"
+        f"CORO executes each batch in fewer cycles, so the same queue\n"
+        f"drains: higher throughput AND a lower tail "
+        f"(p99 {heavy['CORO']['p99']}) under the identical arrivals."
     )
 
 

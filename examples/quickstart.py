@@ -3,21 +3,16 @@
 
 Builds a 256 MB sorted dictionary (too big for the 25 MB last-level
 cache), runs 2,000 random lookups sequentially and interleaved, and
-prints the cycles-per-search comparison. The execution policy — which
-technique, and how wide — comes from the calibrated Inequality-1 model;
-the chosen technique is then pulled from the executor registry by name.
+prints the cycles-per-search comparison — all through the
+:mod:`repro.api` facade. ``lookup_batch`` with no technique asks the
+calibrated Inequality-1 model which executor (and group size) to use,
+pulls it from the registry, and runs it; passing ``technique=
+"sequential"`` pins the baseline.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    HASWELL,
-    AddressSpaceAllocator,
-    ExecutionEngine,
-    choose_policy,
-    int_array_of_bytes,
-)
-from repro.interleaving import BulkLookup, get_executor
+from repro import AddressSpaceAllocator, api, int_array_of_bytes
 from repro.workloads.generators import lookup_values
 
 
@@ -25,33 +20,25 @@ def main() -> None:
     allocator = AddressSpaceAllocator()
     table = int_array_of_bytes(allocator, "dictionary", 256 << 20)
     values = lookup_values(2_000, table, seed=0)
-    tasks = BulkLookup.sorted_array(table, values)
-
-    # Ask the library what it would do for this table and lookup count
-    # (technique=None ranks GP/AMAC/CORO by the cost model).
-    policy = choose_policy(HASWELL, table, len(values), technique=None)
-    print(f"policy: {policy.describe()}")
 
     # Sequential execution: one lookup at a time, every deep probe pays
     # a DRAM round trip.
-    engine = ExecutionEngine(HASWELL)
-    sequential = get_executor("sequential").run(tasks, engine)
-    seq_cycles = engine.clock / len(values)
+    sequential = api.lookup_batch(table, values, technique="sequential")
 
-    # Policy-chosen execution: the SAME coroutine, scheduled in a group —
-    # suspensions after each prefetch let other lookups run while the
-    # cache line is in flight.
-    engine = ExecutionEngine(HASWELL)
-    interleaved = get_executor(policy.executor_name).run(
-        tasks, engine, group_size=policy.group_size
+    # Policy-chosen execution (technique=None): the SAME coroutine,
+    # scheduled in a group — suspensions after each prefetch let other
+    # lookups run while the cache line is in flight.
+    interleaved = api.lookup_batch(table, values)
+
+    assert sequential.results == interleaved.results, (
+        "interleaving is a pure execution policy"
     )
-    inter_cycles = engine.clock / len(values)
-
-    assert sequential == interleaved, "interleaving is a pure execution policy"
-    print(f"sequential:  {seq_cycles:8.0f} cycles/search")
-    print(f"interleaved: {inter_cycles:8.0f} cycles/search  "
-          f"({seq_cycles / inter_cycles:.2f}x speedup, group={policy.group_size})")
-    print(f"memory-level parallelism did the work: same results, same code path")
+    print(f"policy picked: {interleaved.technique} "
+          f"group={interleaved.group_size}")
+    print(f"sequential:  {sequential.cycles_per_lookup:8.0f} cycles/search")
+    print(f"interleaved: {interleaved.cycles_per_lookup:8.0f} cycles/search  "
+          f"({sequential.cycles / interleaved.cycles:.2f}x speedup)")
+    print("memory-level parallelism did the work: same results, same code path")
 
 
 if __name__ == "__main__":

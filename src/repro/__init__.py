@@ -24,23 +24,28 @@ Layers (bottom-up):
 * :mod:`repro.workloads` / :mod:`repro.analysis` — workload generation,
   measurement harness, reporting, Table-5 LoC analysis.
 
+* :mod:`repro.faults` — deterministic fault injection: seeded chaos
+  schedules (latency spikes, shard outages, cache storms) replayed
+  bit-identically against the serving layer or an offline bulk run.
+* :mod:`repro.api` — the stable facade: :func:`~repro.api.
+  run_experiment`, :func:`~repro.api.serve`, :func:`~repro.api.
+  lookup_batch`, and :func:`~repro.api.inject_faults`, each returning
+  a typed result. **New code should start here.**
+
 Quick start::
 
-    from repro import (
-        HASWELL, ExecutionEngine, AddressSpaceAllocator,
-        int_array_of_bytes, binary_search_coro, run_interleaved,
-    )
+    from repro import api, int_array_of_bytes, AddressSpaceAllocator
 
     alloc = AddressSpaceAllocator()
     table = int_array_of_bytes(alloc, "dict", 256 << 20)  # 256 MB
-    engine = ExecutionEngine(HASWELL)
-    results = run_interleaved(
-        engine,
-        lambda value, interleave: binary_search_coro(table, value, interleave),
-        [12345, 67890],
-        group_size=6,
-    )
+    batch = api.lookup_batch(table, [12345, 67890])       # policy-picked
+    print(batch.technique, batch.cycles_per_lookup)
+
+The deep modules stay public — ``run_interleaved``, the executor
+registry, the serving server — for anything the facade doesn't cover.
 """
+
+import warnings as _warnings
 
 from repro.config import HASWELL, ArchSpec, CacheSpec, CostModel, TlbSpec, scaled
 from repro.errors import (
@@ -108,10 +113,48 @@ from repro.service import (
     ServiceReport,
     ServiceServer,
     get_scenario,
-    run_scenario,
     scenario_names,
 )
 from repro.sim import AddressSpaceAllocator, ExecutionEngine, MemorySystem
+from repro import api
+from repro.api import (
+    ExperimentResult,
+    FaultInjectionResult,
+    LookupResult,
+    ServeResult,
+    inject_faults,
+    lookup_batch,
+    run_experiment,
+    serve,
+)
+from repro.faults import (
+    FAULT_KINDS,
+    FaultSchedule,
+    fault_profile_names,
+    get_fault_profile,
+)
+
+#: Names still importable from the package root but superseded by the
+#: :mod:`repro.api` facade: accessing one emits a DeprecationWarning
+#: pointing at its replacement, then resolves to the old object.
+_DEPRECATED_ALIASES = {
+    "run_scenario": ("repro.service", "run_scenario", "repro.api.serve"),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        module_name, attr, replacement = _DEPRECATED_ALIASES[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {replacement} instead "
+            f"(or import it from {module_name} directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -184,4 +227,17 @@ __all__ = [
     "get_scenario",
     "run_scenario",
     "scenario_names",
+    "api",
+    "ExperimentResult",
+    "ServeResult",
+    "LookupResult",
+    "FaultInjectionResult",
+    "run_experiment",
+    "serve",
+    "lookup_batch",
+    "inject_faults",
+    "FAULT_KINDS",
+    "FaultSchedule",
+    "fault_profile_names",
+    "get_fault_profile",
 ]

@@ -8,7 +8,12 @@ Usage::
     python -m repro trace fig7 --out /tmp/t   # span-traced run artifacts
     python -m repro serve mixed          # online-serving load sweep
     python -m repro serve quick --json --seed 3
+    python -m repro serve chaos --faults chaos   # fault-injected sweep
     REPRO_BENCH_SCALE=full python -m repro fig3a   # paper's full grid
+
+Exit codes follow the Unix convention: **2** for usage errors (unknown
+experiment/scenario/fault-profile names, bad flags), **1** for runtime
+failures inside a correctly-specified run, 0 on success.
 
 The ``trace`` verb runs a fully instrumented slice of an experiment's
 kernel and writes a Chrome-trace/Perfetto JSON, a run-summary JSON, and
@@ -54,6 +59,7 @@ def _unknown(names: list[str]) -> int:
 
 def _list_main() -> int:
     """Print experiments, executors, workload kinds, and scenarios."""
+    from repro.faults.schedule import fault_profile_names, get_fault_profile
     from repro.interleaving.executor import (
         WORKLOAD_KINDS,
         executor_names,
@@ -69,7 +75,9 @@ def _list_main() -> int:
     for name in executor_names():
         executor = get_executor(name)
         kinds = ", ".join(executor.workload_kinds)
-        print(f"  {name:<12} G={executor.default_group_size:<3} [{kinds}]")
+        print(
+            f"  {name:<12} group_size={executor.default_group_size:<3} [{kinds}]"
+        )
     print()
     print("workload kinds:")
     for kind in WORKLOAD_KINDS:
@@ -78,17 +86,26 @@ def _list_main() -> int:
     print("scenarios (python -m repro serve <name>):")
     for scenario in SCENARIO_REGISTRY.values():
         techniques = "/".join(scenario.techniques)
-        print(
-            f"  {scenario.name:<8} {scenario.arrival_kind:<8} "
-            f"loads x{list(scenario.loads)} [{techniques}]"
+        chaos = (
+            f" faults={scenario.fault_profile}" if scenario.fault_profile else ""
         )
+        print(
+            f"  {scenario.name:<12} {scenario.arrival_kind:<8} "
+            f"loads x{list(scenario.loads)} [{techniques}]{chaos}"
+        )
+    print()
+    print("fault profiles (python -m repro serve <name> --faults <profile>):")
+    for name in fault_profile_names():
+        profile = get_fault_profile(name)
+        print(f"  {name:<14} {profile.description}")
     return 0
 
 
 def _serve_main(argv: list[str]) -> int:
-    from repro.errors import ReproError
+    from repro.errors import ReproError, WorkloadError
+    from repro.faults.schedule import fault_profile_names, get_fault_profile
     from repro.service.loadgen import render_service_doc, run_scenario
-    from repro.service.scenarios import scenario_names
+    from repro.service.scenarios import get_scenario, scenario_names
 
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
@@ -112,16 +129,38 @@ def _serve_main(argv: list[str]) -> int:
         default=0,
         help="RNG seed for arrivals and probe values (default 0)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PROFILE",
+        default=None,
+        help=(
+            "fault profile to inject "
+            f"({', '.join(fault_profile_names())}); overrides the "
+            "scenario's default"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    # Name resolution is a usage question — report and exit 2 before
+    # any simulation work starts.
     try:
-        doc = run_scenario(args.scenario, seed=args.seed)
+        scenario = get_scenario(args.scenario)
+    except WorkloadError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    try:
+        faults = (
+            None if args.faults is None else get_fault_profile(args.faults)
+        )
+    except WorkloadError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        doc = run_scenario(scenario, seed=args.seed, faults=faults)
     except ReproError as error:
         print(f"serve failed: {error}", file=sys.stderr)
-        print(
-            f"registered scenarios: {', '.join(scenario_names())}",
-            file=sys.stderr,
-        )
-        return 2
+        return 1
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
@@ -171,7 +210,7 @@ def _trace_main(argv: list[str]) -> int:
         )
     except ReproError as error:
         print(f"trace failed: {error}", file=sys.stderr)
-        return 2
+        return 1
     for kind, path in paths.items():
         print(f"{kind}: {path}")
     return 0
@@ -212,8 +251,14 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         return _unknown(unknown)
 
+    from repro.errors import ReproError
+
     for name in args.experiments:
-        doc = run_experiment_data(name)
+        try:
+            doc = run_experiment_data(name)
+        except ReproError as error:
+            print(f"{name} failed: {error}", file=sys.stderr)
+            return 1
         if args.json:
             print(json.dumps(doc, indent=2, sort_keys=True))
         else:

@@ -1,0 +1,322 @@
+"""repro.api — the one front door for the four things people do here.
+
+Every workflow in this repository bottoms out in one of four verbs, and
+each used to require knowing which subpackage implements it:
+
+* **run an experiment** — a paper table/figure (``repro.analysis``),
+* **serve a scenario** — the online robustness story (``repro.service``),
+* **look up a batch** — one bulk index join under a chosen or
+  policy-picked technique (``repro.interleaving``),
+* **inject faults** — replay a bulk run under a deterministic chaos
+  schedule (``repro.faults``).
+
+This module gives each verb one function with keyword-only knobs and a
+frozen, typed result — the stable surface examples, notebooks, and
+downstream tooling should import (``from repro import api`` or the
+re-exports on the package root). The deep modules remain public for
+power users; what this facade adds is that the *common* path no longer
+depends on their layout.
+
+Results are plain frozen dataclasses: the raw data document (or result
+list) plus the derived numbers callers always recompute by hand, with
+``render()`` on the document-shaped ones for the CLI-style ASCII view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.config import HASWELL, ArchSpec
+from repro.errors import WorkloadError
+
+__all__ = [
+    "ExperimentResult",
+    "ServeResult",
+    "LookupResult",
+    "FaultInjectionResult",
+    "run_experiment",
+    "serve",
+    "lookup_batch",
+    "inject_faults",
+]
+
+
+# ----------------------------------------------------------------------
+# Result types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One paper experiment's data document, render-on-demand."""
+
+    #: Canonical experiment name (``python -m repro list``).
+    name: str
+    #: The machine-readable data document (what ``--json`` prints).
+    doc: dict
+
+    def render(self) -> str:
+        """The paper-style ASCII table/figure for this document."""
+        from repro.analysis.figures import render_experiment_data
+
+        return render_experiment_data(self.doc)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One serving sweep: the service/chaos data document, typed."""
+
+    scenario: str
+    #: ``repro.service/1``, or ``repro.chaos/1`` when faults were live.
+    schema: str
+    doc: dict
+
+    @property
+    def points(self) -> list[dict]:
+        """Per-(technique, load) records, in sweep order."""
+        return self.doc["points"]
+
+    @property
+    def chaos(self) -> bool:
+        """Whether a non-empty fault schedule shaped this run."""
+        from repro.service.loadgen import CHAOS_SCHEMA
+
+        return self.schema == CHAOS_SCHEMA
+
+    def point(self, technique: str, load_multiplier: float) -> dict:
+        """The record for one (technique, load) pair."""
+        for record in self.points:
+            if (
+                record["technique"].lower() == technique.lower()
+                and record["load_multiplier"] == load_multiplier
+            ):
+                return record
+        raise WorkloadError(
+            f"no point ({technique!r}, {load_multiplier!r}) in scenario "
+            f"{self.scenario!r}"
+        )
+
+    def render(self) -> str:
+        """The CLI's ASCII throughput/latency table."""
+        from repro.service.loadgen import render_service_doc
+
+        return render_service_doc(self.doc)
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """One bulk index join: results plus the cycle economics."""
+
+    #: Executor that ran (resolved from the policy when not forced).
+    technique: str
+    group_size: int
+    #: One result per input value, in input order.
+    results: tuple
+    #: Engine cycles charged by the bulk run (settled).
+    cycles: int
+
+    @property
+    def n_lookups(self) -> int:
+        return len(self.results)
+
+    @property
+    def cycles_per_lookup(self) -> float:
+        return self.cycles / self.n_lookups if self.results else 0.0
+
+
+@dataclass(frozen=True)
+class FaultInjectionResult:
+    """A bulk run replayed under a fault schedule, against its baseline.
+
+    The baseline pass (same table, values, technique, and chunking — no
+    faults) doubles as the schedule horizon: the chaos replay uses the
+    baseline's measured makespan as the window the profile fills, so
+    ``inject_faults`` is a pure function of its arguments.
+    """
+
+    technique: str
+    group_size: int
+    results: tuple
+    #: Cycles of the faulted run.
+    cycles: int
+    #: Cycles of the fault-free pass (also the schedule horizon).
+    baseline_cycles: int
+    #: Cycles spent parked in stall/crash outage windows.
+    stall_cycles: int
+    #: Cache-flush point faults actually applied.
+    flushes_applied: int
+    #: Events in the resolved schedule.
+    fault_events: int
+    #: Fault counts by kind, from the resolved schedule.
+    faults_by_kind: dict = field(compare=False)
+
+    @property
+    def slowdown(self) -> float:
+        """Faulted cycles over baseline cycles (>= 1.0 in practice)."""
+        return self.cycles / self.baseline_cycles if self.baseline_cycles else 0.0
+
+
+# ----------------------------------------------------------------------
+# The four verbs
+# ----------------------------------------------------------------------
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run one paper experiment (table/figure) by name.
+
+    The typed counterpart of ``python -m repro <name>``: returns the
+    data document plus a renderer instead of printed text.
+    """
+    from repro.analysis.figures import available_experiments, run_experiment_data
+
+    if name not in available_experiments():
+        raise WorkloadError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(available_experiments())}"
+        )
+    return ExperimentResult(name=name, doc=run_experiment_data(name))
+
+
+def serve(scenario, *, seed: int = 0, faults=None) -> ServeResult:
+    """Run one serving scenario sweep (optionally fault-injected).
+
+    ``faults`` accepts a profile name (``"chaos"``), a
+    :class:`~repro.faults.schedule.FaultProfile`, or a ready-built
+    :class:`~repro.faults.schedule.FaultSchedule`; ``None`` defers to
+    the scenario's own default profile (no chaos for most scenarios).
+    """
+    from repro.service.loadgen import run_scenario
+
+    doc = run_scenario(scenario, seed=seed, faults=faults)
+    return ServeResult(scenario=doc["scenario"], schema=doc["schema"], doc=doc)
+
+
+def lookup_batch(
+    table,
+    values: Sequence[object],
+    *,
+    technique: str | None = None,
+    group_size: int | None = None,
+    arch: ArchSpec = HASWELL,
+    engine=None,
+    costs=None,
+) -> LookupResult:
+    """Run one bulk binary-search join and report its cycle economics.
+
+    ``technique=None`` asks the Inequality-1 policy layer to pick the
+    executor and group size for this table and batch; naming a
+    technique forces it (``group_size=None`` then falls back to the
+    executor's Section-5.4.5 default). Passing ``engine`` reuses an
+    existing (possibly warmed) engine instead of a cold one.
+    """
+    from repro.indexes.binary_search import DEFAULT_COSTS
+    from repro.interleaving.executor import BulkLookup, get_executor
+    from repro.interleaving.policies import choose_policy
+    from repro.sim.engine import ExecutionEngine
+
+    if engine is None:
+        engine = ExecutionEngine(arch)
+    tasks = BulkLookup.sorted_array(
+        table, values, DEFAULT_COSTS if costs is None else costs
+    )
+    if technique is None:
+        policy = choose_policy(engine.arch, table, len(tasks), technique=None)
+        executor = get_executor(policy.executor_name)
+        group_size = group_size or policy.group_size
+    else:
+        executor = get_executor(technique)
+    group_size = group_size or executor.default_group_size
+    before = engine.clock
+    results = executor.run(tasks, engine, group_size=group_size)
+    engine.settle()
+    return LookupResult(
+        technique=executor.name,
+        group_size=group_size,
+        results=tuple(results),
+        cycles=engine.clock - before,
+    )
+
+
+def inject_faults(
+    table,
+    values: Sequence[object],
+    *,
+    faults,
+    technique: str = "CORO",
+    group_size: int | None = None,
+    chunk_size: int = 64,
+    arch: ArchSpec = HASWELL,
+    seed: int = 0,
+) -> FaultInjectionResult:
+    """Replay one bulk join under a deterministic fault schedule.
+
+    Two passes on fresh engines: a fault-free baseline measures the
+    run's natural makespan, which becomes the schedule horizon (so
+    profile-built schedules land their events *inside* the run); the
+    chaos pass then executes the same chunked workload under the
+    resolved schedule via :class:`~repro.faults.injector.
+    OfflineFaultInjector` — outages charge stall cycles, flushes land
+    between chunks, spikes/shrinks degrade each chunk's memory
+    environment. Same arguments, bit-identical result, every time.
+    """
+    from repro.faults.injector import OfflineFaultInjector
+    from repro.faults.schedule import resolve_schedule
+    from repro.interleaving.executor import BulkLookup, get_executor
+    from repro.sim.engine import ExecutionEngine
+
+    if chunk_size <= 0:
+        raise WorkloadError("chunk_size must be positive")
+    executor = get_executor(technique)
+    group_size = group_size or executor.default_group_size
+
+    def chunked_run(engine, injector=None):
+        results: list = []
+        tasks = BulkLookup.sorted_array(table, values)
+        for batch in tasks.batches(chunk_size):
+            if injector is None:
+                results.extend(executor.run(batch, engine, group_size=group_size))
+            else:
+                with injector.chunk():
+                    results.extend(
+                        executor.run(batch, engine, group_size=group_size)
+                    )
+        engine.settle()
+        return results
+
+    baseline_engine = ExecutionEngine(arch, seed=seed)
+    baseline_results = chunked_run(baseline_engine)
+    baseline_cycles = baseline_engine.clock
+
+    schedule = resolve_schedule(
+        faults, horizon=max(1, baseline_cycles), n_shards=1, seed=seed
+    )
+    if schedule is None:
+        return FaultInjectionResult(
+            technique=executor.name,
+            group_size=group_size,
+            results=tuple(baseline_results),
+            cycles=baseline_cycles,
+            baseline_cycles=baseline_cycles,
+            stall_cycles=0,
+            flushes_applied=0,
+            fault_events=0,
+            faults_by_kind={},
+        )
+
+    engine = ExecutionEngine(arch, seed=seed)
+    offline = OfflineFaultInjector(schedule, engine)
+    results = chunked_run(engine, offline)
+    if results != baseline_results:  # pragma: no cover - correctness guard
+        raise WorkloadError("fault injection changed lookup results")
+    return FaultInjectionResult(
+        technique=executor.name,
+        group_size=group_size,
+        results=tuple(results),
+        cycles=engine.clock,
+        baseline_cycles=baseline_cycles,
+        stall_cycles=offline.stall_cycles,
+        flushes_applied=offline.flushes_applied,
+        fault_events=len(schedule),
+        faults_by_kind=schedule.counts_by_kind(),
+    )

@@ -1,0 +1,166 @@
+"""Fault events: the vocabulary of deterministic chaos.
+
+Every fault is a frozen, cycle-stamped dataclass in the *service-time*
+cycle domain (the same clock the serving event loop advances). Two
+shapes exist:
+
+* **window faults** — active over ``[at, at + duration)``: a memory
+  latency spike, a shard stall, a shard crash (stall + the in-flight
+  batch fails), an LFB shrinkage. Window faults are *stateless*: the
+  injector answers "what is active at cycle t" by interval arithmetic,
+  so replaying the same schedule is trivially bit-identical.
+* **point faults** — applied exactly once at ``at``: a cache flush
+  (private levels of one shard, optionally the shared LLC too).
+
+``shard`` selects a target engine shard; ``None`` means every shard.
+The overflow lane is deliberately un-targetable — it is the degraded
+path the server falls back to, so chaos never touches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "LatencySpike",
+    "ShardStall",
+    "ShardCrash",
+    "CacheFlush",
+    "LfbShrink",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: a cycle stamp plus a target shard."""
+
+    at: int
+    shard: int | None = None
+
+    #: Class-level tag used in metrics names and data documents.
+    kind = "?"
+    #: Window faults span ``[at, at + duration)``; point faults do not.
+    is_window = False
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"{self.kind} fault at negative cycle {self.at}")
+        duration = getattr(self, "duration", None)
+        if self.is_window and (duration is None or duration <= 0):
+            raise ConfigurationError(
+                f"{self.kind} fault needs a positive duration, not {duration!r}"
+            )
+
+    @property
+    def until(self) -> int:
+        """First cycle past the fault's active window (``at`` for points)."""
+        return self.at + getattr(self, "duration", 0)
+
+    def active_at(self, cycle: int) -> bool:
+        """Whether this window fault covers ``cycle``."""
+        return self.is_window and self.at <= cycle < self.until
+
+    def targets(self, shard: int) -> bool:
+        """Whether this fault applies to shard ``shard``."""
+        return self.shard is None or self.shard == shard
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (data documents and debugging)."""
+        record = {"kind": self.kind}
+        record.update(asdict(self))
+        return record
+
+
+@dataclass(frozen=True)
+class LatencySpike(FaultEvent):
+    """Effective DRAM latency rises by ``extra_latency`` cycles.
+
+    Models memory-controller queueing / a noisy co-tenant saturating the
+    channel — exactly the "unpredictable miss latency" AMAC motivates
+    hiding. Applied as :attr:`MemorySystem.extra_dram_latency` on the
+    target shard's memory while the window is active.
+    """
+
+    duration: int = 0
+    extra_latency: int = 0
+    kind = "latency_spike"
+    is_window = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.extra_latency <= 0:
+            raise ConfigurationError("latency spike needs a positive extra_latency")
+
+
+@dataclass(frozen=True)
+class ShardStall(FaultEvent):
+    """The shard stops taking batches for ``duration`` cycles.
+
+    A GC pause / noisy-neighbour preemption: already-dispatched work
+    finishes, but nothing new starts inside the window.
+    """
+
+    duration: int = 0
+    kind = "shard_stall"
+    is_window = True
+
+
+@dataclass(frozen=True)
+class ShardCrash(FaultEvent):
+    """The shard dies at ``at`` and restarts ``duration`` cycles later.
+
+    Unlike a stall, a batch *executing* when the crash hits fails: its
+    requests re-enter the queue through the server's bounded-retry path
+    (exponential backoff + deterministic jitter), or fail outright once
+    their retry budget is spent.
+    """
+
+    duration: int = 0
+    kind = "shard_crash"
+    is_window = True
+
+
+@dataclass(frozen=True)
+class CacheFlush(FaultEvent):
+    """Point fault: the shard's private L1/L2/TLB are emptied.
+
+    ``llc=True`` additionally flushes the *shared* last-level cache —
+    a socket-wide cold restart rather than a per-core context switch.
+    Statistics are preserved; only cached state is lost.
+    """
+
+    llc: bool = False
+    kind = "cache_flush"
+    is_window = False
+
+
+@dataclass(frozen=True)
+class LfbShrink(FaultEvent):
+    """The shard's line-fill-buffer pool shrinks to ``capacity``.
+
+    Models sibling-hyperthread pressure on the shared fill-buffer pool:
+    memory-level parallelism — the resource every interleaving technique
+    converts into robustness — is capped below the architectural ten
+    while the window is active. Inequality 1's group size shrinks with
+    it (see ``repro.interleaving.policies.degraded_group_size``).
+    """
+
+    duration: int = 0
+    capacity: int = 0
+    kind = "lfb_shrink"
+    is_window = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.capacity < 1:
+            raise ConfigurationError("LFB shrink needs capacity for one fill")
+
+
+#: Every fault kind, in documentation order (counters iterate this).
+FAULT_KINDS = tuple(
+    cls.kind for cls in (LatencySpike, ShardStall, ShardCrash, CacheFlush, LfbShrink)
+)

@@ -1,0 +1,332 @@
+"""Fault schedules and named fault profiles (the chaos registry).
+
+A :class:`FaultSchedule` is an immutable, cycle-sorted stream of
+:mod:`~repro.faults.events` plus the seed it was generated from. All
+randomness is *front-loaded*: a profile draws every event from a private
+``random.Random`` at build time, so the schedule a run replays — and the
+retry-jitter stream the server derives from it via :meth:`FaultSchedule.
+jitter_rng` — is a pure function of ``(profile, horizon, n_shards,
+seed)``. Same seed, same chaos, bit for bit.
+
+:class:`FaultProfile` is the named generator: ``build(horizon,
+n_shards, seed)`` materialises a schedule for one run. Profiles register
+in :data:`FAULT_PROFILE_REGISTRY` exactly like executors and scenarios,
+so the CLI (``python -m repro serve <scenario> --faults <profile>``),
+the benchmarks, and ``python -m repro list`` all see the same catalogue.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.faults.events import (
+    FAULT_KINDS,
+    CacheFlush,
+    FaultEvent,
+    LatencySpike,
+    LfbShrink,
+    ShardCrash,
+    ShardStall,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "FaultProfile",
+    "FAULT_PROFILE_REGISTRY",
+    "register_fault_profile",
+    "get_fault_profile",
+    "fault_profile_names",
+    "resolve_schedule",
+]
+
+#: Seed-mixing constant separating the jitter stream from event draws.
+_JITTER_SALT = 0x5EED_FA11
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A cycle-sorted fault event stream with its generating seed."""
+
+    events: tuple[FaultEvent, ...]
+    seed: int = 0
+    horizon: int = 0
+    profile: str = "custom"
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.at, e.kind, e.shard or -1))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def windows_for(self, shard: int) -> list[FaultEvent]:
+        """Window faults that can ever apply to ``shard``."""
+        return [e for e in self.events if e.is_window and e.targets(shard)]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Scheduled events per kind (zero-filled, document-friendly)."""
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for event in self.events:
+            counts[event.kind] += 1
+        return counts
+
+    def jitter_rng(self) -> random.Random:
+        """A fresh private RNG for retry-backoff jitter.
+
+        Derived from the schedule's seed so the *entire* chaos run —
+        fault timing and the server's randomized responses to it — is
+        reproducible from one number.
+        """
+        return random.Random(self.seed ^ _JITTER_SALT)
+
+    def as_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "n_events": len(self.events),
+            "by_kind": self.counts_by_kind(),
+        }
+
+
+#: A profile builder: (horizon, n_shards, rng) -> events.
+Builder = Callable[[int, int, random.Random], Sequence[FaultEvent]]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named, parameterless chaos generator."""
+
+    name: str
+    description: str
+    builder: Builder = field(repr=False, default=lambda horizon, shards, rng: ())
+
+    def build(self, horizon: int, n_shards: int, seed: int = 0) -> FaultSchedule:
+        """Materialise the schedule for one run (deterministic in args)."""
+        if horizon < 0:
+            raise ConfigurationError("fault horizon cannot be negative")
+        if n_shards < 1:
+            raise ConfigurationError("fault profiles need at least one shard")
+        rng = random.Random((seed, self.name, horizon, n_shards).__repr__())
+        events = tuple(self.builder(horizon, n_shards, rng))
+        return FaultSchedule(
+            events=events, seed=seed, horizon=horizon, profile=self.name
+        )
+
+
+#: Registered fault profiles, keyed by lower-cased name.
+FAULT_PROFILE_REGISTRY: dict[str, FaultProfile] = {}
+
+
+def register_fault_profile(profile: FaultProfile) -> FaultProfile:
+    """Register a profile for the CLI/benchmarks; names are unique."""
+    key = profile.name.lower()
+    if key in FAULT_PROFILE_REGISTRY:
+        raise ConfigurationError(f"duplicate fault profile name {key!r}")
+    FAULT_PROFILE_REGISTRY[key] = profile
+    return profile
+
+
+def get_fault_profile(name: str) -> FaultProfile:
+    """Look up a fault profile by name (case-insensitive)."""
+    profile = FAULT_PROFILE_REGISTRY.get(str(name).lower())
+    if profile is None:
+        raise WorkloadError(
+            f"unknown fault profile {name!r}; registered: "
+            f"{', '.join(fault_profile_names())}"
+        )
+    return profile
+
+
+def fault_profile_names() -> list[str]:
+    """Canonical profile names, in registration order."""
+    return [profile.name for profile in FAULT_PROFILE_REGISTRY.values()]
+
+
+def resolve_schedule(
+    faults: FaultSchedule | FaultProfile | str | None,
+    *,
+    horizon: int,
+    n_shards: int,
+    seed: int = 0,
+) -> FaultSchedule | None:
+    """Normalise any fault spec into a schedule (``None`` if empty).
+
+    Accepts a profile name, a profile, or a ready-made schedule — the
+    one coercion point every entry surface (facade, CLI, loadgen)
+    shares. Empty schedules collapse to ``None`` so a "none" profile is
+    *indistinguishable* from not asking for faults at all, which is what
+    keeps no-fault chaos runs bit-identical to plain serving runs.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, str):
+        faults = get_fault_profile(faults)
+    if isinstance(faults, FaultProfile):
+        faults = faults.build(horizon, n_shards, seed)
+    if not isinstance(faults, FaultSchedule):
+        raise ConfigurationError(
+            f"cannot interpret {faults!r} as a fault schedule"
+        )
+    return faults if faults else None
+
+
+# ----------------------------------------------------------------------
+# Built-in profiles
+# ----------------------------------------------------------------------
+
+
+def _spikes(horizon: int, n_shards: int, rng: random.Random) -> list[FaultEvent]:
+    """Socket-wide DRAM latency spikes on a jittered ~14k-cycle beat.
+
+    The dominant family: memory latency is the axis the paper's
+    robustness claim is about, so the cocktail leans on it — deep
+    (+200-450 cycles), long (5-10k), frequent.
+    """
+    events: list[FaultEvent] = []
+    at = rng.randint(2_000, 8_000)
+    while at < horizon:
+        events.append(
+            LatencySpike(
+                at=at,
+                duration=rng.randint(5_000, 10_000),
+                extra_latency=rng.choice((200, 320, 450)),
+            )
+        )
+        at += rng.randint(10_000, 18_000)
+    return events
+
+
+def _outages(horizon: int, n_shards: int, rng: random.Random) -> list[FaultEvent]:
+    """Per-shard stalls plus occasional full crashes."""
+    events: list[FaultEvent] = []
+    at = rng.randint(4_000, 12_000)
+    while at < horizon:
+        shard = rng.randrange(n_shards)
+        if rng.random() < 0.4:
+            events.append(ShardCrash(at=at, shard=shard, duration=rng.randint(8_000, 16_000)))
+        else:
+            events.append(ShardStall(at=at, shard=shard, duration=rng.randint(3_000, 8_000)))
+        at += rng.randint(18_000, 34_000)
+    return events
+
+
+def _storms(horizon: int, n_shards: int, rng: random.Random) -> list[FaultEvent]:
+    """Cache flushes and LFB shrink windows (MLP starvation).
+
+    The sparsest family, and shrinkage stays moderate (capacity 5-8):
+    fill-buffer starvation attacks exactly the parallelism interleaving
+    lives on, so deep shrinks would turn the cocktail into an argument
+    *against* the technique rather than a robustness stressor.
+    """
+    events: list[FaultEvent] = []
+    at = rng.randint(3_000, 10_000)
+    while at < horizon:
+        if rng.random() < 0.4:
+            events.append(
+                CacheFlush(
+                    at=at,
+                    shard=rng.randrange(n_shards),
+                    llc=rng.random() < 0.25,
+                )
+            )
+        else:
+            events.append(
+                LfbShrink(
+                    at=at,
+                    duration=rng.randint(4_000, 8_000),
+                    capacity=rng.choice((5, 6, 8)),
+                )
+            )
+        at += rng.randint(22_000, 40_000)
+    return events
+
+
+register_fault_profile(
+    FaultProfile(
+        name="none",
+        description="The empty schedule: serving runs exactly as without chaos.",
+        builder=lambda horizon, shards, rng: (),
+    )
+)
+
+register_fault_profile(
+    FaultProfile(
+        name="latency-spikes",
+        description=(
+            "Socket-wide DRAM latency spikes (~every 14k cycles, 5-10k "
+            "long, +200-450 cycles): the AMAC motivation, injected."
+        ),
+        builder=_spikes,
+    )
+)
+
+register_fault_profile(
+    FaultProfile(
+        name="shard-outage",
+        description=(
+            "Per-shard stalls and crashes (~every 26k cycles): the "
+            "retry/hedge/fallback machinery's reason to exist."
+        ),
+        builder=_outages,
+    )
+)
+
+register_fault_profile(
+    FaultProfile(
+        name="cache-storm",
+        description=(
+            "Cache flushes and LFB-pool shrinkage: cold misses plus "
+            "capped memory-level parallelism."
+        ),
+        builder=_storms,
+    )
+)
+
+register_fault_profile(
+    FaultProfile(
+        name="chaos",
+        description="All three failure families at once, interleaved.",
+        builder=lambda horizon, shards, rng: (
+            list(_spikes(horizon, shards, rng))
+            + list(_outages(horizon, shards, rng))
+            + list(_storms(horizon, shards, rng))
+        ),
+    )
+)
+
+register_fault_profile(
+    FaultProfile(
+        name="chaos-quick",
+        description=(
+            "CI-sized chaos: a couple of spikes, one outage, one storm "
+            "event over a short horizon. Seconds, not minutes."
+        ),
+        builder=lambda horizon, shards, rng: [
+            LatencySpike(
+                at=max(1, horizon // 6),
+                duration=max(1, horizon // 8),
+                extra_latency=200,
+            ),
+            ShardCrash(
+                at=max(1, horizon // 3),
+                shard=rng.randrange(shards),
+                duration=max(1, horizon // 10),
+            ),
+            CacheFlush(at=max(1, horizon // 2), shard=None, llc=True),
+            LfbShrink(
+                at=max(1, (2 * horizon) // 3),
+                duration=max(1, horizon // 8),
+                capacity=4,
+            ),
+        ],
+    )
+)

@@ -39,6 +39,7 @@ __all__ = [
     "choose_policy",
     "choose_policy_for_bytes",
     "default_group_size",
+    "degraded_group_size",
     "ADAPTIVE_CANDIDATES",
 ]
 
@@ -102,6 +103,38 @@ def default_group_size(arch: ArchSpec, technique: str = "coro") -> int:
     """
     params = _params(arch, technique)
     return min(optimal_group_size(params), arch.n_line_fill_buffers)
+
+
+def degraded_group_size(
+    arch: ArchSpec,
+    technique: str = "coro",
+    *,
+    extra_dram_latency: int = 0,
+    lfb_capacity: int | None = None,
+) -> int:
+    """Inequality-1 group size under a degraded memory environment.
+
+    Re-evaluates the model with the *effective* miss latency (base DRAM
+    plus an injected spike) and the *effective* fill-buffer pool (sibling
+    pressure can shrink it below the architectural count). A latency
+    spike pushes the uncapped optimum up — more stall to hide — but the
+    LFB cap binds, so in practice spikes leave G at the cap while pool
+    shrinkage pulls it down. This is the serving layer's graceful-
+    degradation knob (``ServiceConfig.degradation="adaptive"``).
+    """
+    params = _params(arch, technique)
+    if extra_dram_latency:
+        params = InterleavingParams(
+            t_compute=params.t_compute,
+            t_stall=max(
+                0, arch.dram_latency + extra_dram_latency - arch.cost.ooo_hide
+            ),
+            t_switch=params.t_switch,
+        )
+    cap = arch.n_line_fill_buffers
+    if lfb_capacity is not None:
+        cap = min(cap, max(1, lfb_capacity))
+    return max(1, min(optimal_group_size(params), cap))
 
 
 def _rank_candidates(

@@ -47,6 +47,7 @@ SPAN_KINDS = (
     "alloc",  # coroutine frame allocation
     "suspend",  # instantaneous: the frame suspended
     "event",  # raw instruction-stream event (from RecordingStream)
+    "fault",  # injected outage window (repro.faults; attrs: none)
 )
 
 

@@ -31,7 +31,9 @@ from repro.service.arrivals import (
 )
 from repro.service.coalescer import Coalescer
 from repro.service.loadgen import (
+    CHAOS_SCHEMA,
     SERVICE_SCHEMA,
+    fault_horizon,
     render_service_doc,
     run_scenario,
     sequential_capacity,
@@ -54,6 +56,7 @@ from repro.service.server import (
 
 __all__ = [
     "ARRIVAL_KINDS",
+    "CHAOS_SCHEMA",
     "OUTCOMES",
     "OVERLOAD_POLICIES",
     "PERCENTILES",
@@ -71,6 +74,7 @@ __all__ = [
     "ServiceReport",
     "ServiceServer",
     "TokenBucket",
+    "fault_horizon",
     "get_scenario",
     "make_arrivals",
     "percentile",

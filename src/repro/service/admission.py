@@ -131,6 +131,20 @@ class AdmissionController:
         self._depth.set(len(self.queue))
         return "admit"
 
+    def requeue(self, request: Request) -> None:
+        """Re-admit a crash-retried request (fault-injection path).
+
+        The request goes to the *head* of the queue: it was admitted —
+        and dispatched — before anything currently waiting arrived, so
+        head placement preserves FIFO-by-arrival. No arrival is counted
+        and the capacity bound is not re-checked: the request was
+        already admitted once, and bouncing it now would turn a
+        transient shard failure into a client-visible rejection. The
+        depth gauge still tracks the extra occupancy.
+        """
+        self.queue.appendleft(request)
+        self._depth.set(len(self.queue))
+
     def take(self, n: int) -> list[Request]:
         """Pop up to ``n`` requests from the head, in arrival order."""
         batch = [self.queue.popleft() for _ in range(min(n, len(self.queue)))]

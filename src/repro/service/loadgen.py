@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import HASWELL, ArchSpec, scaled
+from repro.faults.schedule import FaultProfile, FaultSchedule, resolve_schedule
 from repro.interleaving.executor import BulkLookup, get_executor
 from repro.service.arrivals import make_arrivals
 from repro.service.scenarios import Scenario, get_scenario
@@ -32,6 +33,8 @@ from repro.workloads.generators import make_table
 
 __all__ = [
     "SERVICE_SCHEMA",
+    "CHAOS_SCHEMA",
+    "fault_horizon",
     "sequential_capacity",
     "run_scenario",
     "render_service_doc",
@@ -39,6 +42,9 @@ __all__ = [
 
 #: Schema tag of the service data document / BENCH_service.json.
 SERVICE_SCHEMA = "repro.service/1"
+
+#: Schema tag of fault-injected serving documents / BENCH_chaos.json.
+CHAOS_SCHEMA = "repro.chaos/1"
 
 
 def _arch_for(scenario: Scenario) -> ArchSpec:
@@ -86,6 +92,36 @@ def _arrival_params(scenario: Scenario, rate_per_kcycle: float) -> dict:
     return params
 
 
+def fault_horizon(n_requests: int, rate_per_kcycle: float) -> int:
+    """Schedule horizon for one load point, deterministic in its inputs.
+
+    Three times the expected arrival span: long enough that faults keep
+    landing while an overloaded server drains its backlog, and a pure
+    function of ``(n_requests, rate)`` so every technique at the same
+    load point replays the *identical* schedule.
+    """
+    return max(1, int(3_000.0 * n_requests / rate_per_kcycle))
+
+
+def _chaos_point(report: ServiceReport, schedule: FaultSchedule) -> dict:
+    """The extra fields a fault-injected point carries (repro.chaos/1)."""
+    record = dict(report.resilience)
+    record["faults_by_kind"] = record.pop("faults")
+    record["fault_events"] = len(schedule)
+    return record
+
+
+def _fault_name(faults) -> str:
+    """Human name of whatever fault spec the caller passed."""
+    if isinstance(faults, str):
+        return faults
+    if isinstance(faults, FaultProfile):
+        return faults.name
+    if isinstance(faults, FaultSchedule):
+        return faults.profile
+    return "custom"
+
+
 def _point(
     report: ServiceReport, load_multiplier: float, offered: float
 ) -> dict:
@@ -109,10 +145,28 @@ def _point(
     return record
 
 
-def run_scenario(scenario: Scenario | str, *, seed: int = 0) -> dict:
-    """Run every (technique, load) point; return the data document."""
+def run_scenario(
+    scenario: Scenario | str,
+    *,
+    seed: int = 0,
+    faults: FaultSchedule | FaultProfile | str | None = None,
+) -> dict:
+    """Run every (technique, load) point; return the data document.
+
+    ``faults`` overrides the scenario's default fault profile (a profile
+    name, a profile, or a ready-built schedule). A run whose schedule
+    resolves to empty — no chaos asked for, or the ``"none"`` profile —
+    emits a plain ``repro.service/1`` document bit-identical to a run
+    of a server without the fault machinery; a non-empty schedule
+    switches the document to ``repro.chaos/1``, whose points add the
+    fault/retry/hedge accounting. Every technique at the same load
+    multiplier replays the *identical* schedule (the horizon depends
+    only on the request count and the offered rate).
+    """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if faults is None:
+        faults = scenario.fault_profile
     arch = _arch_for(scenario)
     allocator = AddressSpaceAllocator(page_size=arch.page_size)
     table = make_table(allocator, "serve/dict", scenario.table_bytes)
@@ -122,6 +176,7 @@ def run_scenario(scenario: Scenario | str, *, seed: int = 0) -> dict:
     rng = np.random.RandomState(seed + 11)
     values = [int(v) for v in rng.randint(0, table.size, scenario.n_requests)]
 
+    chaos = False
     points = []
     for technique in scenario.techniques:
         config = scenario.config
@@ -137,13 +192,25 @@ def run_scenario(scenario: Scenario | str, *, seed: int = 0) -> dict:
                 seed,
                 **_arrival_params(scenario, rate),
             )
-            server = ServiceServer(table, config, arch=arch, seed=seed)
+            schedule = resolve_schedule(
+                faults,
+                horizon=fault_horizon(scenario.n_requests, rate),
+                n_shards=config.n_shards,
+                seed=seed,
+            )
+            server = ServiceServer(
+                table, config, arch=arch, seed=seed, faults=schedule
+            )
             report = server.serve(arrivals, values)
-            points.append(_point(report, multiplier, rate))
+            point = _point(report, multiplier, rate)
+            if schedule is not None:
+                chaos = True
+                point.update(_chaos_point(report, schedule))
+            points.append(point)
 
-    return {
+    doc = {
         "kind": "service",
-        "schema": SERVICE_SCHEMA,
+        "schema": CHAOS_SCHEMA if chaos else SERVICE_SCHEMA,
         "scenario": scenario.name,
         "description": scenario.description,
         "arrival_kind": scenario.arrival_kind,
@@ -155,6 +222,9 @@ def run_scenario(scenario: Scenario | str, *, seed: int = 0) -> dict:
         "seq_cycles_per_lookup": cycles_per_lookup,
         "points": points,
     }
+    if chaos:
+        doc["fault_profile"] = _fault_name(faults)
+    return doc
 
 
 def _replace_config(config, **changes):
@@ -167,6 +237,7 @@ def render_service_doc(doc: dict) -> str:
     """Render a service document as the CLI's ASCII artifact."""
     from repro.analysis.reporting import format_table
 
+    chaos = doc.get("schema") == CHAOS_SCHEMA
     headers = [
         "technique",
         "xload",
@@ -183,30 +254,35 @@ def render_service_doc(doc: dict) -> str:
         "shed",
         "slo%",
     ]
+    if chaos:
+        headers += ["t/o", "rtry", "fail", "hedge"]
     rows = []
     for p in doc["points"]:
         slo = p.get("slo_attainment")
-        rows.append(
-            [
-                p["technique"],
-                f"{p['load_multiplier']:g}",
-                f"{p['offered_load']:.2f}",
-                f"{p['throughput']:.2f}",
-                p["p50"],
-                p["p95"],
-                p["p99"],
-                round(p["mean_queue_wait"]),
-                round(p["mean_batch_wait"]),
-                round(p["mean_execution"]),
-                p["rejected"],
-                p["dropped"],
-                p["shed"],
-                "-" if slo is None else f"{100 * slo:.0f}",
-            ]
-        )
+        row = [
+            p["technique"],
+            f"{p['load_multiplier']:g}",
+            f"{p['offered_load']:.2f}",
+            f"{p['throughput']:.2f}",
+            p["p50"],
+            p["p95"],
+            p["p99"],
+            round(p["mean_queue_wait"]),
+            round(p["mean_batch_wait"]),
+            round(p["mean_execution"]),
+            p["rejected"],
+            p["dropped"],
+            p["shed"],
+            "-" if slo is None else f"{100 * slo:.0f}",
+        ]
+        if chaos:
+            row += [p["timeouts"], p["retries"], p["failed"], p["hedges"]]
+        rows.append(row)
     title = (
         f"serve {doc['scenario']}: {doc['arrival_kind']} arrivals, "
         f"{doc['table_bytes'] >> 20} MB table on {doc['arch']}, "
         f"seq capacity {doc['seq_capacity_per_kcycle']:.2f} req/kcycle"
     )
+    if chaos:
+        title += f", faults={doc['fault_profile']}"
     return format_table(headers, rows, title=title)

@@ -26,8 +26,11 @@ from repro.errors import SimulationError
 
 __all__ = ["OUTCOMES", "Request"]
 
-#: Terminal states a request can reach.
-OUTCOMES = ("completed", "rejected", "dropped", "shed")
+#: Terminal states a request can reach. "timeout" and "failed" only
+#: appear when the fault/resilience machinery is enabled: a timed-out
+#: request missed its deadline before dispatch; a failed one exhausted
+#: its retry budget after shard crashes.
+OUTCOMES = ("completed", "rejected", "dropped", "shed", "timeout", "failed")
 
 
 @dataclass
@@ -47,6 +50,8 @@ class Request:
     #: Cycle the carrying batch finished executing.
     completion: int | None = None
     result: object = None
+    #: Dispatch attempts so far (> 1 only after crash-driven retries).
+    attempts: int = 0
 
     # ------------------------------------------------------------------
     # Latency decomposition

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, WorkloadError
+from repro.faults.schedule import get_fault_profile
 from repro.service.arrivals import ARRIVAL_KINDS
 from repro.service.server import ServiceConfig
 
@@ -65,6 +66,9 @@ class Scenario:
             slo_cycles=30_000,
         )
     )
+    #: Default fault profile (``repro.faults``); ``None`` = no chaos.
+    #: ``python -m repro serve <name> --faults <profile>`` overrides it.
+    fault_profile: str | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_kind not in ARRIVAL_KINDS:
@@ -78,6 +82,8 @@ class Scenario:
             )
         if not self.techniques:
             raise ConfigurationError(f"scenario {self.name!r}: no techniques")
+        if self.fault_profile is not None:
+            get_fault_profile(self.fault_profile)  # raises on unknown names
 
 
 #: Registered scenarios, keyed by lower-cased name.
@@ -171,6 +177,69 @@ register_scenario(
         arrival_params={"think_cycles": 8_000},
         loads=(0.9, 1.8),
         n_requests=300,
+    )
+)
+
+#: Resilience knobs the chaos scenarios share: bounded crash retries,
+#: hedged dispatch under queueing, Inequality-1 degradation, and the
+#: overflow lane as the everything-is-down fallback.
+_CHAOS_CONFIG = ServiceConfig(
+    max_batch=24,
+    max_wait_cycles=3000,
+    queue_capacity=96,
+    overload_policy="reject",
+    n_shards=2,
+    slo_cycles=30_000,
+    max_retries=2,
+    retry_backoff_cycles=1500,
+    hedge_after_cycles=9000,
+    degradation="adaptive",
+    overflow_fallback=True,
+)
+
+register_scenario(
+    Scenario(
+        name="chaos",
+        description=(
+            "The mixed sweep under the full fault cocktail (latency "
+            "spikes + shard outages + cache storms) with every "
+            "resilience response armed: the robustness claim under "
+            "memory that actually misbehaves."
+        ),
+        techniques=("sequential", "CORO"),
+        loads=(0.5, 1.5, 3.0),
+        fault_profile="chaos",
+        config=_CHAOS_CONFIG,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="chaos-quick",
+        description=(
+            "CI chaos smoke: sequential vs CORO under the chaos-quick "
+            "profile (one spike, one crash, one flush, one LFB shrink) "
+            "over a small table. Seconds, not minutes."
+        ),
+        techniques=("sequential", "CORO"),
+        loads=(0.5, 2.5),
+        table_bytes=2 << 20,
+        n_requests=160,
+        fault_profile="chaos-quick",
+        config=ServiceConfig(
+            max_batch=16,
+            max_wait_cycles=2500,
+            queue_capacity=48,
+            overload_policy="reject",
+            n_shards=2,
+            warmup_requests=16,
+            slo_cycles=25_000,
+            max_retries=2,
+            retry_backoff_cycles=1500,
+            hedge_after_cycles=9000,
+            degradation="adaptive",
+            overflow_fallback=True,
+        ),
     )
 )
 

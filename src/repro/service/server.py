@@ -12,28 +12,48 @@ executor charges exactly the cycles the offline bulk path charges, so
 the serving layer's latency numbers sit on the same calibrated cost
 model as every figure in the repo.
 
-Event loop invariant: simulated time advances to the earlier of the next
-arrival and the next feasible dispatch (batch trigger *and* a free
-shard); arrivals at or before a dispatch instant are admitted first so
-they can still join the batch. Shed requests (overload policy
-``"shed"``) run ungrouped on a dedicated sequential overflow engine.
+Event loop invariant: simulated time advances to the earliest of the
+next arrival, the next due retry, the next pending point fault, and the
+next feasible dispatch (batch trigger *and* an available shard);
+arrivals at or before any other event are admitted first so they can
+still join the batch. Shed requests (overload policy ``"shed"``) run
+ungrouped on a dedicated sequential overflow engine.
+
+**Fault injection** (optional, via a :class:`~repro.faults.schedule.
+FaultSchedule`): stall/crash windows delay dispatch; a crash landing
+inside a batch's execution window fails it — members re-enter the queue
+through bounded retry with exponential backoff and deterministic jitter
+(drawn from the schedule's private RNG), or fail outright once their
+budget is spent. Latency spikes and LFB shrinkage degrade the memory
+environment a batch executes under; cache flushes land between events.
+Resilience responses — per-request deadlines, hedged dispatch to a
+second shard, adaptive Inequality-1 group-size degradation, overflow-
+lane fallback — are all off by default, so a no-fault run is
+bit-identical to a server that predates this machinery.
 
 Everything observable lands in a :class:`~repro.obs.metrics.
-MetricsRegistry`: admission counters, queue-depth gauge, and
-per-phase latency histograms (``service.latency.*``). The
-:class:`ServiceReport` adds exact percentiles (nearest-rank over the
-full latency list) and SLO attainment.
+MetricsRegistry`: admission counters, queue-depth gauge, per-phase
+latency histograms (``service.latency.*``), and — only when chaos is
+actually exercised — fault/retry/hedge counters (``service.faults.*``,
+``service.retries``, ...). The :class:`ServiceReport` adds exact
+percentiles (nearest-rank over the full latency list) and SLO
+attainment.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.config import HASWELL, ArchSpec
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.events import FAULT_KINDS
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.interleaving.executor import BulkLookup, get_executor
+from repro.interleaving.policies import degraded_group_size
 from repro.obs.metrics import MetricsRegistry
 from repro.service.admission import AdmissionController, TokenBucket
 from repro.service.arrivals import ArrivalProcess
@@ -42,10 +62,33 @@ from repro.service.request import Request
 from repro.sim.engine import ExecutionEngine
 from repro.sim.multicore import MultiCoreSystem
 
-__all__ = ["PERCENTILES", "ServiceConfig", "ServiceReport", "ServiceServer", "percentile"]
+__all__ = [
+    "PERCENTILES",
+    "RESILIENCE_KEYS",
+    "ServiceConfig",
+    "ServiceReport",
+    "ServiceServer",
+    "percentile",
+]
 
 #: The SLO percentiles every report carries.
 PERCENTILES = (50, 95, 99)
+
+#: Resilience counters a report zero-fills (present only when exercised).
+RESILIENCE_KEYS = (
+    "timeouts",
+    "retries",
+    "failed",
+    "hedges",
+    "hedge_wins",
+    "batch_failures",
+    "degraded_batches",
+    "fallback_batches",
+    "outage_delays",
+)
+
+#: Degradation policies :attr:`ServiceConfig.degradation` accepts.
+DEGRADATION_POLICIES = ("off", "adaptive")
 
 
 def percentile(sorted_values: list, q: float):
@@ -77,12 +120,42 @@ class ServiceConfig:
     warmup_requests: int = 32
     #: End-to-end latency SLO in cycles; ``None`` skips attainment.
     slo_cycles: int | None = None
+    #: Per-request deadline enforced at dispatch; ``None`` disables.
+    timeout_cycles: int | None = None
+    #: Crash-retry budget per request (0 = a crash fails the request).
+    max_retries: int = 0
+    #: Base retry backoff in cycles; doubles with each attempt, plus
+    #: deterministic jitter from the fault schedule's private RNG.
+    retry_backoff_cycles: int = 2000
+    #: Duplicate a batch onto a second shard once it has waited this
+    #: long past its trigger; ``None`` disables hedging.
+    hedge_after_cycles: int | None = None
+    #: ``"adaptive"`` re-evaluates Inequality 1 under the active fault
+    #: environment before each dispatch; ``"off"`` keeps the configured
+    #: group size regardless.
+    degradation: str = "off"
+    #: When every shard is fault-stalled past the overflow lane's
+    #: availability, serve the batch there (sequential, ungrouped).
+    overflow_fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ConfigurationError("server needs at least one shard")
         if self.warmup_requests < 0:
             raise ConfigurationError("warmup_requests cannot be negative")
+        if self.timeout_cycles is not None and self.timeout_cycles <= 0:
+            raise ConfigurationError("timeout_cycles must be positive")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries cannot be negative")
+        if self.retry_backoff_cycles < 0:
+            raise ConfigurationError("retry_backoff_cycles cannot be negative")
+        if self.hedge_after_cycles is not None and self.hedge_after_cycles < 0:
+            raise ConfigurationError("hedge_after_cycles cannot be negative")
+        if self.degradation not in DEGRADATION_POLICIES:
+            raise ConfigurationError(
+                f"unknown degradation policy {self.degradation!r}; expected "
+                f"one of {DEGRADATION_POLICIES}"
+            )
 
 
 @dataclass
@@ -145,6 +218,21 @@ class ServiceReport:
         }
 
     @property
+    def resilience(self) -> dict:
+        """Fault/retry/hedge counters, zero-filled for absent keys.
+
+        Lazily created (a counter exists only once its event happened),
+        so this view normalises across runs with different chaos.
+        """
+        tree = self.metrics.snapshot()["service"]
+        summary = {key: int(tree.get(key, 0)) for key in RESILIENCE_KEYS}
+        faults = tree.get("faults", {})
+        summary["faults"] = {
+            kind: int(faults.get(kind, 0)) for kind in FAULT_KINDS
+        }
+        return summary
+
+    @property
     def peak_queue_depth(self) -> int:
         return int(self.metrics.snapshot()["service"]["queue_depth"]["peak"])
 
@@ -194,6 +282,7 @@ class ServiceServer:
         *,
         arch: ArchSpec = HASWELL,
         seed: int = 0,
+        faults: FaultSchedule | None = None,
     ) -> None:
         self.table = table
         self.config = config
@@ -228,7 +317,22 @@ class ServiceServer:
         ]
         # The overflow lane: its own engine over its own memory, so shed
         # traffic degrades its own latency rather than the batched path's.
+        # Fault schedules deliberately cannot target it.
         self._overflow = _Shard(ExecutionEngine(arch, seed=seed + 7919))
+
+        # Chaos plumbing. An empty/absent schedule leaves the injector
+        # unset, making the no-fault path bit-identical to a server
+        # without any of this machinery.
+        self._injector: FaultInjector | None = None
+        self._jitter_rng = None
+        if faults:
+            self._injector = FaultInjector(
+                faults, self.system.memories, shared_l3=self.system.shared_l3
+            )
+            self._jitter_rng = faults.jitter_rng()
+        self._retry_heap: list[tuple[int, int, Request]] = []
+        self._retry_seq = 0
+
         self._warm_up()
 
     # ------------------------------------------------------------------
@@ -266,8 +370,9 @@ class ServiceServer:
         shard.engine.settle()
         return results, shard.engine.clock - before
 
-    def _least_loaded(self) -> _Shard:
-        return min(self.shards, key=lambda s: s.busy_until)
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a lazily-created resilience counter under ``service.``."""
+        self.metrics.counter(f"service.{name}").inc(amount)
 
     # ------------------------------------------------------------------
     # The event loop
@@ -283,13 +388,29 @@ class ServiceServer:
         now = 0
         makespan = 0
         index = 0
+
+        def at_or_before(cycle, *others):
+            return all(other is None or cycle <= other for other in others)
+
         while True:
             next_arrival = arrivals.peek()
-            dispatch_at = self._next_dispatch()
-            if next_arrival is None and dispatch_at is None:
+            next_retry = self._retry_heap[0][0] if self._retry_heap else None
+            next_fault = (
+                self._injector.next_pending_at()
+                if self._injector is not None
+                else None
+            )
+            plan = self._plan_dispatch()
+            dispatch_at = plan[0] if plan is not None else None
+            if (
+                next_arrival is None
+                and next_retry is None
+                and next_fault is None
+                and dispatch_at is None
+            ):
                 break
-            if dispatch_at is None or (
-                next_arrival is not None and next_arrival <= dispatch_at
+            if next_arrival is not None and at_or_before(
+                next_arrival, dispatch_at, next_retry, next_fault
             ):
                 now = max(now, arrivals.pop())
                 request = Request(index, values[index], arrival=now)
@@ -305,10 +426,19 @@ class ServiceServer:
                     # closed-loop client retries after thinking.
                     arrivals.notify_completion(now)
                 continue
+            if next_retry is not None and at_or_before(
+                next_retry, dispatch_at, next_fault
+            ):
+                now = max(now, next_retry)
+                self._release_retries(now)
+                continue
+            if next_fault is not None and at_or_before(next_fault, dispatch_at):
+                now = max(now, next_fault)
+                for event in self._injector.apply_pending(now):
+                    self._count(f"faults.{event.kind}")
+                continue
             now = max(now, dispatch_at)
-            completion = self._run_batch(now)
-            for _ in range(self._last_batch_size):
-                arrivals.notify_completion(completion)
+            completion = self._run_batch(now, plan, arrivals)
             makespan = max(makespan, completion)
         return ServiceReport(
             technique=self.executor.name,
@@ -318,28 +448,226 @@ class ServiceServer:
             metrics=self.metrics,
         )
 
-    def _next_dispatch(self) -> int | None:
-        """Earliest cycle the pending batch can actually start, if any."""
+    def _plan_dispatch(self) -> tuple[int, int, int | None, bool] | None:
+        """Plan the next feasible batch launch.
+
+        Returns ``(start, trigger, shard_index, fault_delayed)`` — or
+        ``None`` while nothing waits. ``shard_index`` is ``None`` when
+        the batch should fall back to the overflow lane (every shard is
+        fault-stalled past the lane's availability). Without an
+        injector this reduces exactly to "least-loaded shard, start at
+        ``max(trigger, busy_until)``".
+        """
         trigger = self.coalescer.next_trigger()
         if trigger is None:
             return None
-        return max(trigger, self._least_loaded().busy_until)
+        best_key: tuple[int, int, int] | None = None
+        for idx, shard in enumerate(self.shards):
+            start = max(trigger, shard.busy_until)
+            if self._injector is not None:
+                start = self._injector.available_from(idx, start)
+            key = (start, shard.busy_until, idx)
+            if best_key is None or key < best_key:
+                best_key = key
+        start, _, shard_index = best_key
+        fault_delayed = start > max(
+            trigger, self.shards[shard_index].busy_until
+        )
+        if (
+            fault_delayed
+            and self.config.overflow_fallback
+            and self._injector is not None
+        ):
+            overflow_start = max(trigger, self._overflow.busy_until)
+            if overflow_start < start:
+                return (overflow_start, trigger, None, True)
+        return (start, trigger, shard_index, fault_delayed)
 
-    def _run_batch(self, now: int) -> int:
-        # The loop only reaches here past the dispatch plan, so the
-        # trigger (unchanged since planning) is never in the future.
-        trigger = self.coalescer.next_trigger()
+    def _run_batch(self, now: int, plan, arrivals: ArrivalProcess) -> int:
+        """Launch the planned batch; returns its resolution cycle."""
+        _, trigger, shard_index, fault_delayed = plan
         batch = self.coalescer.take(trigger)
-        shard = self._least_loaded()
+        if fault_delayed:
+            self._count("outage_delays")
+        # Deadline enforcement happens at dispatch: a request whose
+        # deadline passed while its batch waited times out unserved.
+        if self.config.timeout_cycles is not None:
+            alive = []
+            for request in batch:
+                if now > request.arrival + self.config.timeout_cycles:
+                    request.outcome = "timeout"
+                    self._count("timeouts")
+                    arrivals.notify_completion(now)
+                else:
+                    alive.append(request)
+            batch = alive
+            if not batch:
+                return now
+        if shard_index is None:
+            return self._run_fallback(batch, now, arrivals)
+
+        shard = self.shards[shard_index]
         start = max(now, shard.busy_until)
+        for request in batch:
+            request.attempts += 1
+        probe_values = [r.value for r in batch]
+        legs = [self._launch(shard_index, probe_values, start)]
+        if (
+            self.config.hedge_after_cycles is not None
+            and len(self.shards) > 1
+            and start - trigger > self.config.hedge_after_cycles
+        ):
+            hedge_index = self._plan_hedge(shard_index, start)
+            self._count("hedges")
+            hedge_start = max(start, self.shards[hedge_index].busy_until)
+            if self._injector is not None:
+                hedge_start = self._injector.available_from(
+                    hedge_index, hedge_start
+                )
+            legs.append(self._launch(hedge_index, probe_values, hedge_start))
+
+        survivors = [leg for leg in legs if leg[1] is not None]
+        if not survivors:
+            # Every leg crashed: the batch fails when the last hope dies.
+            failure_at = max(leg[2].at for leg in legs)
+            return self._fail_batch(batch, failure_at, arrivals)
+        winner = min(survivors, key=lambda leg: (leg[1], leg[0]))
+        if len(legs) > 1 and winner is not legs[0]:
+            self._count("hedge_wins")
+        win_start, completion, _ = winner
+        self._batches.inc()
+        for request in batch:
+            request.dispatch = win_start
+            request.completion = completion
+            self._completed.inc()
+            self._hist["e2e"].observe(request.latency)
+            self._hist["queue_wait"].observe(request.queue_wait)
+            self._hist["batch_wait"].observe(request.batch_wait)
+            self._hist["execution"].observe(request.execution_cycles)
+            arrivals.notify_completion(completion)
+        return completion
+
+    def _launch(self, shard_index: int, values: list, start: int):
+        """Execute one leg on a shard; returns ``(start, completion, crash)``.
+
+        ``completion`` is ``None`` when an injected crash landed inside
+        the execution window — the shard then stays down until the
+        crash's restart cycle.
+        """
+        shard = self.shards[shard_index]
+        group = self._effective_group_size(shard_index, start)
+        if self._injector is not None:
+            env = self._injector.environment(shard_index, start)
+            if env.extra_latency:
+                self._count("faults.latency_spike")
+            if env.lfb_capacity is not None:
+                self._count("faults.lfb_shrink")
+            with self._injector.applied(shard_index, start):
+                _, cycles = self._execute(shard, values, self.executor, group)
+        else:
+            _, cycles = self._execute(shard, values, self.executor, group)
+        completion = start + cycles
+        crash = (
+            self._injector.crash_between(shard_index, start, completion)
+            if self._injector is not None
+            else None
+        )
+        if crash is not None:
+            self._count("batch_failures")
+            self._count("faults.shard_crash")
+            shard.busy_until = crash.until
+            return (start, None, crash)
+        shard.busy_until = completion
+        return (start, completion, None)
+
+    def _plan_hedge(self, primary: int, start: int) -> int:
+        """Pick the secondary shard for a hedged dispatch."""
+        best_key = None
+        for idx, shard in enumerate(self.shards):
+            if idx == primary:
+                continue
+            leg_start = max(start, shard.busy_until)
+            if self._injector is not None:
+                leg_start = self._injector.available_from(idx, leg_start)
+            key = (leg_start, shard.busy_until, idx)
+            if best_key is None or key < best_key:
+                best_key = key
+        return best_key[2]
+
+    def _effective_group_size(self, shard_index: int, start: int) -> int:
+        """Group size for one leg, degraded per Inequality 1 if adaptive."""
+        group = self.group_size
+        if self.config.degradation != "adaptive" or self._injector is None:
+            return group
+        env = self._injector.environment(shard_index, start)
+        kind = getattr(self.executor, "switch_kind", None)
+        if not env or kind not in ("gp", "amac", "coro"):
+            return group
+        degraded = degraded_group_size(
+            self.arch,
+            kind,
+            extra_dram_latency=env.extra_latency,
+            lfb_capacity=env.lfb_capacity,
+        )
+        if degraded != group:
+            self._count("degraded_batches")
+        return degraded
+
+    def _fail_batch(
+        self, batch: list[Request], failure_at: int, arrivals: ArrivalProcess
+    ) -> int:
+        """Crash resolution: requeue with backoff+jitter, or fail for good."""
+        backoff = self.config.retry_backoff_cycles
+        for request in batch:
+            if request.attempts <= self.config.max_retries:
+                delay = backoff * (2 ** (request.attempts - 1)) if backoff else 0
+                if self._jitter_rng is not None and backoff:
+                    delay += self._jitter_rng.randrange(max(1, backoff // 4))
+                self._count("retries")
+                self._retry_seq += 1
+                heapq.heappush(
+                    self._retry_heap,
+                    (failure_at + delay, self._retry_seq, request),
+                )
+            else:
+                request.outcome = "failed"
+                self._count("failed")
+                arrivals.notify_completion(failure_at)
+        return failure_at
+
+    def _release_retries(self, now: int) -> None:
+        """Move every due retry back into the waiting room (no re-offer:
+        a retried request was already admitted once).
+
+        Due retries are requeued *ahead* of waiting arrivals: a crash
+        victim is the oldest work in the system (it was dispatched before
+        anything now queued arrived), so queue order stays FIFO by
+        arrival. Tail-requeuing would make an overloaded server punish
+        exactly the requests a fault already delayed — each retry would
+        sink behind a backlog that never drains.
+        """
+        due: list[Request] = []
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _, _, request = heapq.heappop(self._retry_heap)
+            due.append(request)
+        for request in reversed(due):
+            self.admission.requeue(request)
+
+    def _run_fallback(
+        self, batch: list[Request], now: int, arrivals: ArrivalProcess
+    ) -> int:
+        """Every shard is down: serve the batch on the overflow lane."""
+        lane = self._overflow
+        start = max(now, lane.busy_until)
+        self._count("fallback_batches")
         _, cycles = self._execute(
-            shard, [r.value for r in batch], self.executor, self.group_size
+            lane, [r.value for r in batch], get_executor("sequential"), 1
         )
         completion = start + cycles
-        shard.busy_until = completion
+        lane.busy_until = completion
         self._batches.inc()
-        self._last_batch_size = len(batch)
         for request in batch:
+            request.attempts += 1
             request.dispatch = start
             request.completion = completion
             self._completed.inc()
@@ -347,6 +675,7 @@ class ServiceServer:
             self._hist["queue_wait"].observe(request.queue_wait)
             self._hist["batch_wait"].observe(request.batch_wait)
             self._hist["execution"].observe(request.execution_cycles)
+            arrivals.notify_completion(completion)
         return completion
 
     def _run_shed(self, request: Request, now: int) -> int:
@@ -361,5 +690,3 @@ class ServiceServer:
         request.completion = completion
         self._shed_hist.observe(request.latency)
         return completion
-
-    _last_batch_size = 0

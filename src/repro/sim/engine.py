@@ -117,6 +117,25 @@ class ExecutionEngine:
         if self.tracer.enabled:
             self.tracer.span("switch", start, self.clock, name=f"{kind} switch")
 
+    def charge_fault(self, cycles: int, name: str = "fault") -> None:
+        """Advance the clock through an injected outage window.
+
+        The cycles are booked as memory stalls — the core is alive but
+        can make no progress, which is how a stall on a dead resource
+        presents to TMAM — and traced as a named ``fault`` span so
+        chaos runs are legible in the timeline viewer.
+        """
+        if cycles < 0:
+            raise SimulationError("fault stall cannot be negative")
+        if not cycles:
+            return
+        self.tmam.charge_memory_stall(cycles)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "fault", self.clock, self.clock + cycles, name=name
+            )
+        self.clock += cycles
+
     def _translate(self, addr: int) -> None:
         """Translate ``addr``, charging any stall to the Memory category.
 

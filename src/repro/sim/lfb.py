@@ -61,6 +61,17 @@ class LineFillBuffers:
     def occupancy(self) -> int:
         return len(self._in_flight)
 
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the pool (fault injection: sibling-thread pressure).
+
+        Shrinking below the current occupancy is legal: in-flight fills
+        keep their buffers, and :meth:`acquire` simply blocks new
+        requests until occupancy drops under the new capacity.
+        """
+        if capacity <= 0:
+            raise SimulationError("LFB capacity must be positive")
+        self.capacity = capacity
+
     def as_dict(self) -> dict:
         """Plain-dict view (metrics-registry source)."""
         return {

@@ -241,3 +241,16 @@ class MemorySystem:
         self.l2.flush()
         self.l3.flush()
         self.tlb.flush()
+
+    def flush_private(self) -> None:
+        """Empty the core-private state only: L1, L2, TLB, in-flight fills.
+
+        The fault-injection cache-flush event uses this so that a
+        per-shard flush does not wipe the *shared* LLC other shards
+        still benefit from (``CacheFlush(llc=True)`` flushes that
+        separately).
+        """
+        self.lfbs.flush(0)
+        self.l1.flush()
+        self.l2.flush()
+        self.tlb.flush()

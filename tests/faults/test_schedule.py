@@ -1,0 +1,171 @@
+"""Tests for fault schedules, profiles, and the chaos registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.faults import (
+    FAULT_KINDS,
+    CacheFlush,
+    FaultProfile,
+    FaultSchedule,
+    LatencySpike,
+    LfbShrink,
+    ShardCrash,
+    ShardStall,
+    fault_profile_names,
+    get_fault_profile,
+    register_fault_profile,
+    resolve_schedule,
+)
+from repro.service import fault_horizon
+
+
+class TestEvents:
+    def test_window_events_span_their_duration(self):
+        spike = LatencySpike(at=100, duration=50, extra_latency=200)
+        assert spike.until == 150
+        assert spike.active_at(100) and spike.active_at(149)
+        assert not spike.active_at(99) and not spike.active_at(150)
+
+    def test_point_events_have_empty_windows(self):
+        flush = CacheFlush(at=100)
+        assert flush.until == 100
+        assert not flush.is_window
+
+    def test_shard_targeting(self):
+        stall = ShardStall(at=0, shard=1, duration=10)
+        assert stall.targets(1) and not stall.targets(0)
+        everywhere = LatencySpike(at=0, duration=10, extra_latency=100)
+        assert everywhere.targets(0) and everywhere.targets(7)
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            CacheFlush(at=-1)
+
+    def test_window_needs_positive_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            ShardCrash(at=0, shard=0, duration=0)
+
+
+class TestSchedule:
+    def test_events_sort_by_cycle(self):
+        schedule = FaultSchedule(
+            events=(
+                CacheFlush(at=300),
+                LatencySpike(at=100, duration=10, extra_latency=50),
+                ShardStall(at=200, shard=0, duration=10),
+            )
+        )
+        assert [e.at for e in schedule.events] == [100, 200, 300]
+
+    def test_counts_by_kind_is_zero_filled(self):
+        schedule = FaultSchedule(events=(CacheFlush(at=1),))
+        counts = schedule.counts_by_kind()
+        assert set(counts) == set(FAULT_KINDS)
+        assert counts["cache_flush"] == 1
+        assert counts["latency_spike"] == 0
+
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule(events=())
+        assert FaultSchedule(events=(CacheFlush(at=1),))
+
+    def test_windows_for_filters_by_shard(self):
+        schedule = FaultSchedule(
+            events=(
+                ShardStall(at=0, shard=0, duration=10),
+                ShardStall(at=0, shard=1, duration=10),
+                LatencySpike(at=0, duration=10, extra_latency=9),
+                CacheFlush(at=5),
+            )
+        )
+        kinds = [e.kind for e in schedule.windows_for(0)]
+        assert kinds == ["latency_spike", "shard_stall"]
+
+    def test_jitter_rng_is_seed_deterministic(self):
+        a = FaultSchedule(events=(), seed=3)
+        b = FaultSchedule(events=(), seed=3)
+        c = FaultSchedule(events=(), seed=4)
+        assert a.jitter_rng().random() == b.jitter_rng().random()
+        assert a.jitter_rng().random() != c.jitter_rng().random()
+
+
+class TestProfiles:
+    def test_builtin_profiles_registered(self):
+        names = fault_profile_names()
+        for name in ("none", "latency-spikes", "shard-outage", "cache-storm",
+                     "chaos", "chaos-quick"):
+            assert name in names
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_fault_profile("CHAOS") is get_fault_profile("chaos")
+
+    def test_unknown_profile_lists_registered(self):
+        with pytest.raises(WorkloadError, match="chaos"):
+            get_fault_profile("gremlins")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            register_fault_profile(get_fault_profile("none"))
+
+    def test_build_is_deterministic_in_args(self):
+        profile = get_fault_profile("chaos")
+        assert profile.build(200_000, 2, seed=5) == profile.build(200_000, 2, seed=5)
+        assert profile.build(200_000, 2, seed=5) != profile.build(200_000, 2, seed=6)
+
+    def test_every_event_lands_inside_the_horizon(self):
+        horizon = 150_000
+        for name in fault_profile_names():
+            schedule = get_fault_profile(name).build(horizon, 2, seed=1)
+            for event in schedule.events:
+                assert 0 <= event.at < horizon, (name, event)
+
+    def test_none_profile_is_empty(self):
+        assert len(get_fault_profile("none").build(100_000, 2)) == 0
+
+    def test_invalid_build_args_rejected(self):
+        profile = get_fault_profile("chaos")
+        with pytest.raises(ConfigurationError, match="horizon"):
+            profile.build(-1, 2)
+        with pytest.raises(ConfigurationError, match="shard"):
+            profile.build(100, 0)
+
+
+class TestResolveSchedule:
+    def test_none_spec_passes_through(self):
+        assert resolve_schedule(None, horizon=100, n_shards=1) is None
+
+    def test_empty_profile_collapses_to_none(self):
+        assert resolve_schedule("none", horizon=100_000, n_shards=2) is None
+
+    def test_name_profile_and_schedule_agree(self):
+        by_name = resolve_schedule("chaos", horizon=120_000, n_shards=2, seed=7)
+        by_profile = resolve_schedule(
+            get_fault_profile("chaos"), horizon=120_000, n_shards=2, seed=7
+        )
+        assert by_name == by_profile
+        assert resolve_schedule(by_name, horizon=0, n_shards=1) is by_name
+
+    def test_garbage_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="schedule"):
+            resolve_schedule(42, horizon=100, n_shards=1)
+
+
+class TestFaultHorizon:
+    def test_horizon_scales_with_load(self):
+        assert fault_horizon(100, 1.0) == 300_000
+        # Twice the rate halves the horizon: same wall of work.
+        assert fault_horizon(100, 2.0) == 150_000
+
+    def test_horizon_is_technique_independent(self):
+        # The same (n_requests, rate) pair must give every technique the
+        # same schedule — the horizon is the only schedule input derived
+        # from the load point.
+        assert fault_horizon(150, 0.83) == fault_horizon(150, 0.83)
+
+    def test_horizon_never_collapses_to_zero(self):
+        assert fault_horizon(1, 1e9) == 1
+
+
+def test_lfb_shrink_capacity_validation():
+    with pytest.raises(ConfigurationError, match="capacity"):
+        LfbShrink(at=0, duration=10, capacity=0)

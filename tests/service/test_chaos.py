@@ -1,0 +1,220 @@
+"""Chaos serving: the server's reactions to an injected fault schedule.
+
+Targeted schedules against a small, fast server — each test hands the
+:class:`ServiceServer` exactly one kind of trouble and asserts the
+matching resilience response (and its counter) fires. The sweep-level
+tests at the bottom cover :func:`run_scenario`'s chaos document and the
+"no faults means bit-identical" invariant.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import scaled
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CacheFlush,
+    FaultSchedule,
+    LatencySpike,
+    LfbShrink,
+    ShardCrash,
+    ShardStall,
+)
+from repro.service import (
+    CHAOS_SCHEMA,
+    SERVICE_SCHEMA,
+    ServiceConfig,
+    ServiceServer,
+    make_arrivals,
+    run_scenario,
+)
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.workloads.generators import make_table
+
+ARCH = scaled(64)
+N_REQUESTS = 60
+
+
+@pytest.fixture(scope="module")
+def table():
+    allocator = AddressSpaceAllocator(page_size=ARCH.page_size)
+    return make_table(allocator, "chaos-test/dict", 1 << 20)
+
+
+def serve(table, schedule, *, seed=0, rate=1.0, **config_kwargs):
+    config = ServiceConfig(
+        technique="CORO",
+        max_batch=16,
+        max_wait_cycles=2_000,
+        queue_capacity=64,
+        n_shards=2,
+        warmup_requests=8,
+        **config_kwargs,
+    )
+    arrivals = make_arrivals("poisson", N_REQUESTS, seed, rate_per_kcycle=rate)
+    values = list(range(0, N_REQUESTS * 7, 7))
+    server = ServiceServer(table, config, arch=ARCH, seed=seed, faults=schedule)
+    return server.serve(arrivals, values)
+
+
+class TestCrashResponses:
+    SCHEDULE = FaultSchedule(
+        events=(ShardCrash(at=8_000, shard=0, duration=12_000),
+                ShardCrash(at=9_000, shard=1, duration=12_000))
+    )
+
+    def test_crash_without_budget_fails_the_batch(self, table):
+        report = serve(table, self.SCHEDULE, max_retries=0)
+        res = report.resilience
+        assert res["batch_failures"] > 0
+        assert res["failed"] > 0
+        assert res["retries"] == 0
+        assert any(r.outcome == "failed" for r in report.requests)
+
+    def test_retry_budget_rescues_crashed_requests(self, table):
+        report = serve(table, self.SCHEDULE, max_retries=2)
+        res = report.resilience
+        assert res["batch_failures"] > 0
+        assert res["retries"] > 0
+        assert res["failed"] == 0
+        retried = [r for r in report.requests if r.attempts > 1]
+        assert retried and all(r.outcome == "completed" for r in retried)
+
+    def test_crash_counts_into_fault_metrics(self, table):
+        report = serve(table, self.SCHEDULE, max_retries=2)
+        assert report.resilience["faults"]["shard_crash"] > 0
+
+
+class TestOutageResponses:
+    def test_stall_delays_dispatch(self, table):
+        schedule = FaultSchedule(
+            events=(ShardStall(at=5_000, shard=None, duration=15_000),)
+        )
+        report = serve(table, schedule)
+        assert report.resilience["outage_delays"] > 0
+        assert report.resilience["failed"] == 0  # stalls never kill work
+
+    def test_overflow_fallback_serves_through_a_blackout(self, table):
+        schedule = FaultSchedule(
+            events=(ShardStall(at=5_000, shard=None, duration=40_000),)
+        )
+        walled = serve(table, schedule, overflow_fallback=False)
+        fallback = serve(table, schedule, overflow_fallback=True)
+        assert fallback.resilience["fallback_batches"] > 0
+        # The fallback lane answers during the blackout instead of
+        # parking everything behind it.
+        assert fallback.latency_percentiles()["p99"] < (
+            walled.latency_percentiles()["p99"]
+        )
+
+
+class TestDegradation:
+    SCHEDULE = FaultSchedule(
+        events=(LfbShrink(at=0, duration=400_000, capacity=3),)
+    )
+
+    def test_adaptive_policy_shrinks_the_group(self, table):
+        report = serve(table, self.SCHEDULE, degradation="adaptive")
+        assert report.resilience["degraded_batches"] > 0
+
+    def test_off_policy_keeps_the_configured_group(self, table):
+        report = serve(table, self.SCHEDULE, degradation="off")
+        assert report.resilience["degraded_batches"] == 0
+
+
+class TestTimeouts:
+    def test_stale_requests_time_out_at_dispatch(self, table):
+        schedule = FaultSchedule(
+            events=(ShardStall(at=2_000, shard=None, duration=30_000),)
+        )
+        report = serve(table, schedule, timeout_cycles=10_000, rate=2.0)
+        res = report.resilience
+        assert res["timeouts"] > 0
+        assert any(r.outcome == "timeout" for r in report.requests)
+
+
+class TestHedging:
+    def test_stall_triggers_hedged_dispatch(self, table):
+        # A full stall makes every batch triggered inside it dispatch
+        # late; each such batch then earns a duplicate leg.
+        schedule = FaultSchedule(
+            events=(ShardStall(at=5_000, shard=None, duration=25_000),)
+        )
+        report = serve(table, schedule, hedge_after_cycles=4_000, rate=2.0)
+        res = report.resilience
+        assert res["hedges"] > 0
+        assert res["hedge_wins"] <= res["hedges"]
+
+
+class TestDeterminism:
+    SCHEDULE = FaultSchedule(
+        events=(
+            LatencySpike(at=2_000, duration=20_000, extra_latency=300),
+            ShardCrash(at=10_000, shard=0, duration=10_000),
+            CacheFlush(at=15_000, llc=True),
+        ),
+        seed=3,
+    )
+
+    def test_same_seed_same_chaos_bit_for_bit(self, table):
+        kwargs = dict(max_retries=2, hedge_after_cycles=6_000)
+        first = serve(table, self.SCHEDULE, **kwargs)
+        second = serve(table, self.SCHEDULE, **kwargs)
+        assert [dataclasses.asdict(r) for r in first.requests] == [
+            dataclasses.asdict(r) for r in second.requests
+        ]
+        assert first.resilience == second.resilience
+        assert first.makespan == second.makespan
+
+    def test_empty_schedule_matches_no_schedule(self, table):
+        plain = serve(table, None)
+        empty = serve(table, FaultSchedule(events=()))
+        assert [dataclasses.asdict(r) for r in plain.requests] == [
+            dataclasses.asdict(r) for r in empty.requests
+        ]
+        assert plain.makespan == empty.makespan
+
+
+class TestConfigValidation:
+    def test_bad_resilience_config_rejected(self):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            ServiceConfig(timeout_cycles=0)
+        with pytest.raises(ConfigurationError, match="retries"):
+            ServiceConfig(max_retries=-1)
+        with pytest.raises(ConfigurationError, match="degradation"):
+            ServiceConfig(degradation="panic")
+
+
+class TestChaosSweep:
+    def test_chaos_quick_document_is_reproducible(self):
+        first = run_scenario("chaos-quick", seed=0)
+        second = run_scenario("chaos-quick", seed=0)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_chaos_quick_document_shape(self):
+        doc = run_scenario("chaos-quick", seed=0)
+        assert doc["schema"] == CHAOS_SCHEMA
+        assert doc["fault_profile"] == "chaos-quick"
+        for point in doc["points"]:
+            assert point["fault_events"] == 4  # the fixed CI-sized cocktail
+            assert set(point["faults_by_kind"]) == {
+                "latency_spike", "shard_stall", "shard_crash",
+                "cache_flush", "lfb_shrink",
+            }
+
+    def test_faults_none_is_bitwise_plain_serving(self):
+        plain = run_scenario("quick", seed=0)
+        explicit = run_scenario("quick", seed=0, faults="none")
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            explicit, sort_keys=True
+        )
+        assert plain["schema"] == SERVICE_SCHEMA
+
+    def test_faults_override_on_a_plain_scenario(self):
+        doc = run_scenario("quick", seed=0, faults="chaos-quick")
+        assert doc["schema"] == CHAOS_SCHEMA
+        assert doc["fault_profile"] == "chaos-quick"

@@ -91,9 +91,9 @@ class TestServeVerb:
         assert "sequential" in out and "CORO" in out
 
     def test_serve_unknown_scenario_fails_with_listing(self, capsys):
-        assert main(["serve", "nope"]) == 2
+        assert main(["serve", "nope"]) == 2  # usage error, not runtime
         err = capsys.readouterr().err
-        assert "serve failed" in err
+        assert "serve: unknown scenario" in err
         assert "quick" in err
 
     def test_serve_seed_changes_the_numbers(self, capsys):
