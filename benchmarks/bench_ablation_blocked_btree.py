@@ -9,6 +9,7 @@ combined with interleaving.
 
 import numpy as np
 
+from repro import perf
 from repro.analysis import bench_scale, format_table, warm_llc_resident
 from repro.config import HASWELL
 from repro.indexes.btree_blocked import BlockedBTree, blocked_lookup_stream
@@ -20,54 +21,60 @@ from repro.sim.memory import MemorySystem
 
 ARRAY_BYTES = 512 << 20
 
+#: label -> (index kind, executor name, group size). The index kind picks
+#: the BulkLookup construction inside the (picklable) point function.
+VARIANTS = {
+    "binary search / seq": ("array", "Baseline", None),
+    "binary search / coro": ("array", "CORO", 6),
+    "blocked tree / seq": ("tree", "sequential", None),
+    "blocked tree / coro": ("tree", "CORO", 6),
+}
+
+
+def measure_btree_point(label: str, n: int) -> dict:
+    """One variant cell; rebuilds the 512 MB array + tree from seed 0."""
+    kind, name, group = VARIANTS[label]
+    allocator = AddressSpaceAllocator()
+    array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
+    tree = BlockedBTree(allocator, "btree", array)
+    rng = np.random.RandomState(0)
+    probes = [int(v) for v in rng.randint(0, array.size, n)]
+    warm = [int(v) for v in rng.randint(0, array.size, n)]
+
+    if kind == "array":
+        tasks_of = lambda vs: BulkLookup.sorted_array(array, vs)
+    else:
+        tree_stream = lambda v, il: blocked_lookup_stream(tree, v, il)
+        tasks_of = lambda vs: BulkLookup.stream(tree_stream, vs)
+    executor = get_executor(name)
+    memory = MemorySystem(HASWELL)
+    warm_llc_resident(memory, [tree.region])
+    executor.run(
+        tasks_of(warm), ExecutionEngine(HASWELL, memory), group_size=group
+    )
+    engine = ExecutionEngine(HASWELL, memory)
+    tmam0 = engine.tmam
+    results = executor.run(tasks_of(probes), engine, group_size=group)
+    return {
+        "cycles": engine.clock / n,
+        "translation": tmam0.translation_stall_cycles / n,
+        "walks_total": memory.tlb.stats.walks,
+        "results": results,
+    }
+
 
 def test_ablation_blocked_btree_vs_binary_search(benchmark, record_table):
     def compute():
         n = 5_000 if bench_scale() == "full" else 400
-        allocator = AddressSpaceAllocator()
-        array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
-        tree = BlockedBTree(allocator, "btree", array)
-        rng = np.random.RandomState(0)
-        probes = [int(v) for v in rng.randint(0, array.size, n)]
-        warm = [int(v) for v in rng.randint(0, array.size, n)]
-
-        tree_stream = lambda v, il: blocked_lookup_stream(tree, v, il)
-        variants = {
-            "binary search / seq": (
-                "Baseline", lambda vs: BulkLookup.sorted_array(array, vs), None
-            ),
-            "binary search / coro": (
-                "CORO", lambda vs: BulkLookup.sorted_array(array, vs), 6
-            ),
-            "blocked tree / seq": (
-                "sequential", lambda vs: BulkLookup.stream(tree_stream, vs), None
-            ),
-            "blocked tree / coro": (
-                "CORO", lambda vs: BulkLookup.stream(tree_stream, vs), 6
-            ),
-        }
-        out = {}
-        reference = None
-        for label, (name, tasks_of, group) in variants.items():
-            executor = get_executor(name)
-            memory = MemorySystem(HASWELL)
-            warm_llc_resident(memory, [tree.region])
-            executor.run(
-                tasks_of(warm), ExecutionEngine(HASWELL, memory), group_size=group
-            )
-            engine = ExecutionEngine(HASWELL, memory)
-            tmam0 = engine.tmam
-            results = executor.run(tasks_of(probes), engine, group_size=group)
-            walks = memory.tlb.stats.walks
-            out[label] = {
-                "cycles": engine.clock / n,
-                "translation": tmam0.translation_stall_cycles / n,
-                "walks_total": walks,
-                "results": results,
-            }
-            if reference is None:
-                reference = results
-            assert results == reference
+        points = perf.default_runner().map(
+            measure_btree_point,
+            [{"label": label} for label in VARIANTS],
+            common={"n": n},
+        )
+        out = dict(zip(VARIANTS, points))
+        reference = points[0]["results"]
+        for point in points:
+            assert point["results"] == reference
         return out
 
     out = benchmark.pedantic(compute, rounds=1, iterations=1)

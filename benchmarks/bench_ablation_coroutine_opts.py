@@ -12,6 +12,7 @@ hardware-supported conditional switching.
 
 import numpy as np
 
+from repro import perf
 from repro.analysis import bench_scale, format_table, warm_llc_resident
 from repro.config import HASWELL
 from repro.indexes.binary_search import (
@@ -24,11 +25,27 @@ from repro.sim import ExecutionEngine
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
 
+_STREAMS = {
+    "plain": binary_search_coro,
+    "conditional": binary_search_coro_conditional,
+}
 
-def _measure(array, probes, warm, factory, **executor_kw):
+
+def measure_coro_point(
+    size: int, n: int, stream: str = "plain", recycle_frames: bool = True
+) -> dict:
+    """One ablation cell; the coroutine variant is selected by name so
+    the point pickles (lambdas cannot cross the process boundary)."""
+    allocator = AddressSpaceAllocator()
+    array = int_array_of_bytes(allocator, "array", size)
+    rng = np.random.RandomState(0)
+    probes = [int(v) for v in rng.randint(0, array.size, n)]
+    warm = [int(v) for v in rng.randint(0, array.size, n)]
+    search = _STREAMS[stream]
+    factory = lambda v, il: search(array, v, il)
     # Off-registry CoroExecutor instances carry the ablation knobs
     # (recycle_frames etc.) the registered CORO executor defaults.
-    executor = CoroExecutor(**executor_kw)
+    executor = CoroExecutor(recycle_frames=recycle_frames)
     memory = MemorySystem(HASWELL)
     if array.nbytes <= HASWELL.l3.size:
         warm_llc_resident(memory, [array.region])
@@ -40,22 +57,18 @@ def _measure(array, probes, warm, factory, **executor_kw):
     results = executor.run(
         BulkLookup.stream(factory, probes), engine, group_size=6
     )
-    return engine.clock / len(probes), results
+    return {"cycles": engine.clock / n, "results": results}
 
 
 def test_ablation_frame_recycling(benchmark, record_table):
     def compute():
         n = 3_000 if bench_scale() == "full" else 400
-        allocator = AddressSpaceAllocator()
-        array = int_array_of_bytes(allocator, "array", 256 << 20)
-        rng = np.random.RandomState(0)
-        probes = [int(v) for v in rng.randint(0, array.size, n)]
-        warm = [int(v) for v in rng.randint(0, array.size, n)]
-        factory = lambda v, il: binary_search_coro(array, v, il)
-        recycled, r1 = _measure(array, probes, warm, factory, recycle_frames=True)
-        fresh, r2 = _measure(array, probes, warm, factory, recycle_frames=False)
-        assert r1 == r2
-        return recycled, fresh
+        grid = [{"recycle_frames": True}, {"recycle_frames": False}]
+        recycled, fresh = perf.default_runner().map(
+            measure_coro_point, grid, common={"size": 256 << 20, "n": n}
+        )
+        assert recycled["results"] == fresh["results"]
+        return recycled["cycles"], fresh["cycles"]
 
     recycled, fresh = benchmark.pedantic(compute, rounds=1, iterations=1)
     record_table(
@@ -75,24 +88,20 @@ def test_ablation_frame_recycling(benchmark, record_table):
 def test_ablation_conditional_switch(benchmark, record_table):
     def compute():
         n = 3_000 if bench_scale() == "full" else 400
+        sizes = (1 << 20, 256 << 20)
+        grid = [
+            {"size": size, "stream": stream}
+            for size in sizes
+            for stream in ("plain", "conditional")
+        ]
+        points = perf.default_runner().map(
+            measure_coro_point, grid, common={"n": n}
+        )
         rows = []
-        for size in (1 << 20, 256 << 20):
-            allocator = AddressSpaceAllocator()
-            array = int_array_of_bytes(allocator, "array", size)
-            rng = np.random.RandomState(0)
-            probes = [int(v) for v in rng.randint(0, array.size, n)]
-            warm = [int(v) for v in rng.randint(0, array.size, n)]
-            plain, r1 = _measure(
-                array, probes, warm, lambda v, il: binary_search_coro(array, v, il)
-            )
-            conditional, r2 = _measure(
-                array,
-                probes,
-                warm,
-                lambda v, il: binary_search_coro_conditional(array, v, il),
-            )
-            assert r1 == r2
-            rows.append([size, plain, conditional])
+        for i, size in enumerate(sizes):
+            plain, conditional = points[2 * i], points[2 * i + 1]
+            assert plain["results"] == conditional["results"]
+            rows.append([size, plain["cycles"], conditional["cycles"]])
         return rows
 
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)

@@ -8,6 +8,7 @@ probes it sequentially and interleaved.
 
 import numpy as np
 
+from repro import perf
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
 from repro.indexes.hash_table import ChainedHashTable
@@ -21,36 +22,50 @@ def _scaled(n_quick, n_full):
     return n_full if bench_scale() == "full" else n_quick
 
 
+def measure_probe_point(
+    name: str, group: int | None, build_rows: int, n_probes: int
+) -> dict:
+    """One probe mode; the table is rebuilt from seed 0 inside the
+    worker so both modes probe bit-identical chains."""
+    rng = np.random.RandomState(0)
+    allocator = AddressSpaceAllocator()
+    keys = np.unique(rng.randint(0, 8 * build_rows, build_rows * 2))[:build_rows]
+    table = ChainedHashTable(allocator, "join", n_buckets=build_rows)
+    table.build(keys, keys)
+    probes = [int(k) for k in rng.choice(keys, n_probes)]
+    warm = [int(k) for k in rng.choice(keys, n_probes)]
+
+    executor = get_executor(name)
+    memory = MemorySystem(HASWELL)
+    executor.run(
+        BulkLookup.hash_probe(table, warm),
+        ExecutionEngine(HASWELL, memory),
+        group_size=group,
+    )
+    engine = ExecutionEngine(HASWELL, memory)
+    values = executor.run(
+        BulkLookup.hash_probe(table, probes), engine, group_size=group
+    )
+    return {"cycles": engine.clock / n_probes, "values": values}
+
+
 def test_ablation_hash_probe_interleaving(benchmark, record_table):
     def compute():
-        build_rows = _scaled(600_000, 4_000_000)
-        n_probes = _scaled(800, 5_000)
-        rng = np.random.RandomState(0)
-        allocator = AddressSpaceAllocator()
-        keys = np.unique(rng.randint(0, 8 * build_rows, build_rows * 2))[:build_rows]
-        table = ChainedHashTable(allocator, "join", n_buckets=build_rows)
-        table.build(keys, keys)
-        probes = [int(k) for k in rng.choice(keys, n_probes)]
-        warm = [int(k) for k in rng.choice(keys, n_probes)]
-
-        results = {}
-        for label, name, group in (
-            ("sequential", "sequential", None),
-            ("interleaved G=8", "CORO", 8),
-        ):
-            executor = get_executor(name)
-            memory = MemorySystem(HASWELL)
-            executor.run(
-                BulkLookup.hash_probe(table, warm),
-                ExecutionEngine(HASWELL, memory),
-                group_size=group,
-            )
-            engine = ExecutionEngine(HASWELL, memory)
-            values = executor.run(
-                BulkLookup.hash_probe(table, probes), engine, group_size=group
-            )
-            results[label] = (engine.clock / n_probes, values)
-        return results
+        common = {
+            "build_rows": _scaled(600_000, 4_000_000),
+            "n_probes": _scaled(800, 5_000),
+        }
+        modes = [
+            ("sequential", {"name": "sequential", "group": None}),
+            ("interleaved G=8", {"name": "CORO", "group": 8}),
+        ]
+        points = perf.default_runner().map(
+            measure_probe_point, [spec for _, spec in modes], common=common
+        )
+        return {
+            label: (point["cycles"], point["values"])
+            for (label, _), point in zip(modes, points)
+        }
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)
     record_table(

@@ -10,6 +10,7 @@ interleaving to hide — the two remedies compose.
 
 import numpy as np
 
+from repro import perf
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
 from repro.indexes.sorted_array import int_array_of_bytes
@@ -19,40 +20,54 @@ from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
 
 ARRAY_BYTES = 512 << 20
-HUGE = HASWELL.replace(page_size=2 << 20)
+
+PAGES = {"4KB": HASWELL, "2MB": HASWELL.replace(page_size=2 << 20)}
+MODES = {"seq": ("Baseline", None), "coro": ("CORO", 6)}
+
+
+def measure_page_point(page_label: str, mode: str, n: int) -> dict:
+    """One (page size, mode) cell, keyed by label so the args pickle."""
+    arch = PAGES[page_label]
+    name, group = MODES[mode]
+    allocator = AddressSpaceAllocator(page_size=arch.page_size)
+    array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
+    rng = np.random.RandomState(0)
+    probes = [int(v) for v in rng.randint(0, array.size, n)]
+    warm = [int(v) for v in rng.randint(0, array.size, n)]
+    executor = get_executor(name)
+    memory = MemorySystem(arch)
+    executor.run(
+        BulkLookup.sorted_array(array, warm),
+        ExecutionEngine(arch, memory),
+        group_size=group,
+    )
+    engine = ExecutionEngine(arch, memory)
+    executor.run(
+        BulkLookup.sorted_array(array, probes), engine, group_size=group
+    )
+    return {
+        "cycles": engine.clock / n,
+        "translation": engine.tmam.translation_stall_cycles / n,
+    }
 
 
 def test_ablation_huge_pages(benchmark, record_table):
     def compute():
         n = 4_000 if bench_scale() == "full" else 350
+        grid = [
+            {"page_label": page_label, "mode": mode}
+            for page_label in PAGES
+            for mode in MODES
+        ]
+        points = perf.default_runner().map(measure_page_point, grid, common={"n": n})
         rows = []
         metrics = {}
-        for arch, page_label in ((HASWELL, "4KB"), (HUGE, "2MB")):
-            allocator = AddressSpaceAllocator(page_size=arch.page_size)
-            array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
-            rng = np.random.RandomState(0)
-            probes = [int(v) for v in rng.randint(0, array.size, n)]
-            warm = [int(v) for v in rng.randint(0, array.size, n)]
-            for mode, name, group in (
-                ("seq", "Baseline", None),
-                ("coro", "CORO", 6),
-            ):
-                executor = get_executor(name)
-                memory = MemorySystem(arch)
-                executor.run(
-                    BulkLookup.sorted_array(array, warm),
-                    ExecutionEngine(arch, memory),
-                    group_size=group,
-                )
-                engine = ExecutionEngine(arch, memory)
-                executor.run(
-                    BulkLookup.sorted_array(array, probes), engine, group_size=group
-                )
-                cycles = engine.clock / n
-                translation = engine.tmam.translation_stall_cycles / n
-                walks = memory.tlb.stats.walks
-                metrics[(page_label, mode)] = (cycles, translation)
-                rows.append([page_label, mode, round(cycles), round(translation)])
+        for spec, point in zip(grid, points):
+            key = (spec["page_label"], spec["mode"])
+            metrics[key] = (point["cycles"], point["translation"])
+            rows.append(
+                [*key, round(point["cycles"]), round(point["translation"])]
+            )
         return rows, metrics
 
     rows, metrics = benchmark.pedantic(compute, rounds=1, iterations=1)

@@ -9,6 +9,7 @@ composes with thread-level parallelism.
 
 import numpy as np
 
+from repro import perf
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
 from repro.indexes.sorted_array import int_array_of_bytes
@@ -18,42 +19,56 @@ from repro.sim.multicore import MultiCoreSystem
 
 ARRAY_BYTES = 256 << 20
 
+MODES = {"Baseline": ("Baseline", None), "CORO G=6": ("CORO", 6)}
+
+
+def measure_multicore_point(n_cores: int, label: str, n: int) -> dict:
+    """One (core count, technique) cell on a fresh MultiCoreSystem."""
+    executor, group = MODES[label]
+    allocator = AddressSpaceAllocator()
+    array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
+    rng = np.random.RandomState(0)
+    probes = [int(v) for v in rng.randint(0, array.size, n)]
+    warm = [int(v) for v in rng.randint(0, array.size, n)]
+    system = MultiCoreSystem(n_cores)
+    system.run_bulk(  # warm the shared LLC and TLBs
+        executor,
+        BulkLookup.sorted_array(array, warm),
+        group_size=group,
+    )
+    result = system.run_bulk(
+        executor,
+        BulkLookup.sorted_array(array, probes),
+        group_size=group,
+    )
+    assert result.results_in_order() == probes
+    return {"makespan": result.makespan, "throughput": result.throughput}
+
 
 def test_ablation_multicore_scaling(benchmark, record_table):
     def compute():
         n = 4_000 if bench_scale() == "full" else 320
-        allocator = AddressSpaceAllocator()
-        array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
-        rng = np.random.RandomState(0)
-        probes = [int(v) for v in rng.randint(0, array.size, n)]
-        warm = [int(v) for v in rng.randint(0, array.size, n)]
-
-        modes = [("Baseline", "Baseline", None), ("CORO G=6", "CORO", 6)]
+        grid = [
+            {"n_cores": n_cores, "label": label}
+            for n_cores in (1, 2, 4)
+            for label in MODES
+        ]
+        points = perf.default_runner().map(
+            measure_multicore_point, grid, common={"n": n}
+        )
         rows = []
         makespans = {}
-        for n_cores in (1, 2, 4):
-            for label, executor, group in modes:
-                system = MultiCoreSystem(n_cores)
-                system.run_bulk(  # warm the shared LLC and TLBs
-                    executor,
-                    BulkLookup.sorted_array(array, warm),
-                    group_size=group,
-                )
-                result = system.run_bulk(
-                    executor,
-                    BulkLookup.sorted_array(array, probes),
-                    group_size=group,
-                )
-                assert result.results_in_order() == probes
-                makespans[(n_cores, label)] = result.makespan
-                rows.append(
-                    [
-                        n_cores,
-                        label,
-                        round(result.makespan / (n / n_cores)),
-                        round(result.throughput * 1000, 2),
-                    ]
-                )
+        for spec, point in zip(grid, points):
+            n_cores, label = spec["n_cores"], spec["label"]
+            makespans[(n_cores, label)] = point["makespan"]
+            rows.append(
+                [
+                    n_cores,
+                    label,
+                    round(point["makespan"] / (n / n_cores)),
+                    round(point["throughput"] * 1000, 2),
+                ]
+            )
         return rows, makespans
 
     rows, makespans = benchmark.pedantic(compute, rounds=1, iterations=1)

@@ -11,6 +11,7 @@ grows, while the optimal group size rises with the latency (Inequality
 
 import numpy as np
 
+from repro import perf
 from repro.analysis import bench_scale, format_table, warm_llc_resident
 from repro.config import HASWELL
 from repro.indexes.sorted_array import int_array_of_bytes
@@ -23,7 +24,15 @@ from repro.sim.memory import MemorySystem
 REMOTE_EXTRA = 120  # cycles added per DRAM access on the remote socket
 
 
-def _measure(extra_dram, executor_name, group, probes, warm, array):
+def measure_numa_point(
+    extra_dram: int, executor_name: str, group: int | None, n: int
+) -> dict:
+    """One (remote latency, technique) cell, rebuilt from seed 0."""
+    allocator = AddressSpaceAllocator()
+    array = int_array_of_bytes(allocator, "array", 256 << 20)
+    rng = np.random.RandomState(0)
+    probes = [int(v) for v in rng.randint(0, array.size, n)]
+    warm = [int(v) for v in rng.randint(0, array.size, n)]
     executor = get_executor(executor_name)
     memory = MemorySystem(HASWELL)
     memory.extra_dram_latency = extra_dram
@@ -36,28 +45,25 @@ def _measure(extra_dram, executor_name, group, probes, warm, array):
     results = executor.run(
         BulkLookup.sorted_array(array, probes), engine, group_size=group
     )
-    return engine.clock / len(probes), results
+    return {"cycles": engine.clock / n, "results": results}
 
 
 def test_ablation_numa_remote_memory(benchmark, record_table):
     def compute():
         n = 3_000 if bench_scale() == "full" else 350
-        allocator = AddressSpaceAllocator()
-        array = int_array_of_bytes(allocator, "array", 256 << 20)
-        rng = np.random.RandomState(0)
-        probes = [int(v) for v in rng.randint(0, array.size, n)]
-        warm = [int(v) for v in rng.randint(0, array.size, n)]
-
         # Remote latency raises T_stall: interleave wider.
         group = {0: 6, REMOTE_EXTRA: 9}
+        grid = [
+            {"extra_dram": extra, "executor_name": name, "group": g}
+            for extra in (0, REMOTE_EXTRA)
+            for name, g in (("Baseline", None), ("CORO", group[extra]))
+        ]
+        points = perf.default_runner().map(measure_numa_point, grid, common={"n": n})
         rows = []
-        for extra in (0, REMOTE_EXTRA):
-            seq_cycles, r1 = _measure(extra, "Baseline", None, probes, warm, array)
-            coro_cycles, r2 = _measure(
-                extra, "CORO", group[extra], probes, warm, array
-            )
-            assert r1 == r2
-            rows.append([extra, seq_cycles, coro_cycles])
+        for i, extra in enumerate((0, REMOTE_EXTRA)):
+            seq, coro = points[2 * i], points[2 * i + 1]
+            assert seq["results"] == coro["results"]
+            rows.append([extra, seq["cycles"], coro["cycles"]])
         return rows
 
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)

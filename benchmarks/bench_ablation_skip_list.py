@@ -9,6 +9,7 @@ handle naturally.
 
 import numpy as np
 
+from repro import perf
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
 from repro.indexes.skip_list import SkipList, skip_lookup_stream
@@ -18,40 +19,54 @@ from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.memory import MemorySystem
 
 
+def measure_skip_list_point(
+    name: str, group: int | None, n_keys: int, n_probes: int
+) -> dict:
+    """One probe mode; the skip list is rebuilt from seed 0 in-worker so
+    the towers (which come from the rng) are bit-identical across modes."""
+    rng = np.random.RandomState(0)
+    keys = np.unique(rng.randint(0, 10**9, n_keys * 2))[:n_keys]
+    rng.shuffle(keys)
+    keys = [int(k) for k in keys]
+    skiplist = SkipList(AddressSpaceAllocator(), "sl", capacity_hint=n_keys)
+    skiplist.build(keys, keys)
+    probes = [int(k) for k in rng.choice(keys, n_probes)]
+    warm = [int(k) for k in rng.choice(keys, n_probes)]
+    factory = lambda key, il: skip_lookup_stream(skiplist, key, il)
+
+    # Skip-list towers are a stream workload: the coroutine is supplied
+    # directly, and both schedulers drive it unchanged.
+    executor = get_executor(name)
+    memory = MemorySystem(HASWELL)
+    executor.run(
+        BulkLookup.stream(factory, warm),
+        ExecutionEngine(HASWELL, memory),
+        group_size=group,
+    )
+    engine = ExecutionEngine(HASWELL, memory)
+    values = executor.run(
+        BulkLookup.stream(factory, probes), engine, group_size=group
+    )
+    return {"cycles": engine.clock / n_probes, "values": values}
+
+
 def test_ablation_skip_list_interleaving(benchmark, record_table):
     def compute():
-        n_keys = 300_000 if bench_scale() == "full" else 80_000
-        n_probes = 2_000 if bench_scale() == "full" else 300
-        rng = np.random.RandomState(0)
-        keys = np.unique(rng.randint(0, 10**9, n_keys * 2))[:n_keys]
-        rng.shuffle(keys)
-        keys = [int(k) for k in keys]
-        skiplist = SkipList(AddressSpaceAllocator(), "sl", capacity_hint=n_keys)
-        skiplist.build(keys, keys)
-        probes = [int(k) for k in rng.choice(keys, n_probes)]
-        warm = [int(k) for k in rng.choice(keys, n_probes)]
-        factory = lambda key, il: skip_lookup_stream(skiplist, key, il)
-
-        results = {}
-        for label, name, group in (
-            ("sequential", "sequential", None),
-            ("interleaved G=8", "CORO", 8),
-        ):
-            # Skip-list towers are a stream workload: the coroutine is
-            # supplied directly, and both schedulers drive it unchanged.
-            executor = get_executor(name)
-            memory = MemorySystem(HASWELL)
-            executor.run(
-                BulkLookup.stream(factory, warm),
-                ExecutionEngine(HASWELL, memory),
-                group_size=group,
-            )
-            engine = ExecutionEngine(HASWELL, memory)
-            values = executor.run(
-                BulkLookup.stream(factory, probes), engine, group_size=group
-            )
-            results[label] = (engine.clock / n_probes, values)
-        return results
+        common = {
+            "n_keys": 300_000 if bench_scale() == "full" else 80_000,
+            "n_probes": 2_000 if bench_scale() == "full" else 300,
+        }
+        modes = [
+            ("sequential", {"name": "sequential", "group": None}),
+            ("interleaved G=8", {"name": "CORO", "group": 8}),
+        ]
+        points = perf.default_runner().map(
+            measure_skip_list_point, [spec for _, spec in modes], common=common
+        )
+        return {
+            label: (point["cycles"], point["values"])
+            for (label, _), point in zip(modes, points)
+        }
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)
     record_table(

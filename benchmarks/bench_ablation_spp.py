@@ -9,6 +9,7 @@ state, with SPP avoiding GP's group prologue/epilogue at partial groups.
 
 import numpy as np
 
+from repro import perf
 from repro.analysis import bench_scale, format_table
 from repro.config import HASWELL
 from repro.indexes.sorted_array import int_array_of_bytes
@@ -19,39 +20,48 @@ from repro.sim.memory import MemorySystem
 
 ARRAY_BYTES = 256 << 20
 
+DEPTHS = (4, 6, 8, 10)
+
+
+def measure_depth_point(label: str, depth: int, n: int) -> dict:
+    """One (technique, depth) cell; rebuilt from seed 0 so it is picklable."""
+    allocator = AddressSpaceAllocator()
+    array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
+    rng = np.random.RandomState(0)
+    probes = [int(v) for v in rng.randint(0, array.size, n)]
+    warm = [int(v) for v in rng.randint(0, array.size, n)]
+    executor = get_executor(label)
+    memory = MemorySystem(HASWELL)
+    executor.run(
+        BulkLookup.sorted_array(array, warm),
+        ExecutionEngine(HASWELL, memory),
+        group_size=depth,
+    )
+    engine = ExecutionEngine(HASWELL, memory)
+    results = executor.run(
+        BulkLookup.sorted_array(array, probes), engine, group_size=depth
+    )
+    return {"cycles": engine.clock / n, "results": results}
+
 
 def test_ablation_spp_vs_gp(benchmark, record_table):
     def compute():
         n = 3_000 if bench_scale() == "full" else 300
-        allocator = AddressSpaceAllocator()
-        array = int_array_of_bytes(allocator, "array", ARRAY_BYTES)
-        rng = np.random.RandomState(0)
-        probes = [int(v) for v in rng.randint(0, array.size, n)]
-        warm = [int(v) for v in rng.randint(0, array.size, n)]
-
+        grid = [
+            {"label": label, "depth": depth}
+            for depth in DEPTHS
+            for label in ("GP", "SPP")
+        ]
+        points = perf.default_runner().map(
+            measure_depth_point, grid, common={"n": n}
+        )
+        reference = points[0]["results"]
+        for point in points:
+            assert point["results"] == reference
         rows = []
-        reference = None
-        for depth in (4, 6, 8, 10):
-            cycles = {}
-            for label in ("GP", "SPP"):
-                executor = get_executor(label)
-                memory = MemorySystem(HASWELL)
-                executor.run(
-                    BulkLookup.sorted_array(array, warm),
-                    ExecutionEngine(HASWELL, memory),
-                    group_size=depth,
-                )
-                engine = ExecutionEngine(HASWELL, memory)
-                results = executor.run(
-                    BulkLookup.sorted_array(array, probes),
-                    engine,
-                    group_size=depth,
-                )
-                if reference is None:
-                    reference = results
-                assert results == reference
-                cycles[label] = engine.clock / n
-            rows.append([depth, round(cycles["GP"]), round(cycles["SPP"])])
+        for i, depth in enumerate(DEPTHS):
+            gp, spp = points[2 * i], points[2 * i + 1]
+            rows.append([depth, round(gp["cycles"]), round(spp["cycles"])])
         return rows
 
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)

@@ -13,10 +13,11 @@ recreates the capacity relationship (10 K lookup paths vs a 25 MB LLC);
 full scale (``REPRO_BENCH_SCALE=full``) uses the real hierarchy.
 """
 
+from repro import perf
 from repro.analysis import (
-    DEFAULT_GROUP_SIZES,
     TECHNIQUES,
     bench_scale,
+    binary_sweep_grid,
     format_size,
     lookups_per_point,
     measure_binary_search,
@@ -31,23 +32,21 @@ def _arch():
 
 
 def _sweep(sort_lookups: bool):
-    arch = _arch()
-    n_lookups = lookups_per_point()
     sizes = size_grid()
-    out = {}
-    for technique in TECHNIQUES:
-        out[technique] = [
-            measure_binary_search(
-                size,
-                technique,
-                n_lookups=n_lookups,
-                group_size=DEFAULT_GROUP_SIZES[technique],
-                sort_lookups=sort_lookups,
-                warm_with_same_values=True,
-                arch=arch,
-            ).cycles_per_search
-            for size in sizes
-        ]
+    grid = binary_sweep_grid(sizes)
+    points = perf.default_runner().map(
+        measure_binary_search,
+        grid,
+        common={
+            "n_lookups": lookups_per_point(),
+            "sort_lookups": sort_lookups,
+            "warm_with_same_values": True,
+            "arch": _arch(),
+        },
+    )
+    out = {technique: [] for technique in TECHNIQUES}
+    for spec, point in zip(grid, points):
+        out[spec["technique"]].append(point.cycles_per_search)
     return sizes, out
 
 

@@ -7,6 +7,7 @@ is slower than Baseline (pure switch overhead); performance varies
 little past the optimum.
 """
 
+from repro import perf
 from repro.analysis import (
     bench_scale,
     estimate_best_group_sizes,
@@ -25,20 +26,25 @@ def _n_lookups():
 
 def test_fig7_group_size_sweep(benchmark, record_table):
     groups = list(range(1, 13))
+    techniques = ("GP", "AMAC", "CORO")
 
     def compute():
         n = _n_lookups()
-        baseline = measure_binary_search(
-            ARRAY_BYTES, "Baseline", n_lookups=n
-        ).cycles_per_search
+        grid = [{"size_bytes": ARRAY_BYTES, "technique": "Baseline"}] + [
+            {"size_bytes": ARRAY_BYTES, "technique": technique, "group_size": g}
+            for technique in techniques
+            for g in groups
+        ]
+        points = perf.default_runner().map(
+            measure_binary_search, grid, common={"n_lookups": n}
+        )
+        baseline = points[0].cycles_per_search
         curves = {
             technique: [
-                measure_binary_search(
-                    ARRAY_BYTES, technique, group_size=g, n_lookups=n
-                ).cycles_per_search
-                for g in groups
+                p.cycles_per_search
+                for p in points[1 + i * len(groups) : 1 + (i + 1) * len(groups)]
             ]
-            for technique in ("GP", "AMAC", "CORO")
+            for i, technique in enumerate(techniques)
         }
         estimates = estimate_best_group_sizes(
             size_bytes=ARRAY_BYTES, n_lookups=n

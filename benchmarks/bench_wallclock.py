@@ -1,0 +1,192 @@
+"""Host wall-clock benchmark for the ``repro.perf`` layer itself.
+
+Every other file in this suite measures *simulated* cycles, which the
+perf layer must leave bit-identical. This one measures what the layer is
+allowed to change: host seconds. It times the Figure 7 quick grid three
+ways — serial, parallel across worker processes, and replayed from a
+warm result cache — checks that all three produce identical simulated
+results, and writes the timings (plus micro-timings of the optimized
+hot loops) to ``benchmarks/results/BENCH_wallclock.json`` under the
+``repro.wallclock/1`` schema.
+
+Assertions are calibrated to the host:
+
+* cache-warm replay must beat a cold run by >= 10x everywhere — replay
+  does no simulation, so this holds on any machine;
+* the parallel-vs-serial speedup (>= 2.5x at 4 workers) is only
+  asserted when the host actually has >= 4 CPUs. ``host_cpus`` is
+  recorded in the artifact so CI trend tracking can interpret the
+  speedup field; on smaller hosts parallel mode must merely stay
+  correct, not faster.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro import perf
+from repro.analysis import lookups_per_point, measure_binary_search
+from repro.config import HASWELL
+from repro.sim import ExecutionEngine
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.events import Compute, Load
+from repro.sim.memory import MemorySystem
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SCHEMA = "repro.wallclock/1"
+
+#: The Figure 7 grid at wall-clock-friendly size: every interleaving
+#: technique across a band of group sizes on the 256 MB array.
+GRID_TECHNIQUES = ("GP", "AMAC", "CORO")
+GRID_GROUPS = (2, 4, 6, 8)
+
+
+def _grid() -> list[dict]:
+    return [
+        {"size_bytes": 256 << 20, "technique": technique, "group_size": g}
+        for technique in GRID_TECHNIQUES
+        for g in GRID_GROUPS
+    ]
+
+
+def _point_fingerprint(point) -> tuple:
+    """The simulated outcome of one point, reduced to comparable data."""
+    return (
+        point.technique,
+        point.group_size,
+        point.cycles_per_search,
+        point.tmam.cpi,
+        tuple(sorted(point.loads_per_search.items())),
+    )
+
+
+def _timed_sweep(jobs: int, cache, grid: list[dict], n: int):
+    runner = perf.SweepRunner(jobs=jobs, cache=cache)
+    start = time.perf_counter()
+    points = runner.map(measure_binary_search, grid, common={"n_lookups": n})
+    return time.perf_counter() - start, [_point_fingerprint(p) for p in points]
+
+
+def _micro_cache_lookup(repeats: int = 30_000) -> float:
+    """Seconds for ``repeats`` L1 lookup/install pairs (the hottest loop)."""
+    cache = SetAssociativeCache(HASWELL.l1d, HASWELL.line_size)
+    start = time.perf_counter()
+    for line in range(repeats):
+        if not cache.lookup(line & 0x3FFF):
+            cache.install(line & 0x3FFF)
+    return time.perf_counter() - start
+
+
+def _micro_dispatch(repeats: int = 6_000) -> float:
+    """Seconds to dispatch a compute/load-heavy instruction stream."""
+
+    def stream():
+        for i in range(repeats):
+            yield Compute(1, 1)
+            yield Load((i * 64) & 0xFFFFF, 8)
+        return None
+
+    engine = ExecutionEngine(HASWELL, MemorySystem(HASWELL))
+    start = time.perf_counter()
+    engine.run(stream())
+    return time.perf_counter() - start
+
+
+def _micro_translate(repeats: int = 20_000) -> float:
+    """Seconds for ``repeats`` TLB translations with page locality."""
+    memory = MemorySystem(HASWELL)
+    page = HASWELL.page_size
+    start = time.perf_counter()
+    for i in range(repeats):
+        memory.tlb.translate((i % 64) * page + (i & 0xFFF), i)
+    return time.perf_counter() - start
+
+
+def test_wallclock_speedup_and_cache(benchmark, record_table, tmp_path):
+    host_cpus = os.cpu_count() or 1
+    parallel_jobs = min(4, max(2, host_cpus))
+    n = min(lookups_per_point(), 200)
+    grid = _grid()
+
+    def compute():
+        serial_s, serial_points = _timed_sweep(1, None, grid, n)
+        parallel_s, parallel_points = _timed_sweep(parallel_jobs, None, grid, n)
+        cache = perf.ResultCache(tmp_path / "wallclock-cache")
+        cold_s, cold_points = _timed_sweep(parallel_jobs, cache, grid, n)
+        warm_s, warm_points = _timed_sweep(1, cache, grid, n)
+        micro = {
+            "cache_lookup_s": _micro_cache_lookup(),
+            "engine_dispatch_s": _micro_dispatch(),
+            "tlb_translate_s": _micro_translate(),
+        }
+        return {
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "cache_cold_s": cold_s,
+            "cache_warm_s": warm_s,
+            "points": {
+                "serial": serial_points,
+                "parallel": parallel_points,
+                "cold": cold_points,
+                "warm": warm_points,
+            },
+            "cache_stats": cache.as_dict(),
+            "micro": micro,
+        }
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    # Parallel execution and cache replay are pure host-side mechanisms:
+    # every mode must reproduce the serial sweep bit for bit.
+    for mode in ("parallel", "cold", "warm"):
+        assert out["points"][mode] == out["points"]["serial"], mode
+    # The warm pass replayed every point instead of simulating.
+    assert out["cache_stats"]["hits"] >= len(grid)
+    warm_speedup = out["cache_cold_s"] / out["cache_warm_s"]
+    assert warm_speedup >= 10, f"warm replay only {warm_speedup:.1f}x faster"
+    speedup = out["serial_s"] / out["parallel_s"]
+    if host_cpus >= 4:
+        assert speedup >= 2.5, f"parallel speedup {speedup:.2f}x at jobs=4"
+
+    doc = {
+        "schema": SCHEMA,
+        "host_cpus": host_cpus,
+        "jobs": parallel_jobs,
+        "grid_points": len(grid),
+        "n_lookups": n,
+        "serial_s": round(out["serial_s"], 4),
+        "parallel_s": round(out["parallel_s"], 4),
+        "speedup": round(speedup, 3),
+        "cache_cold_s": round(out["cache_cold_s"], 4),
+        "cache_warm_s": round(out["cache_warm_s"], 4),
+        "cache_warm_speedup": round(warm_speedup, 2),
+        "micro_timings_s": {
+            name: round(seconds, 5) for name, seconds in out["micro"].items()
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = RESULTS_DIR / "BENCH_wallclock.json"
+    artifact.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        ["serial sweep", f"{doc['serial_s']:.2f}"],
+        [f"parallel sweep (jobs={parallel_jobs})", f"{doc['parallel_s']:.2f}"],
+        ["speedup", f"{doc['speedup']:.2f}x"],
+        ["cache cold", f"{doc['cache_cold_s']:.2f}"],
+        ["cache warm", f"{doc['cache_warm_s']:.2f}"],
+        ["warm speedup", f"{doc['cache_warm_speedup']:.1f}x"],
+    ]
+    from repro.analysis import format_table
+
+    record_table(
+        "wallclock",
+        format_table(
+            ["phase", "seconds"],
+            rows,
+            title=f"Host wall-clock: sweep runner + result cache "
+            f"({host_cpus} CPUs)",
+        ),
+    )

@@ -4,11 +4,13 @@
 The benchmark session writes machine-readable documents — every offline
 sweep point into ``BENCH_sim.json`` (see ``benchmarks/conftest.py``) and
 the serving-layer load sweep into ``BENCH_service.json`` (see
-``benchmarks/bench_service_latency.py``), and the fault-injected sweep
-into ``BENCH_chaos.json`` (see ``benchmarks/bench_chaos.py``).
+``benchmarks/bench_service_latency.py``), the fault-injected sweep
+into ``BENCH_chaos.json`` (see ``benchmarks/bench_chaos.py``), and the
+host wall-clock timings of the perf layer into ``BENCH_wallclock.json``
+(see ``benchmarks/bench_wallclock.py``).
 Downstream consumers — plots, the paper-comparison notebooks, CI trend
 tracking — key off the ``repro.bench-sim/1`` / ``repro.service/1`` /
-``repro.chaos/1`` shapes, so CI runs this
+``repro.chaos/1`` / ``repro.wallclock/1`` shapes, so CI runs this
 checker after the benchmark smoke job and fails the build if a field is
 renamed, dropped, or retyped without bumping the schema version.
 
@@ -36,6 +38,7 @@ import sys
 SCHEMA = "repro.bench-sim/1"
 SERVICE_SCHEMA = "repro.service/1"
 CHAOS_SCHEMA = "repro.chaos/1"
+WALLCLOCK_SCHEMA = "repro.wallclock/1"
 
 #: Field name -> type check, for binary-search sweep points
 #: (mirrors ``conftest._point_record``).
@@ -113,6 +116,53 @@ CHAOS_POINT_FIELDS = {
     "faults_by_kind": dict,
     "fault_events": numbers.Integral,
 }
+
+
+#: Field name -> type check for the host wall-clock artifact
+#: (``repro.wallclock/1``; mirrors ``benchmarks/bench_wallclock.py``).
+WALLCLOCK_FIELDS = {
+    "host_cpus": numbers.Integral,
+    "jobs": numbers.Integral,
+    "grid_points": numbers.Integral,
+    "n_lookups": numbers.Integral,
+    "serial_s": numbers.Real,
+    "parallel_s": numbers.Real,
+    "speedup": numbers.Real,
+    "cache_cold_s": numbers.Real,
+    "cache_warm_s": numbers.Real,
+    "cache_warm_speedup": numbers.Real,
+    "micro_timings_s": dict,
+}
+
+
+def check_wallclock_document(doc: dict) -> list[str]:
+    errors: list[str] = []
+    for field, expected in WALLCLOCK_FIELDS.items():
+        if field not in doc:
+            errors.append(f"missing field {field!r}")
+        elif not isinstance(doc[field], expected) or isinstance(doc[field], bool):
+            errors.append(
+                f"{field}: {type(doc[field]).__name__} is not {expected.__name__}"
+            )
+    for field in doc:
+        if field != "schema" and field not in WALLCLOCK_FIELDS:
+            errors.append(f"unknown field {field!r} (schema drift?)")
+    # Semantic invariants: timings are positive, and — since replay does
+    # no simulation — the warm cache pass beats the cold one by >= 10x
+    # on any host.
+    for field in ("serial_s", "parallel_s", "cache_cold_s", "cache_warm_s"):
+        value = doc.get(field)
+        if isinstance(value, numbers.Real) and value <= 0:
+            errors.append(f"{field}: {value} is not > 0")
+    warm = doc.get("cache_warm_speedup")
+    if isinstance(warm, numbers.Real) and warm < 10:
+        errors.append(f"cache_warm_speedup {warm} is below the 10x floor")
+    micro = doc.get("micro_timings_s")
+    if isinstance(micro, dict):
+        for name, seconds in micro.items():
+            if not isinstance(seconds, numbers.Real) or seconds <= 0:
+                errors.append(f"micro_timings_s[{name!r}]: {seconds!r} is not > 0")
+    return errors
 
 
 def check_point(sweep: str, index: int, point: object, errors: list[str]) -> None:
@@ -257,6 +307,9 @@ def main(argv: list[str] | None = None) -> int:
     elif isinstance(doc, dict) and doc.get("schema") == CHAOS_SCHEMA:
         errors = check_service_document(doc, chaos=True)
         schema = CHAOS_SCHEMA
+    elif isinstance(doc, dict) and doc.get("schema") == WALLCLOCK_SCHEMA:
+        errors = check_wallclock_document(doc)
+        schema = WALLCLOCK_SCHEMA
     else:
         errors = check_document(doc, args.require)
         schema = SCHEMA
@@ -269,6 +322,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"OK: {path} matches {schema} "
             f"({doc['scenario']!r}, {len(doc['points'])} points)"
+        )
+    elif schema == WALLCLOCK_SCHEMA:
+        print(
+            f"OK: {path} matches {schema} "
+            f"(speedup {doc['speedup']}x at jobs={doc['jobs']}, "
+            f"warm replay {doc['cache_warm_speedup']}x)"
         )
     else:
         n_points = sum(len(s["points"]) for s in doc["sweeps"].values())

@@ -17,20 +17,51 @@ Conventions:
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
 
+from repro import perf
 from repro.analysis import (
-    DEFAULT_GROUP_SIZES,
     TECHNIQUES,
     bench_scale,
+    binary_sweep_grid,
     lookups_per_point,
     measure_binary_search,
     size_grid,
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulator sweeps (default: REPRO_JOBS or cpu count)",
+    )
+    group.addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="recompute every sweep point instead of replaying the result cache",
+    )
+
+
+def pytest_configure(config):
+    jobs = config.getoption("--jobs")
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    use_cache = not (
+        config.getoption("--no-cache") or os.environ.get("REPRO_NO_CACHE")
+    )
+    perf.configure(
+        jobs=jobs, cache=perf.ResultCache() if use_cache else None
+    )
 
 _RECORDED: list[tuple[str, str]] = []
 
@@ -103,19 +134,15 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 def _sweep(element: str) -> dict:
     """The Figure 3 sweep: all five techniques across the size grid."""
     sizes = size_grid()
-    n_lookups = lookups_per_point()
-    points = {}
-    for technique in TECHNIQUES:
-        points[technique] = [
-            measure_binary_search(
-                size,
-                technique,
-                element=element,
-                n_lookups=n_lookups,
-                group_size=DEFAULT_GROUP_SIZES[technique],
-            )
-            for size in sizes
-        ]
+    grid = binary_sweep_grid(sizes)
+    results = perf.default_runner().map(
+        measure_binary_search,
+        grid,
+        common={"element": element, "n_lookups": lookups_per_point()},
+    )
+    points: dict[str, list] = {technique: [] for technique in TECHNIQUES}
+    for spec, point in zip(grid, results):
+        points[spec["technique"]].append(point)
     _JSON_DOC["sweeps"][f"binary_search_{element}"] = {
         "scale": bench_scale(),
         "points": [
@@ -143,15 +170,22 @@ def _query_sweep() -> dict:
 
     sizes = size_grid()
     n_predicates = lookups_per_point(default_quick=400, default_full=10_000)
+    combos = [
+        (store, strategy)
+        for store in ("main", "delta")
+        for strategy in ("sequential", "interleaved")
+    ]
+    grid = [
+        {"dict_bytes": size, "store": store, "strategy": strategy}
+        for store, strategy in combos
+        for size in sizes
+    ]
+    results = perf.default_runner().map(
+        measure_query, grid, common={"n_predicates": n_predicates}
+    )
     points: dict[tuple[str, str], list] = {}
-    for store in ("main", "delta"):
-        for strategy in ("sequential", "interleaved"):
-            points[(store, strategy)] = [
-                measure_query(
-                    size, store, strategy, n_predicates=n_predicates
-                )
-                for size in sizes
-            ]
+    for combo, start in zip(combos, range(0, len(grid), len(sizes))):
+        points[combo] = results[start : start + len(sizes)]
     _JSON_DOC["sweeps"]["query"] = {
         "scale": bench_scale(),
         "points": [

@@ -9,6 +9,9 @@ Usage::
     python -m repro serve mixed          # online-serving load sweep
     python -m repro serve quick --json --seed 3
     python -m repro serve chaos --faults chaos   # fault-injected sweep
+    python -m repro fig7 --jobs 4        # fan sweep points over 4 processes
+    python -m repro fig7 --no-cache      # recompute instead of replaying
+    python -m repro profile fig7 --top 10   # cProfile one sweep point
     REPRO_BENCH_SCALE=full python -m repro fig3a   # paper's full grid
 
 Exit codes follow the Unix convention: **2** for usage errors (unknown
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis.figures import (
@@ -34,6 +38,44 @@ from repro.analysis.figures import (
     render_experiment_data,
     run_experiment_data,
 )
+
+
+def _add_perf_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the sweep-execution flags shared by every simulating verb."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweep points "
+            "(default: REPRO_JOBS env var, else all CPUs)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep point instead of replaying cached results",
+    )
+    parser.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="empty the result cache (REPRO_CACHE_DIR or ~/.cache/repro) first",
+    )
+
+
+def _configure_perf(args: argparse.Namespace) -> None:
+    """Apply the parsed sweep-execution flags process-wide."""
+    from repro import perf
+
+    jobs = args.jobs
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    cache = None if args.no_cache else perf.ResultCache()
+    if args.cache_clear:
+        (cache or perf.ResultCache()).clear()
+    perf.configure(jobs=jobs, cache=cache)
 
 
 def _unknown(names: list[str]) -> int:
@@ -139,7 +181,9 @@ def _serve_main(argv: list[str]) -> int:
             "scenario's default"
         ),
     )
+    _add_perf_options(parser)
     args = parser.parse_args(argv)
+    _configure_perf(args)
 
     # Name resolution is a usage question — report and exit 2 before
     # any simulation work starts.
@@ -198,7 +242,9 @@ def _trace_main(argv: list[str]) -> int:
         default=TRACE_DEFAULT_SIZE,
         help=f"table size in bytes (default {TRACE_DEFAULT_SIZE})",
     )
+    _add_perf_options(parser)
     args = parser.parse_args(argv)
+    _configure_perf(args)
 
     if args.experiment not in available_experiments():
         return _unknown([args.experiment])
@@ -216,12 +262,78 @@ def _trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _profile_main(argv: list[str]) -> int:
+    """Run one representative sweep point of an experiment under cProfile."""
+    from repro.perf import profile_call
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description=(
+            "Run one sweep point of an experiment under cProfile and print "
+            "the hottest functions — the workflow that keeps the "
+            "simulator's inner loops honest."
+        ),
+    )
+    parser.add_argument("experiment", help="experiment name (see 'list')")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="functions to print, by cumulative time (default 20)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment not in available_experiments():
+        return _unknown([args.experiment])
+
+    from repro.analysis.experiments import (
+        lookups_per_point,
+        measure_binary_search,
+        measure_query,
+        size_grid,
+    )
+    from repro.errors import ReproError
+
+    n = min(lookups_per_point(), 400)
+    query_experiments = {"fig1", "fig8", "table1", "table2"}
+    if args.experiment == "table5":
+        print(
+            "profile: table5 is a static LoC table — nothing to simulate",
+            file=sys.stderr,
+        )
+        return 2
+    if args.experiment in query_experiments:
+        point = lambda: measure_query(  # noqa: E731
+            size_grid()[-1], "main", "interleaved", n_predicates=n
+        )
+        label = f"measure_query({size_grid()[-1]} B, main, interleaved, n={n})"
+    else:
+        size = 256 << 20 if args.experiment == "fig7" else size_grid()[-1]
+        element = "string" if args.experiment == "fig3b" else "int"
+        point = lambda: measure_binary_search(  # noqa: E731
+            size, "CORO", element=element, n_lookups=n
+        )
+        label = f"measure_binary_search({size} B, CORO, {element}, n={n})"
+
+    try:
+        _result, report = profile_call(point, top=args.top)
+    except ReproError as error:
+        print(f"profile failed: {error}", file=sys.stderr)
+        return 1
+    print(f"profiled point: {label}")
+    print(report, end="")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -234,14 +346,16 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="+",
         help="experiment names, 'list' to enumerate them, 'trace' "
-        "(see 'python -m repro trace --help'), or 'serve' "
-        "(see 'python -m repro serve --help')",
+        "(see 'python -m repro trace --help'), 'serve' "
+        "(see 'python -m repro serve --help'), or 'profile' "
+        "(see 'python -m repro profile --help')",
     )
     parser.add_argument(
         "--json",
         action="store_true",
         help="print each experiment's data document as JSON instead of ASCII",
     )
+    _add_perf_options(parser)
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -250,6 +364,8 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [n for n in args.experiments if n not in available_experiments()]
     if unknown:
         return _unknown(unknown)
+
+    _configure_perf(args)
 
     from repro.errors import ReproError
 

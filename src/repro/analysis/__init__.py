@@ -11,6 +11,7 @@ from repro.analysis.experiments import (
     BinarySearchPoint,
     QueryPoint,
     bench_scale,
+    binary_sweep_grid,
     lookups_per_point,
     measure_binary_search,
     measure_query,
@@ -38,6 +39,7 @@ __all__ = [
     "BinarySearchPoint",
     "QueryPoint",
     "bench_scale",
+    "binary_sweep_grid",
     "lookups_per_point",
     "measure_binary_search",
     "measure_query",

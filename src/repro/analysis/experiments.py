@@ -49,6 +49,7 @@ __all__ = [
     "bench_scale",
     "size_grid",
     "lookups_per_point",
+    "binary_sweep_grid",
     "warm_llc_resident",
     "warmed_engine",
     "run_binary_search_technique",
@@ -82,6 +83,26 @@ def size_grid() -> list[int]:
 
 def lookups_per_point(default_quick: int = 400, default_full: int = 10_000) -> int:
     return default_full if bench_scale() == "full" else default_quick
+
+
+def binary_sweep_grid(sizes: list[int] | None = None) -> list[dict]:
+    """The standard (technique x size) grid, as sweep-runner kwargs.
+
+    One point per paper technique per size, each with its Section-5.4.5
+    default group size — the shape every Figure-3-family sweep shares.
+    Results from :meth:`repro.perf.SweepRunner.map` over this grid come
+    back grouped by technique first, sizes in grid order within each.
+    """
+    sizes = size_grid() if sizes is None else list(sizes)
+    return [
+        {
+            "size_bytes": size,
+            "technique": technique,
+            "group_size": DEFAULT_GROUP_SIZES[technique],
+        }
+        for technique in TECHNIQUES
+        for size in sizes
+    ]
 
 
 @dataclass

@@ -24,8 +24,8 @@ from typing import Callable
 
 from repro.analysis.calibration import estimate_best_group_sizes
 from repro.analysis.experiments import (
-    DEFAULT_GROUP_SIZES,
     TECHNIQUES,
+    binary_sweep_grid,
     measure_binary_search,
     measure_query,
     size_grid,
@@ -33,6 +33,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.loc import table5_metrics
 from repro.analysis.reporting import ascii_chart, format_pct, format_size, format_table, series_table
+from repro.perf import default_runner
 from repro.sim.memory import HIT_LEVELS
 from repro.sim.tmam import CATEGORIES
 
@@ -82,35 +83,57 @@ def render_experiment_data(doc: dict) -> str:
 
 
 def _binary_sweep(element: str, sort_lookups: bool = False) -> tuple[list, dict]:
+    # Every (technique, size) point is independent, so the whole grid
+    # goes through the sweep runner in one call; results come back in
+    # grid order, which keeps the regrouped dict identical to the old
+    # nested loops regardless of the job count.
     sizes = size_grid()
-    n = lookups_per_point()
-    points = {
-        technique: [
-            measure_binary_search(
-                size,
-                technique,
-                element=element,
-                n_lookups=n,
-                group_size=DEFAULT_GROUP_SIZES[technique],
-                sort_lookups=sort_lookups,
-                warm_with_same_values=sort_lookups,
-            )
-            for size in sizes
-        ]
-        for technique in TECHNIQUES
-    }
+    grid = binary_sweep_grid(sizes)
+    results = default_runner().map(
+        measure_binary_search,
+        grid,
+        common={
+            "element": element,
+            "n_lookups": lookups_per_point(),
+            "sort_lookups": sort_lookups,
+            "warm_with_same_values": sort_lookups,
+        },
+    )
+    points: dict[str, list] = {technique: [] for technique in TECHNIQUES}
+    for spec, point in zip(grid, results):
+        points[spec["technique"]].append(point)
     return sizes, points
+
+
+def _query_grid_sweep(combos: list[tuple[str, str]], sizes: list[int]) -> dict:
+    """Sweep ``measure_query`` over (store, strategy) x sizes, grouped."""
+    grid = [
+        {"dict_bytes": size, "store": store, "strategy": strategy}
+        for store, strategy in combos
+        for size in sizes
+    ]
+    results = default_runner().map(
+        measure_query, grid, common={"n_predicates": lookups_per_point()}
+    )
+    per_combo = {}
+    for combo, start in zip(combos, range(0, len(grid), len(sizes))):
+        per_combo[combo] = results[start : start + len(sizes)]
+    return per_combo
 
 
 def fig1_data() -> dict:
     sizes = size_grid()
     n = lookups_per_point()
-    series = {}
-    for strategy, label in (("sequential", "Main"), ("interleaved", "Main-Interleaved")):
-        series[label] = [
-            round(measure_query(size, "main", strategy, n_predicates=n).response_ms, 2)
-            for size in sizes
-        ]
+    sweep = _query_grid_sweep(
+        [("main", "sequential"), ("main", "interleaved")], sizes
+    )
+    series = {
+        label: [round(q.response_ms, 2) for q in sweep[("main", strategy)]]
+        for strategy, label in (
+            ("sequential", "Main"),
+            ("interleaved", "Main-Interleaved"),
+        )
+    }
     return _figure_doc(
         f"Figure 1: IN-predicate response time (ms), {n} INTEGER values",
         "dict size",
@@ -177,16 +200,21 @@ def fig6_data() -> dict:
 def fig7_data() -> dict:
     groups = list(range(1, 13))
     n = min(lookups_per_point(), 400)
+    techniques = ("GP", "AMAC", "CORO")
+    grid = [
+        {"size_bytes": 256 << 20, "technique": technique, "group_size": g}
+        for technique in techniques
+        for g in groups
+    ]
+    results = default_runner().map(
+        measure_binary_search, grid, common={"n_lookups": n}
+    )
     curves = {
         technique: [
-            round(
-                measure_binary_search(
-                    256 << 20, technique, group_size=g, n_lookups=n
-                ).cycles_per_search
-            )
-            for g in groups
+            round(p.cycles_per_search)
+            for p in results[i * len(groups) : (i + 1) * len(groups)]
         ]
-        for technique in ("GP", "AMAC", "CORO")
+        for i, technique in enumerate(techniques)
     }
     estimates = estimate_best_group_sizes(size_bytes=256 << 20, n_lookups=n)
     footer = {
@@ -207,20 +235,20 @@ def fig7_data() -> dict:
 
 def fig8_data() -> dict:
     sizes = size_grid()
-    n = lookups_per_point()
+    combos = [
+        (store, strategy)
+        for store in ("main", "delta")
+        for strategy in ("sequential", "interleaved")
+    ]
+    sweep = _query_grid_sweep(combos, sizes)
     series = {}
-    for store in ("main", "delta"):
-        for strategy in ("sequential", "interleaved"):
-            label = store.capitalize() + (
-                "-Interleaved" if strategy == "interleaved" else ""
-            )
-            series[label] = [
-                round(
-                    measure_query(size, store, strategy, n_predicates=n).response_ms,
-                    2,
-                )
-                for size in sizes
-            ]
+    for store, strategy in combos:
+        label = store.capitalize() + (
+            "-Interleaved" if strategy == "interleaved" else ""
+        )
+        series[label] = [
+            round(q.response_ms, 2) for q in sweep[(store, strategy)]
+        ]
     return _figure_doc(
         "Figure 8: IN-predicate response time (ms), Main & Delta",
         "dict size",
@@ -231,14 +259,11 @@ def fig8_data() -> dict:
 
 def table1_data() -> dict:
     sizes = size_grid()
-    n = lookups_per_point()
-    cells = {
-        store: [
-            measure_query(size, store, "sequential", n_predicates=n)
-            for size in (sizes[0], sizes[-1])
-        ]
-        for store in ("main", "delta")
-    }
+    endpoints = [sizes[0], sizes[-1]]
+    sweep = _query_grid_sweep(
+        [("main", "sequential"), ("delta", "sequential")], endpoints
+    )
+    cells = {store: sweep[(store, "sequential")] for store in ("main", "delta")}
     labels = [format_size(sizes[0]), format_size(sizes[-1])]
     return _table_doc(
         "Table 1: execution details of locate",
@@ -255,12 +280,16 @@ def table1_data() -> dict:
 
 def table2_data() -> dict:
     sizes = size_grid()
-    n = lookups_per_point()
+    endpoints = [sizes[0], sizes[-1]]
+    # Same four points as table1 — with the result cache attached they
+    # replay instead of re-simulating.
+    sweep = _query_grid_sweep(
+        [("main", "sequential"), ("delta", "sequential")], endpoints
+    )
     columns = []
     headers = [""]
     for store in ("main", "delta"):
-        for size in (sizes[0], sizes[-1]):
-            point = measure_query(size, store, "sequential", n_predicates=n)
+        for size, point in zip(endpoints, sweep[(store, "sequential")]):
             columns.append(point.locate_tmam.breakdown())
             headers.append(f"{store.capitalize()} {format_size(size)}")
     rows = [

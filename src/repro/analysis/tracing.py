@@ -35,11 +35,18 @@ from repro.analysis.experiments import (
 from repro.interleaving.executor import BulkLookup, get_executor
 from repro.obs.export import run_summary, write_run_artifacts
 from repro.obs.spans import SpanRecorder
+from repro.perf import Task, default_runner
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.engine import ExecutionEngine
 from repro.workloads.generators import lookup_values, make_table
 
-__all__ = ["TRACE_DEFAULT_LOOKUPS", "TRACE_DEFAULT_SIZE", "traced_run", "trace_experiment"]
+__all__ = [
+    "TRACE_DEFAULT_LOOKUPS",
+    "TRACE_DEFAULT_SIZE",
+    "traced_run",
+    "traced_point",
+    "trace_experiment",
+]
 
 TRACE_DEFAULT_LOOKUPS = 24
 TRACE_DEFAULT_SIZE = 8 << 20  # past the STLB span: DRAM misses and walks show
@@ -88,6 +95,41 @@ def traced_run(
     return engine, recorder
 
 
+def traced_point(
+    technique: str,
+    *,
+    size_bytes: int = TRACE_DEFAULT_SIZE,
+    n_lookups: int = TRACE_DEFAULT_LOOKUPS,
+    arch: ArchSpec = HASWELL,
+    seed: int = 0,
+) -> tuple[SpanRecorder, dict]:
+    """One executor's traced run, flattened to picklable artifacts.
+
+    The sweep-point form of :func:`traced_run`: the engine stays in the
+    worker process; what travels back is the recorder plus the summary
+    record ``trace_experiment`` aggregates.
+    """
+    engine, recorder = traced_run(
+        technique,
+        size_bytes=size_bytes,
+        n_lookups=n_lookups,
+        arch=arch,
+        seed=seed,
+    )
+    record = {
+        "cycles": engine.clock,
+        "issue_width": engine.cost.issue_width,
+        "n_lookups": n_lookups,
+        "size_bytes": size_bytes,
+        "group_size": DEFAULT_GROUP_SIZES[technique],
+        "cycles_per_lookup": engine.clock / n_lookups,
+        "metrics": engine.metrics.snapshot(),
+        "spans_by_kind": recorder.spans_by_kind(),
+        "cycles_by_kind": recorder.cycles_by_kind(),
+    }
+    return recorder, record
+
+
 def trace_experiment(
     name: str,
     out_dir: str | pathlib.Path,
@@ -110,27 +152,29 @@ def trace_experiment(
             f"{', '.join(available_experiments())}"
         )
 
-    recorders: dict[str, SpanRecorder] = {}
-    executors: dict[str, dict] = {}
-    for technique in TECHNIQUES:
-        engine, recorder = traced_run(
-            technique,
-            size_bytes=size_bytes,
-            n_lookups=n_lookups,
-            arch=arch,
-            seed=seed,
-        )
-        recorders[technique] = recorder
-        executors[technique] = {
-            "cycles": engine.clock,
-            "issue_width": engine.cost.issue_width,
-            "n_lookups": n_lookups,
-            "size_bytes": size_bytes,
-            "group_size": DEFAULT_GROUP_SIZES[technique],
-            "cycles_per_lookup": engine.clock / n_lookups,
-            "metrics": engine.metrics.snapshot(),
-            "spans_by_kind": recorder.spans_by_kind(),
-            "cycles_by_kind": recorder.cycles_by_kind(),
-        }
+    # One traced run per executor, fanned through the sweep runner (each
+    # point rebuilds its table and values from the seed, so worker
+    # processes reproduce the in-process run bit for bit).
+    outcomes = default_runner().run(
+        [
+            Task(
+                traced_point,
+                (technique,),
+                {
+                    "size_bytes": size_bytes,
+                    "n_lookups": n_lookups,
+                    "arch": arch,
+                    "seed": seed,
+                },
+            )
+            for technique in TECHNIQUES
+        ]
+    )
+    recorders = {
+        technique: recorder for technique, (recorder, _) in zip(TECHNIQUES, outcomes)
+    }
+    executors = {
+        technique: record for technique, (_, record) in zip(TECHNIQUES, outcomes)
+    }
     summary = run_summary(name, executors)
     return write_run_artifacts(out_dir, name, recorders, summary)

@@ -162,11 +162,33 @@ class FaultInjectionResult:
 # ----------------------------------------------------------------------
 
 
-def run_experiment(name: str) -> ExperimentResult:
+def _perf_scope(jobs: int | None, cache):
+    """Sweep-execution scope for one facade call.
+
+    ``jobs``/``cache`` override the process-wide :mod:`repro.perf`
+    defaults for the duration of the call; leaving both unset keeps
+    whatever the embedding application configured (serial and uncached
+    out of the box).
+    """
+    from contextlib import nullcontext
+
+    from repro import perf
+
+    if jobs is None and cache is None:
+        return nullcontext()
+    return perf.overrides(jobs=jobs, cache=cache)
+
+
+def run_experiment(
+    name: str, *, jobs: int | None = None, cache=None
+) -> ExperimentResult:
     """Run one paper experiment (table/figure) by name.
 
     The typed counterpart of ``python -m repro <name>``: returns the
-    data document plus a renderer instead of printed text.
+    data document plus a renderer instead of printed text. ``jobs``
+    fans the experiment's sweep across worker processes; ``cache``
+    (a :class:`~repro.perf.ResultCache`) replays previously computed
+    points. Both leave the document bit-identical.
     """
     from repro.analysis.figures import available_experiments, run_experiment_data
 
@@ -175,20 +197,26 @@ def run_experiment(name: str) -> ExperimentResult:
             f"unknown experiment {name!r}; available: "
             f"{', '.join(available_experiments())}"
         )
-    return ExperimentResult(name=name, doc=run_experiment_data(name))
+    with _perf_scope(jobs, cache):
+        return ExperimentResult(name=name, doc=run_experiment_data(name))
 
 
-def serve(scenario, *, seed: int = 0, faults=None) -> ServeResult:
+def serve(
+    scenario, *, seed: int = 0, faults=None, jobs: int | None = None, cache=None
+) -> ServeResult:
     """Run one serving scenario sweep (optionally fault-injected).
 
     ``faults`` accepts a profile name (``"chaos"``), a
     :class:`~repro.faults.schedule.FaultProfile`, or a ready-built
     :class:`~repro.faults.schedule.FaultSchedule`; ``None`` defers to
     the scenario's own default profile (no chaos for most scenarios).
+    ``jobs``/``cache`` parallelise and memoise the per-(technique, load)
+    points exactly as in :func:`run_experiment`.
     """
     from repro.service.loadgen import run_scenario
 
-    doc = run_scenario(scenario, seed=seed, faults=faults)
+    with _perf_scope(jobs, cache):
+        doc = run_scenario(scenario, seed=seed, faults=faults)
     return ServeResult(scenario=doc["scenario"], schema=doc["schema"], doc=doc)
 
 

@@ -55,3 +55,7 @@ class ColumnStoreError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was asked for an impossible configuration."""
+
+
+class PerfError(ReproError):
+    """The sweep runner or result cache was configured or driven incorrectly."""

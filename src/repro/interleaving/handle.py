@@ -76,16 +76,21 @@ class CoroutineHandle:
 
         Only the events are charged here; the scheduler charges the
         technique's switch overhead separately (it owns the policy).
+        The send/dispatch pair runs once per simulated event, so both
+        bound methods are bound to locals for the duration of the slice.
         """
-        if self.is_done():
+        if self._result is not self._SENTINEL:
             raise CoroutineStateError("resume() after completion")
+        send = self._stream.send
+        dispatch = self._engine.dispatch
+        ctx = self._ctx
         outcome: object = None
         try:
             while True:
-                event = self._stream.send(outcome)
+                event = send(outcome)
                 if type(event) is Suspend:
                     return
-                outcome = self._engine.dispatch(event, self._ctx)
+                outcome = dispatch(event, ctx)
         except StopIteration as stop:
             self._result = stop.value
             if self._frame_pool is not None:

@@ -50,33 +50,40 @@ def run_interleaved(
     pool = frame_pool if frame_pool is not None else (
         FramePool() if recycle_frames else None
     )
-    results: list[object] = [None] * len(inputs)
+    n_inputs = len(inputs)
+    results: list[object] = [None] * n_inputs
     tracer = engine.tracer
+    # The scheduler loop runs once per resume of every in-flight lookup;
+    # the tracing flag and the switch-charging bound method are loop
+    # invariants, so bind them once.
+    tracing = tracer.enabled
+    charge_switch = engine.charge_switch
 
-    group = min(group_size, len(inputs))
+    group = min(group_size, n_inputs)
     slots: list[tuple[int, CoroutineHandle] | None] = []
     for index in range(group):
-        if tracer.enabled:
+        if tracing:
             tracer.declare_track(index, f"frame {index}")
             tracer.set_track(index)
         stream = factory(inputs[index], True)
         slots.append((index, CoroutineHandle(engine, stream, frame_pool=pool)))
 
+    positions = range(len(slots))
     next_input = group
     not_done = group
     while not_done > 0:
-        for position in range(len(slots)):
+        for position in positions:
             slot = slots[position]
             if slot is None:
                 continue
             index, handle = slot
             if not handle.is_done():
-                if tracer.enabled:
+                if tracing:
                     tracer.set_track(position)
                     begin = engine.clock
-                engine.charge_switch(switch_kind)
+                charge_switch(switch_kind)
                 handle.resume()
-                if tracer.enabled:
+                if tracing:
                     tracer.span("resume", begin, engine.clock, name=f"lookup {index}")
                     if not handle.is_done():
                         tracer.instant(
@@ -84,8 +91,8 @@ def run_interleaved(
                         )
                 continue
             results[index] = handle.get_result()
-            if next_input < len(inputs):
-                if tracer.enabled:
+            if next_input < n_inputs:
+                if tracing:
                     tracer.set_track(position)
                 stream = factory(inputs[next_input], True)
                 slots[position] = (

@@ -1,0 +1,186 @@
+"""Content-addressed result cache for sweep points.
+
+The simulator is deterministic — the same experiment function, parameters,
+and seed always produce the bit-identical result document — so results
+can be cached and replayed safely. Entries are addressed by a stable
+SHA-256 over:
+
+* the experiment function's dotted name,
+* the call's positional and keyword arguments, canonicalised to JSON
+  (dataclasses such as :class:`~repro.config.ArchSpec` are folded in by
+  qualified class name plus field values),
+* the :func:`~repro.perf.fingerprint.code_fingerprint` of the
+  simulation-semantics sources.
+
+Any argument the canonicaliser does not understand makes the call
+*uncacheable* (``key()`` returns ``None``) rather than wrongly cached:
+engines, callbacks, and open recorders do not round-trip through a key.
+
+Entries live under ``~/.cache/repro`` (override with ``REPRO_CACHE_DIR``)
+as pickle files; a corrupt or truncated entry is treated as a miss and
+deleted. Writes are atomic (temp file + rename) so a crashed writer
+never poisons the store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.errors import PerfError
+from repro.perf.fingerprint import code_fingerprint
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class _Uncacheable(Exception):
+    """Internal: an argument cannot be canonicalised into a cache key."""
+
+
+def _canonical(obj: Any) -> Any:
+    """Fold ``obj`` into a JSON-serialisable, order-stable form."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, Mapping):
+        items = {}
+        for key in obj:
+            if not isinstance(key, str):
+                raise _Uncacheable(f"non-string mapping key {key!r}")
+            items[key] = _canonical(obj[key])
+        return {"__mapping__": sorted(items.items())}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": _canonical(dataclasses.asdict(obj)),
+        }
+    raise _Uncacheable(f"cannot canonicalise {type(obj).__name__}")
+
+
+class ResultCache:
+    """On-disk, content-addressed store of sweep-point result documents."""
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        fingerprint: str | None = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        #: Digest binding entries to the current simulation sources.
+        #: Injectable so tests can model a code change without editing src.
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else code_fingerprint()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keying ---------------------------------------------------------
+
+    def key(
+        self,
+        fn: Callable,
+        args: tuple = (),
+        kwargs: Mapping[str, Any] | None = None,
+    ) -> str | None:
+        """Stable hex key for one call, or ``None`` if uncacheable."""
+        try:
+            document = {
+                "fn": f"{fn.__module__}.{fn.__qualname__}",
+                "args": _canonical(list(args)),
+                "kwargs": _canonical(dict(kwargs or {})),
+                "fingerprint": self.fingerprint,
+            }
+        except _Uncacheable:
+            return None
+        payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- storage --------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """Return the cached value for ``key``; raise on a miss.
+
+        Use :meth:`lookup` for the non-raising ``(hit, value)`` pair.
+        """
+        hit, value = self.lookup(key)
+        if not hit:
+            raise PerfError(f"cache miss for {key}")
+        return value
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        """Probe for ``key``; returns ``(hit, value)`` and counts the probe."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            value = entry["value"]
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Corrupt or truncated entry: drop it and report a miss.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"key": key, "value": value}, fh)
+            os.replace(tmp_name, path)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; return how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    # -- observability --------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (metrics-registry source)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "root": str(self.root),
+        }
+
+    def register_metrics(self, registry, prefix: str = "perf.cache") -> None:
+        """Mount hit/miss/store counters in a metrics registry."""
+        registry.register_source(prefix, self.as_dict)

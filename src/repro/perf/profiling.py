@@ -1,0 +1,36 @@
+"""cProfile helper behind ``python -m repro profile``.
+
+Runs one sweep point under the deterministic profiler and renders the
+top functions by cumulative time. This is the workflow that found the
+simulator's three hot loops (cache probe, event dispatch, translation);
+keeping it one command away makes the next regression cheap to find.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable
+
+__all__ = ["profile_call"]
+
+
+def profile_call(
+    fn: Callable,
+    *args: Any,
+    top: int = 20,
+    sort: str = "cumulative",
+    **kwargs: Any,
+) -> tuple[Any, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` is the ``pstats`` table
+    of the ``top`` functions ordered by ``sort``.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return result, buffer.getvalue()

@@ -24,6 +24,7 @@ import numpy as np
 from repro.config import HASWELL, ArchSpec, scaled
 from repro.faults.schedule import FaultProfile, FaultSchedule, resolve_schedule
 from repro.interleaving.executor import BulkLookup, get_executor
+from repro.perf import Task, default_runner
 from repro.service.arrivals import make_arrivals
 from repro.service.scenarios import Scenario, get_scenario
 from repro.service.server import ServiceReport, ServiceServer
@@ -36,6 +37,7 @@ __all__ = [
     "CHAOS_SCHEMA",
     "fault_horizon",
     "sequential_capacity",
+    "measure_service_point",
     "run_scenario",
     "render_service_doc",
 ]
@@ -145,6 +147,53 @@ def _point(
     return record
 
 
+def measure_service_point(
+    scenario: Scenario,
+    technique: str,
+    multiplier: float,
+    seed: int,
+    faults,
+    capacity: float,
+) -> dict:
+    """Run one (technique, load) serving point; picklable sweep-point fn.
+
+    The table and probe values are rebuilt from the scenario and seed —
+    both are pure functions of their inputs, so a worker process
+    reconstructs exactly the state the old in-process loop shared, and
+    the resulting point is bit-identical at any job count.
+    """
+    arch = _arch_for(scenario)
+    allocator = AddressSpaceAllocator(page_size=arch.page_size)
+    table = make_table(allocator, "serve/dict", scenario.table_bytes)
+    rng = np.random.RandomState(seed + 11)
+    values = [int(v) for v in rng.randint(0, table.size, scenario.n_requests)]
+    config = scenario.config
+    if technique.lower() in ("sequential", "std", "baseline"):
+        config = _replace_config(config, technique=technique, group_size=1)
+    else:
+        config = _replace_config(config, technique=technique)
+    rate = multiplier * capacity
+    arrivals = make_arrivals(
+        scenario.arrival_kind,
+        scenario.n_requests,
+        seed,
+        **_arrival_params(scenario, rate),
+    )
+    schedule = resolve_schedule(
+        faults,
+        horizon=fault_horizon(scenario.n_requests, rate),
+        n_shards=config.n_shards,
+        seed=seed,
+    )
+    server = ServiceServer(table, config, arch=arch, seed=seed, faults=schedule)
+    report = server.serve(arrivals, values)
+    point = _point(report, multiplier, rate)
+    chaos = schedule is not None
+    if chaos:
+        point.update(_chaos_point(report, schedule))
+    return {"point": point, "chaos": chaos}
+
+
 def run_scenario(
     scenario: Scenario | str,
     *,
@@ -173,40 +222,18 @@ def run_scenario(
     capacity, cycles_per_lookup = sequential_capacity(
         table, arch, n_shards=scenario.config.n_shards, seed=seed
     )
-    rng = np.random.RandomState(seed + 11)
-    values = [int(v) for v in rng.randint(0, table.size, scenario.n_requests)]
-
-    chaos = False
-    points = []
-    for technique in scenario.techniques:
-        config = scenario.config
-        if technique.lower() in ("sequential", "std", "baseline"):
-            config = _replace_config(config, technique=technique, group_size=1)
-        else:
-            config = _replace_config(config, technique=technique)
-        for multiplier in scenario.loads:
-            rate = multiplier * capacity
-            arrivals = make_arrivals(
-                scenario.arrival_kind,
-                scenario.n_requests,
-                seed,
-                **_arrival_params(scenario, rate),
+    outcomes = default_runner().run(
+        [
+            Task(
+                measure_service_point,
+                (scenario, technique, multiplier, seed, faults, capacity),
             )
-            schedule = resolve_schedule(
-                faults,
-                horizon=fault_horizon(scenario.n_requests, rate),
-                n_shards=config.n_shards,
-                seed=seed,
-            )
-            server = ServiceServer(
-                table, config, arch=arch, seed=seed, faults=schedule
-            )
-            report = server.serve(arrivals, values)
-            point = _point(report, multiplier, rate)
-            if schedule is not None:
-                chaos = True
-                point.update(_chaos_point(report, schedule))
-            points.append(point)
+            for technique in scenario.techniques
+            for multiplier in scenario.loads
+        ]
+    )
+    chaos = any(outcome["chaos"] for outcome in outcomes)
+    points = [outcome["point"] for outcome in outcomes]
 
     doc = {
         "kind": "service",

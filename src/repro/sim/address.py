@@ -32,13 +32,16 @@ def page_number(addr: int, page_size: int) -> int:
 def lines_touched(addr: int, size: int, line_size: int) -> list[int]:
     """Return the line numbers covered by ``size`` bytes starting at ``addr``.
 
-    Most simulated accesses touch one line; fixed-width string elements or
-    multi-line index nodes may span several.
+    Most simulated accesses touch one line — that case skips the
+    range/list construction entirely, which matters because every load,
+    store, and prefetch the engine executes calls this helper.
     """
     if size <= 0:
         raise AddressError(f"access size must be positive, got {size}")
-    first = line_number(addr, line_size)
-    last = line_number(addr + size - 1, line_size)
+    first = addr // line_size
+    last = (addr + size - 1) // line_size
+    if first == last:
+        return [first]
     return list(range(first, last + 1))
 
 

@@ -48,7 +48,15 @@ class CacheStats:
 
 
 class SetAssociativeCache:
-    """One level of the cache hierarchy, keyed by cache-line number."""
+    """One level of the cache hierarchy, keyed by cache-line number.
+
+    ``lookup``/``install`` sit on the simulator's hottest path (every
+    demand load probes up to three levels), so both use a precomputed
+    set-index mask when the set count is a power of two — ``line & mask``
+    selects exactly the same set as ``line % n_sets`` for the
+    non-negative line numbers the simulator produces — and bind their
+    per-set dict and stats object to locals once per call.
+    """
 
     def __init__(self, spec: CacheSpec, line_size: int) -> None:
         self.spec = spec
@@ -59,32 +67,43 @@ class SetAssociativeCache:
         # One insertion-ordered dict per set: line number -> None.
         # First key is LRU, last key is MRU.
         self._sets: list[dict[int, None]] = [dict() for _ in range(self.n_sets)]
+        #: ``n_sets - 1`` when n_sets is a power of two, else None.
+        self._mask: int | None = (
+            self.n_sets - 1 if self.n_sets & (self.n_sets - 1) == 0 else None
+        )
         self.stats = CacheStats()
 
     def _set_of(self, line: int) -> dict[int, None]:
-        return self._sets[line % self.n_sets]
+        mask = self._mask
+        return self._sets[line & mask if mask is not None else line % self.n_sets]
 
     def lookup(self, line: int) -> bool:
         """Probe for ``line``; on a hit, promote it to most recently used."""
-        ways = self._set_of(line)
+        mask = self._mask
+        ways = self._sets[line & mask if mask is not None else line % self.n_sets]
+        stats = self.stats
         if line in ways:
-            self.stats.hits += 1
+            stats.hits += 1
             del ways[line]
             ways[line] = None
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         return False
 
     def contains(self, line: int) -> bool:
         """Probe without updating LRU order or statistics."""
-        return line in self._set_of(line)
+        mask = self._mask
+        return line in (
+            self._sets[line & mask if mask is not None else line % self.n_sets]
+        )
 
     def install(self, line: int) -> int | None:
         """Insert ``line`` as MRU; return the evicted line number, if any.
 
         Re-installing a resident line just refreshes its LRU position.
         """
-        ways = self._set_of(line)
+        mask = self._mask
+        ways = self._sets[line & mask if mask is not None else line % self.n_sets]
         evicted = None
         if line in ways:
             del ways[line]

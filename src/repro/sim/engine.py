@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Generator, Iterable
 
 from repro.config import HASWELL, ArchSpec
-from repro.errors import SimulationError
+from repro.errors import AddressError, SimulationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_RECORDER, NullRecorder
 from repro.sim.address import lines_touched
@@ -86,6 +86,17 @@ class ExecutionEngine:
         self.metrics.register_source("engine", self._engine_metrics)
         self.tmam.register_metrics(self.metrics)
         self.memory.register_metrics(self.metrics)
+        # Type-keyed event dispatch: one dict probe replaces the
+        # per-event ``type(event) is ...`` chain on the hottest loop in
+        # the simulator. Every handler takes (event, ctx) and returns
+        # the event's outcome.
+        self._handlers = {
+            Load: self.execute_load,
+            Compute: self._handle_compute,
+            Store: self._handle_store,
+            Prefetch: self._handle_prefetch,
+            FrameAlloc: self._handle_frame_alloc,
+        }
 
     def _engine_metrics(self) -> dict:
         return {"cycles": self.clock, "issue_width": self.cost.issue_width}
@@ -146,14 +157,14 @@ class ExecutionEngine:
         """
         result = self.memory.translate(addr, self.clock)
         charged = result.cycles
-        if result.walked:
-            charged = max(
-                self.cost.page_walk_base_cycles, result.cycles - self.cost.ooo_hide
-            )
+        if charged and result.walked:
+            cost = self.cost
+            charged = max(cost.page_walk_base_cycles, charged - cost.ooo_hide)
+        tracer = self.tracer
         if charged:
             self.tmam.charge_memory_stall(charged, translation=True)
-            if self.tracer.enabled:
-                self.tracer.span(
+            if tracer.enabled:
+                tracer.span(
                     "stall",
                     self.clock,
                     self.clock + charged,
@@ -161,41 +172,54 @@ class ExecutionEngine:
                     attrs={"level": result.level, "translation": True},
                 )
             self.clock += charged
-        if self.tracer.enabled:
-            self.tracer.counter(
+        if tracer.enabled:
+            tracer.counter(
                 "tlb_walks", self.clock, self.memory.tlb.stats.walks
             )
 
     def execute_load(self, event: Load, ctx: StreamContext | None = None) -> None:
         """Execute a demand load, stalling for exposed latency."""
         self._translate(event.addr)
-        lines = lines_touched(event.addr, event.size, self.arch.line_size)
+        # Hot path: bind collaborators once (every index probe lands
+        # here), and skip list construction for single-line accesses.
+        memory = self.memory
+        tmam = self.tmam
+        tracer = self.tracer
+        cost = self.cost
+        line_size = self.arch.line_size
+        addr = event.addr
+        size = event.size
+        if size <= 0:
+            raise AddressError(f"access size must be positive, got {size}")
+        first = addr // line_size
+        last = (addr + size - 1) // line_size
+        lines = (first,) if first == last else range(first, last + 1)
         # Branch-speculation resolution: if the previous iteration predicted
         # a successor address, compare it with what the stream actually did.
         if ctx is not None and ctx.predicted_line is not None:
-            self.tmam.note_branch()
-            if ctx.predicted_line != lines[0]:
-                self.tmam.charge_mispredict(self.cost.mispredict_penalty)
-                if self.tracer.enabled:
-                    self.tracer.span(
+            tmam.note_branch()
+            if ctx.predicted_line != first:
+                tmam.charge_mispredict(cost.mispredict_penalty)
+                if tracer.enabled:
+                    tracer.span(
                         "stall",
                         self.clock,
-                        self.clock + self.cost.mispredict_penalty,
+                        self.clock + cost.mispredict_penalty,
                         name="mispredict",
                         attrs={"mispredict": True},
                     )
-                self.clock += self.cost.mispredict_penalty
+                self.clock += cost.mispredict_penalty
             ctx.predicted_line = None
 
         issued_at = self.clock
         ready = self.clock
         level = "L1"
         for line in lines:
-            outcome = self.memory.load_line(line, self.clock)
+            outcome = memory.load_line(line, self.clock)
             if outcome.issue_stall:
-                self.tmam.charge_memory_stall(outcome.issue_stall, lfb=True)
-                if self.tracer.enabled:
-                    self.tracer.span(
+                tmam.charge_memory_stall(outcome.issue_stall, lfb=True)
+                if tracer.enabled:
+                    tracer.span(
                         "stall",
                         self.clock,
                         self.clock + outcome.issue_stall,
@@ -208,26 +232,26 @@ class ExecutionEngine:
                 level = outcome.level
 
         # Speculative issue of the predicted next load while this one stalls.
-        hide = self.cost.ooo_hide
+        hide = cost.ooo_hide
         if event.spec_next is not None and ctx is not None:
-            hide = self.cost.ooo_hide_speculative
+            hide = cost.ooo_hide_speculative
             predicted = self._rng.choice(event.spec_next)
             spec_issue = min(
                 max(ready - hide, issued_at),
-                issued_at + self.cost.spec_issue_delay,
+                issued_at + cost.spec_issue_delay,
             )
-            spec_line = predicted // self.arch.line_size
+            spec_line = predicted // line_size
             # The shadow translation updates TLB state but its latency
             # overlaps the current stall, so it is not charged.
-            self.memory.translate(predicted, spec_issue)
-            self.memory.prefetch_line(spec_line, spec_issue, nta=False)
+            memory.translate(predicted, spec_issue)
+            memory.prefetch_line(spec_line, spec_issue, nta=False)
             ctx.predicted_line = spec_line
 
-        exposed = max(0, ready - self.clock - hide)
-        if exposed:
-            self.tmam.charge_memory_stall(exposed)
-            if self.tracer.enabled:
-                self.tracer.span(
+        exposed = ready - self.clock - hide
+        if exposed > 0:
+            tmam.charge_memory_stall(exposed)
+            if tracer.enabled:
+                tracer.span(
                     "stall",
                     self.clock,
                     self.clock + exposed,
@@ -235,9 +259,9 @@ class ExecutionEngine:
                     attrs={"level": level},
                 )
             self.clock += exposed
-        if self.tracer.enabled:
-            self.tracer.counter(
-                "lfb_occupancy", self.clock, self.memory.lfbs.occupancy
+        if tracer.enabled:
+            tracer.counter(
+                "lfb_occupancy", self.clock, memory.lfbs.occupancy
             )
 
     def execute_store(self, event: Store) -> None:
@@ -314,6 +338,28 @@ class ExecutionEngine:
     # Stream driving
     # ------------------------------------------------------------------
 
+    def _handle_compute(self, event: Compute, ctx: StreamContext) -> None:
+        self.compute(event.cycles, event.instructions)
+
+    def _handle_store(self, event: Store, ctx: StreamContext) -> None:
+        self.execute_store(event)
+
+    def _handle_prefetch(self, event: Prefetch, ctx: StreamContext) -> bool:
+        return self.execute_prefetch(event)
+
+    def _handle_frame_alloc(self, event: FrameAlloc, ctx: StreamContext) -> None:
+        self.execute_frame_alloc()
+
+    def _dispatch_unknown(self, event: object) -> None:
+        """Error path for events without a handler (cold, shared)."""
+        if type(event) is Suspend:
+            raise SimulationError(
+                "Suspend reached the engine: this stream was driven without "
+                "an interleaving scheduler (run it with interleave=False or "
+                "use run_interleaved)"
+            )
+        raise SimulationError(f"unknown event {event!r}")
+
     def dispatch(self, event: Event, ctx: StreamContext) -> object:
         """Execute one event (``Suspend`` must be handled by the caller).
 
@@ -321,32 +367,26 @@ class ExecutionEngine:
         stream via ``send`` — e.g. ``Prefetch`` answers whether the data
         was already cached (Section 6's conditional-switch ablation).
         """
-        if type(event) is Load:
-            self.execute_load(event, ctx)
-        elif type(event) is Compute:
-            self.compute(event.cycles, event.instructions)
-        elif type(event) is Store:
-            self.execute_store(event)
-        elif type(event) is Prefetch:
-            return self.execute_prefetch(event)
-        elif type(event) is FrameAlloc:
-            self.execute_frame_alloc()
-        elif type(event) is Suspend:
-            raise SimulationError(
-                "Suspend reached the engine: this stream was driven without "
-                "an interleaving scheduler (run it with interleave=False or "
-                "use run_interleaved)"
-            )
-        else:
-            raise SimulationError(f"unknown event {event!r}")
+        handler = self._handlers.get(type(event))
+        if handler is None:
+            self._dispatch_unknown(event)
+        return handler(event, ctx)
 
     def run(self, stream: InstructionStream, ctx: StreamContext | None = None):
         """Drive a non-suspending stream to completion; return its result."""
         ctx = ctx or StreamContext()
+        # Hot loop: bind the generator's send and the dispatch table to
+        # locals so each iteration is two lookups, not five.
+        send = stream.send
+        handlers = self._handlers
         outcome: object = None
         try:
             while True:
-                outcome = self.dispatch(stream.send(outcome), ctx)
+                event = send(outcome)
+                handler = handlers.get(type(event))
+                if handler is None:
+                    self._dispatch_unknown(event)
+                outcome = handler(event, ctx)
         except StopIteration as stop:
             return stop.value
 

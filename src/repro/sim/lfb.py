@@ -51,6 +51,10 @@ class LineFillBuffers:
         self.capacity = capacity
         self._on_complete = on_complete
         self._in_flight: dict[int, FillRequest] = {}
+        #: Earliest completion cycle among in-flight fills (inf if none).
+        #: Lets :meth:`drain` — called on every load and prefetch — bail
+        #: out with one comparison while nothing can have completed.
+        self._next_completion: float = float("inf")
         # Statistics.
         self.fills_issued = 0
         self.merges = 0
@@ -93,12 +97,18 @@ class LineFillBuffers:
 
     def drain(self, now: int) -> None:
         """Complete every fill whose completion time has passed."""
-        if not self._in_flight:
+        if now < self._next_completion:
             return
-        done = [r for r in self._in_flight.values() if r.completion_cycle <= now]
+        in_flight = self._in_flight
+        done = [r for r in in_flight.values() if r.completion_cycle <= now]
         for request in done:
-            del self._in_flight[request.line]
+            del in_flight[request.line]
             self._on_complete(request)
+        self._next_completion = (
+            min(r.completion_cycle for r in in_flight.values())
+            if in_flight
+            else float("inf")
+        )
 
     def acquire(self, now: int) -> int:
         """Block until a buffer is free; return the (possibly later) cycle.
@@ -109,7 +119,7 @@ class LineFillBuffers:
         """
         self.drain(now)
         while len(self._in_flight) >= self.capacity:
-            earliest = min(r.completion_cycle for r in self._in_flight.values())
+            earliest = self._next_completion
             if earliest <= now:  # pragma: no cover - drain above prevents this
                 raise SimulationError("completed fill survived drain")
             self.issue_stall_cycles += earliest - now
@@ -136,6 +146,8 @@ class LineFillBuffers:
         if len(self._in_flight) >= self.capacity:
             raise SimulationError("LFB overflow: acquire() not called")
         self._in_flight[request.line] = request
+        if request.completion_cycle < self._next_completion:
+            self._next_completion = request.completion_cycle
         self.fills_issued += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._in_flight))
         return request

@@ -126,6 +126,12 @@ class Tlb:
         self._cost = cost
         self._pte_probe = pte_probe
         self.stats = TlbStats()
+        # Translation is on the hot path of every simulated access, so
+        # the frozen hit results are built once and reused (outcomes are
+        # value-only), and the probes below touch the LRU arrays' sets
+        # directly instead of calling through LruArray.lookup.
+        self._dtlb_hit = TranslationResult(0, "DTLB")
+        self._stlb_hit = TranslationResult(self._stlb_latency, "STLB")
 
     def pte_address(self, vpn: int) -> int:
         """Byte address of the leaf PTE for virtual page ``vpn``."""
@@ -134,13 +140,22 @@ class Tlb:
     def translate(self, addr: int, now: int) -> TranslationResult:
         """Translate ``addr``, updating TLB state; return stall and level."""
         vpn = addr // self._page_size
-        if self._dtlb.lookup(vpn):
-            self.stats.dtlb_hits += 1
-            return TranslationResult(0, "DTLB")
-        if self._stlb.lookup(vpn):
-            self.stats.stlb_hits += 1
-            self._dtlb.install(vpn)
-            return TranslationResult(self._stlb_latency, "STLB")
+        stats = self.stats
+        dtlb = self._dtlb
+        dtlb_ways = dtlb._sets[vpn % dtlb.n_sets]
+        if vpn in dtlb_ways:
+            del dtlb_ways[vpn]
+            dtlb_ways[vpn] = None
+            stats.dtlb_hits += 1
+            return self._dtlb_hit
+        stlb = self._stlb
+        stlb_ways = stlb._sets[vpn % stlb.n_sets]
+        if vpn in stlb_ways:
+            del stlb_ways[vpn]
+            stlb_ways[vpn] = None
+            stats.stlb_hits += 1
+            dtlb.install(vpn)
+            return self._stlb_hit
         # Page walk: fixed overhead plus the leaf-PTE access through the
         # data cache hierarchy.
         base = self._cost.page_walk_base_cycles

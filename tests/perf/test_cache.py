@@ -1,0 +1,98 @@
+"""The content-addressed result cache: keys, replay, invalidation."""
+
+import pickle
+
+import pytest
+
+from repro.analysis import measure_binary_search
+from repro.config import HASWELL, scaled
+from repro.errors import PerfError
+from repro.perf import ResultCache, SweepRunner, Task, code_fingerprint
+
+
+def add(a, b=0):
+    return a + b
+
+
+class Opaque:
+    """Deliberately not canonicalisable (not a dataclass, not JSON-able)."""
+
+
+class TestKeying:
+    def test_key_stable_across_instances(self, tmp_path):
+        one = ResultCache(tmp_path / "a", fingerprint="f")
+        two = ResultCache(tmp_path / "b", fingerprint="f")
+        assert one.key(add, (1,), {"b": 2}) == two.key(add, (1,), {"b": 2})
+
+    def test_key_distinguishes_args(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        base = cache.key(add, (1,), {"b": 2})
+        assert cache.key(add, (2,), {"b": 2}) != base
+        assert cache.key(add, (1,), {"b": 3}) != base
+
+    def test_key_folds_in_dataclass_args(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        assert cache.key(add, (HASWELL,), {}) != cache.key(add, (scaled(64),), {})
+
+    def test_uncacheable_args_yield_no_key(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        assert cache.key(add, (Opaque(),), {}) is None
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        before = ResultCache(tmp_path, fingerprint="aaaa")
+        after = ResultCache(tmp_path, fingerprint="bbbb")
+        key = before.key(add, (1,), {})
+        before.put(key, 1)
+        hit, _ = after.lookup(after.key(add, (1,), {}))
+        assert not hit
+
+    def test_real_code_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+
+
+class TestReplay:
+    def test_hit_replays_stored_value(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        key = cache.key(add, (3,), {"b": 4})
+        miss, _ = cache.lookup(key)
+        assert not miss
+        cache.put(key, 7)
+        hit, value = cache.lookup(key)
+        assert hit and value == 7
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_cached_sweep_equals_fresh_sweep(self, tmp_path):
+        grid = [
+            {"size_bytes": 1 << 20, "technique": "CORO", "n_lookups": 16},
+            {"size_bytes": 1 << 20, "technique": "Baseline", "n_lookups": 16},
+        ]
+        fresh = SweepRunner(jobs=1).map(measure_binary_search, grid)
+        cache = ResultCache(tmp_path)
+        SweepRunner(jobs=1, cache=cache).map(measure_binary_search, grid)
+        replayed = SweepRunner(jobs=1, cache=cache).map(measure_binary_search, grid)
+        for a, b in zip(fresh, replayed):
+            assert a.cycles_per_search == b.cycles_per_search
+            assert a.tmam.cpi == b.tmam.cpi
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        key = cache.key(add, (1,), {})
+        cache.put(key, 1)
+        path = next(p for p in tmp_path.rglob("*.pkl"))
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.lookup(key)
+        assert not hit
+        assert not path.exists()
+
+    def test_get_raises_on_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        with pytest.raises(PerfError):
+            cache.get(cache.key(add, (9,), {}))
+
+    def test_clear_empties_the_store(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f")
+        key = cache.key(add, (1,), {})
+        cache.put(key, 1)
+        cache.clear()
+        hit, _ = cache.lookup(key)
+        assert not hit

@@ -1,0 +1,63 @@
+"""Coarse wall-clock guards over the optimized hot loops.
+
+These are regression *tripwires*, not benchmarks: the bounds are an
+order of magnitude above what the loops take today, so they only fire
+when a hot path regresses catastrophically (an accidental O(n) scan in
+the cache sets, per-event allocation in the dispatch loop, a dropped
+fast path in translation). The real timings are recorded by
+``benchmarks/bench_wallclock.py``.
+"""
+
+import time
+
+from repro.config import HASWELL
+from repro.sim import ExecutionEngine
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.events import Compute, Load
+from repro.sim.memory import MemorySystem
+
+
+def _best_of(fn, repeats=3):
+    return min(fn() for _ in range(repeats))
+
+
+def test_cache_lookup_install_pair_stays_fast():
+    cache = SetAssociativeCache(HASWELL.l1d, HASWELL.line_size)
+
+    def run():
+        start = time.perf_counter()
+        for line in range(20_000):
+            if not cache.lookup(line & 0x3FFF):
+                cache.install(line & 0x3FFF)
+        return time.perf_counter() - start
+
+    assert _best_of(run) < 0.5  # ~10 ms today
+
+
+def test_engine_dispatch_loop_stays_fast():
+    def stream(n):
+        for i in range(n):
+            yield Compute(1, 1)
+            yield Load((i * 64) & 0xFFFFF, 8)
+        return None
+
+    def run():
+        engine = ExecutionEngine(HASWELL, MemorySystem(HASWELL))
+        start = time.perf_counter()
+        engine.run(stream(4_000))
+        return time.perf_counter() - start
+
+    assert _best_of(run) < 1.5  # ~40 ms today
+
+
+def test_tlb_translation_stays_fast():
+    memory = MemorySystem(HASWELL)
+    page = HASWELL.page_size
+
+    def run():
+        start = time.perf_counter()
+        for i in range(20_000):
+            memory.tlb.translate((i % 64) * page + (i & 0xFFF), i)
+        return time.perf_counter() - start
+
+    assert _best_of(run) < 0.5  # ~6 ms today
