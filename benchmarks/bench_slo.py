@@ -1,0 +1,150 @@
+"""SLO burn-rate benchmark: the robustness claim in error-budget terms.
+
+``bench_chaos.py`` states the robustness claim in p99 cycles; this
+sweep restates it the way an SRE would read it: under the identical
+deterministic fault schedule, the sequential server burns its error
+budget strictly faster than CORO at every load point. Burn rate is the
+SLO-miss fraction over the budget fraction (``repro.obs.slo``), so
+"CORO burns slower" is exactly "CORO keeps more of its error budget
+under chaos" — the serving story's bottom line.
+
+Also asserted, because the ``repro.slo/1`` document is a contract:
+
+* every point's cumulative ``budget_consumed`` series is monotone
+  non-decreasing (budget only burns, never un-burns);
+* every point's exemplar-histogram bucket counts sum to the number of
+  answered requests, and the p99 exemplar (when present) names a
+  deterministic ``req-NNNNN-XXXXXXXX`` trace id;
+* two seeded runs emit byte-identical documents.
+
+The seed-0 document is recorded to
+``benchmarks/results/BENCH_slo.json`` (schema ``repro.slo/1``),
+validated in CI by ``benchmarks/check_bench_schema.py``. The default
+(quick) scale sweeps the ``chaos-quick`` scenario;
+``REPRO_BENCH_SCALE=full`` switches to the full ``chaos`` grid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+
+import pytest
+
+from repro.service import run_slo_scenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TRACE_ID = re.compile(r"^req-\d{5}-[0-9a-f]{8}$")
+
+
+def _scenario_name() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    return "chaos" if scale == "full" else "chaos-quick"
+
+
+@pytest.fixture(scope="module")
+def slo_sweep():
+    doc = run_slo_scenario(_scenario_name(), seed=0)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = RESULTS_DIR / "BENCH_slo.json"
+    artifact.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def _by_load(doc: dict) -> dict:
+    table: dict = {}
+    for point in doc["points"]:
+        table.setdefault(point["load_multiplier"], {})[point["technique"]] = point
+    return table
+
+
+def test_slo_document_shape(benchmark, record_table, slo_sweep):
+    doc = benchmark.pedantic(lambda: slo_sweep, rounds=1, iterations=1)
+
+    assert doc["schema"] == "repro.slo/1"
+    assert doc["kind"] == "slo"
+    assert doc["fault_profile"] == doc["scenario"]
+    assert doc["slo_cycles"] > 0 and 0.0 < doc["slo_target"] < 1.0
+    rows = []
+    for point in doc["points"]:
+        burn = point["burn"]
+        assert burn["events"] == point["requests"]
+        assert burn["slo_cycles"] == doc["slo_cycles"]
+        rows.append(
+            [
+                point["technique"],
+                f"{point['load_multiplier']:g}",
+                point["p99"],
+                f"{100 * point['slo_attainment']:.1f}",
+                f"{burn['overall_burn']:.2f}",
+                f"{burn['max_burn_short']:.2f}",
+                f"{burn['max_burn_long']:.2f}",
+                burn["alert_windows"],
+            ]
+        )
+    from repro.analysis import format_table
+
+    record_table(
+        "slo_burn",
+        format_table(
+            ["technique", "xload", "p99", "slo%", "burn", "max-s", "max-l", "alerts"],
+            rows,
+            title=(
+                f"SLO burn ({doc['scenario']}, target {doc['slo_target']:.0%}, "
+                f"budget {1 - doc['slo_target']:.0%}, faults={doc['fault_profile']})"
+            ),
+        ),
+    )
+
+
+def test_coro_burns_budget_slower_than_sequential(slo_sweep):
+    """The headline: at every load point of the chaos sweep, CORO's
+    overall burn rate is strictly below sequential's."""
+    for load, techniques in sorted(_by_load(slo_sweep).items()):
+        coro = techniques["CORO"]["burn"]["overall_burn"]
+        seq = techniques["sequential"]["burn"]["overall_burn"]
+        assert coro < seq, (
+            f"x{load:g}: CORO burn {coro:.3f} not below sequential {seq:.3f}"
+        )
+        # And chaos actually cost sequential budget — the comparison is
+        # not 0-vs-0.
+        assert seq > 0, f"x{load:g}: sequential burned nothing under chaos"
+
+
+def test_budget_consumption_is_monotone(slo_sweep):
+    """Cumulative budget consumption never decreases within a point."""
+    for point in slo_sweep["points"]:
+        consumed = point["burn"]["budget_consumed"]
+        assert consumed, point["technique"]
+        assert all(a <= b for a, b in zip(consumed, consumed[1:])), (
+            point["technique"],
+            point["load_multiplier"],
+            consumed,
+        )
+
+
+def test_histograms_account_for_every_answer(slo_sweep):
+    """Bucket counts sum to answered requests; exemplars are trace ids."""
+    for point in slo_sweep["points"]:
+        hist = point["hist"]
+        assert sum(hist["counts"]) == hist["count"] == point["served"]
+        for exemplar in hist["exemplars"]:
+            assert _TRACE_ID.match(exemplar["trace_id"]), exemplar
+            assert hist["counts"][exemplar["bucket"]] > 0
+        if point["served"]:
+            assert point["p99_exemplar"] is not None
+            assert _TRACE_ID.match(point["p99_exemplar"]["trace_id"])
+        # Lane histograms decompose the same answers by executing lane.
+        lane_total = sum(
+            h["count"] for h in point["lane_hists"].values()
+        )
+        assert lane_total == point["served"], point["technique"]
+
+
+def test_slo_document_is_deterministic():
+    """Same scenario, same seed, byte-identical repro.slo/1 document."""
+    first = run_slo_scenario("chaos-quick", seed=0)
+    second = run_slo_scenario("chaos-quick", seed=0)
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)

@@ -16,8 +16,9 @@ Assertions are calibrated to the host:
 * the parallel-vs-serial speedup (>= 2.5x at 4 workers) is only
   asserted when the host actually has >= 4 CPUs. ``host_cpus`` is
   recorded in the artifact so CI trend tracking can interpret the
-  speedup field; on smaller hosts parallel mode must merely stay
-  correct, not faster.
+  speedup field; on smaller hosts the assertion degrades to a serial
+  floor (>= 0.5x) instead of disappearing — parallel mode must stay
+  correct and must not collapse, even when it cannot be faster.
 """
 
 from __future__ import annotations
@@ -150,6 +151,17 @@ def test_wallclock_speedup_and_cache(benchmark, record_table, tmp_path):
     speedup = out["serial_s"] / out["parallel_s"]
     if host_cpus >= 4:
         assert speedup >= 2.5, f"parallel speedup {speedup:.2f}x at jobs=4"
+    else:
+        # On small hosts parallel mode can't be faster, but it must not
+        # collapse either: worker processes still time-slice the same
+        # cores, so the sweep should finish within ~2x of serial. The
+        # 0.5x floor brackets the 0.872x measured on the 1-CPU reference
+        # host (ROADMAP PR 5) with headroom for scheduler noise — the
+        # assertion now arms everywhere instead of silently passing.
+        assert speedup >= 0.5, (
+            f"parallel sweep {speedup:.2f}x of serial on {host_cpus} "
+            f"CPU(s) — worse than the documented serial floor"
+        )
 
     doc = {
         "schema": SCHEMA,

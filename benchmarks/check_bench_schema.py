@@ -5,14 +5,25 @@ The benchmark session writes machine-readable documents — every offline
 sweep point into ``BENCH_sim.json`` (see ``benchmarks/conftest.py``) and
 the serving-layer load sweep into ``BENCH_service.json`` (see
 ``benchmarks/bench_service_latency.py``), the fault-injected sweep
-into ``BENCH_chaos.json`` (see ``benchmarks/bench_chaos.py``), and the
-host wall-clock timings of the perf layer into ``BENCH_wallclock.json``
-(see ``benchmarks/bench_wallclock.py``).
+into ``BENCH_chaos.json`` (see ``benchmarks/bench_chaos.py``), the
+SLO burn-rate sweep into ``BENCH_slo.json`` (see
+``benchmarks/bench_slo.py``), and the host wall-clock timings of the
+perf layer into ``BENCH_wallclock.json`` (see
+``benchmarks/bench_wallclock.py``). ``python -m repro explain --json``
+documents (``repro.explain/1``) validate through the same dispatch —
+CI smokes the explain verb by piping its output here.
 Downstream consumers — plots, the paper-comparison notebooks, CI trend
 tracking — key off the ``repro.bench-sim/1`` / ``repro.service/1`` /
-``repro.chaos/1`` / ``repro.wallclock/1`` shapes, so CI runs this
-checker after the benchmark smoke job and fails the build if a field is
-renamed, dropped, or retyped without bumping the schema version.
+``repro.chaos/1`` / ``repro.slo/1`` / ``repro.explain/1`` /
+``repro.wallclock/1`` shapes, so CI runs this checker after the
+benchmark smoke job and fails the build if a field is renamed,
+dropped, or retyped without bumping the schema version.
+
+Semantic checks ride along per schema: service documents get monotone
+latency percentiles, slo documents get monotone ``budget_consumed``
+series and histogram counts that sum to the served-request count,
+explain documents get a gap-free critical path whose stage cycles sum
+to the request's latency.
 
 The document kind is dispatched on its ``schema`` field, so the same
 invocation validates either artifact::
@@ -39,6 +50,8 @@ SCHEMA = "repro.bench-sim/1"
 SERVICE_SCHEMA = "repro.service/1"
 CHAOS_SCHEMA = "repro.chaos/1"
 WALLCLOCK_SCHEMA = "repro.wallclock/1"
+SLO_SCHEMA = "repro.slo/1"
+EXPLAIN_SCHEMA = "repro.explain/1"
 
 #: Field name -> type check, for binary-search sweep points
 #: (mirrors ``conftest._point_record``).
@@ -162,6 +175,200 @@ def check_wallclock_document(doc: dict) -> list[str]:
         for name, seconds in micro.items():
             if not isinstance(seconds, numbers.Real) or seconds <= 0:
                 errors.append(f"micro_timings_s[{name!r}]: {seconds!r} is not > 0")
+    return errors
+
+
+#: Field name -> type check for ``repro.slo/1`` points
+#: (mirrors ``repro.service.loadgen._slo_record``).
+SLO_POINT_FIELDS = {
+    "technique": str,
+    "load_multiplier": numbers.Real,
+    "requests": numbers.Integral,
+    "served": numbers.Integral,
+    "p99": numbers.Integral,
+    "slo_attainment": (numbers.Real, type(None)),
+    "p99_exemplar": (dict, type(None)),
+    "hist": dict,
+    "lane_hists": dict,
+    "burn": dict,
+}
+
+#: Field name -> type check inside one point's burn analysis
+#: (mirrors ``repro.obs.slo.burn_analysis``).
+BURN_FIELDS = {
+    "slo_cycles": numbers.Integral,
+    "target": numbers.Real,
+    "budget": numbers.Real,
+    "short_window_cycles": numbers.Integral,
+    "long_window_cycles": numbers.Integral,
+    "events": numbers.Integral,
+    "bad": numbers.Integral,
+    "attainment": numbers.Real,
+    "overall_burn": numbers.Real,
+    "burn_short": list,
+    "burn_long": list,
+    "max_burn_short": numbers.Real,
+    "max_burn_long": numbers.Real,
+    "budget_consumed": list,
+    "alert_windows": numbers.Integral,
+}
+
+#: Top-level fields of the ``repro.explain/1`` document
+#: (mirrors ``repro.service.explain.explain_point``).
+EXPLAIN_FIELDS = {
+    "kind": str,
+    "scenario": str,
+    "technique": str,
+    "load_multiplier": numbers.Real,
+    "seed": numbers.Integral,
+    "fault_profile": str,
+    "q": numbers.Real,
+    "point_p99": numbers.Integral,
+    "point_served": numbers.Integral,
+    "exemplar": dict,
+    "critical_path": dict,
+}
+
+
+def _check_fields(fields: dict, record: dict, errors: list[str], *, label: str) -> None:
+    """Whitelist check shared by the slo/explain validators."""
+    for field, expected in fields.items():
+        if field not in record:
+            errors.append(f"{label}: missing field {field!r}")
+        elif not isinstance(record[field], expected) or isinstance(
+            record[field], bool
+        ):
+            expected_name = (
+                "/".join(t.__name__ for t in expected)
+                if isinstance(expected, tuple)
+                else expected.__name__
+            )
+            errors.append(
+                f"{label}.{field}: {type(record[field]).__name__} "
+                f"is not {expected_name}"
+            )
+    for field in record:
+        if field != "schema" and field not in fields:
+            errors.append(f"{label}: unknown field {field!r} (schema drift?)")
+
+
+def check_slo_point(index: int, point: object, errors: list[str]) -> None:
+    label = f"points[{index}]"
+    if not isinstance(point, dict):
+        errors.append(f"{label}: point is {type(point).__name__}, not object")
+        return
+    _check_fields(SLO_POINT_FIELDS, point, errors, label=label)
+    burn = point.get("burn")
+    if isinstance(burn, dict):
+        _check_fields(BURN_FIELDS, burn, errors, label=f"{label}.burn")
+        # Budget only burns: the cumulative series never decreases.
+        consumed = burn.get("budget_consumed")
+        if isinstance(consumed, list) and any(
+            a > b for a, b in zip(consumed, consumed[1:])
+        ):
+            errors.append(f"{label}.burn.budget_consumed is not monotone")
+    hist = point.get("hist")
+    served = point.get("served")
+    if isinstance(hist, dict):
+        counts = hist.get("counts")
+        if not isinstance(counts, list):
+            errors.append(f"{label}.hist.counts must be a list")
+        elif isinstance(served, numbers.Integral) and sum(counts) != served:
+            errors.append(
+                f"{label}: hist counts sum to {sum(counts)}, "
+                f"but served is {served}"
+            )
+        exemplars = hist.get("exemplars")
+        if isinstance(exemplars, list) and isinstance(counts, list):
+            for exemplar in exemplars:
+                bucket = exemplar.get("bucket") if isinstance(exemplar, dict) else None
+                if not isinstance(bucket, numbers.Integral) or not (
+                    0 <= bucket < len(counts)
+                ):
+                    errors.append(f"{label}: exemplar bucket {bucket!r} out of range")
+                elif counts[bucket] <= 0:
+                    errors.append(
+                        f"{label}: exemplar in empty bucket {bucket}"
+                    )
+
+
+def check_slo_document(doc: dict) -> list[str]:
+    errors: list[str] = []
+    doc_fields = [
+        ("kind", str),
+        ("scenario", str),
+        ("arrival_kind", str),
+        ("arch", str),
+        ("table_bytes", numbers.Integral),
+        ("n_requests", numbers.Integral),
+        ("seed", numbers.Integral),
+        ("slo_cycles", numbers.Integral),
+        ("slo_target", numbers.Real),
+        ("fault_profile", str),
+        ("seq_capacity_per_kcycle", numbers.Real),
+    ]
+    for field, expected in doc_fields:
+        if field not in doc:
+            errors.append(f"missing field {field!r}")
+        elif not isinstance(doc[field], expected):
+            errors.append(
+                f"{field}: {type(doc[field]).__name__} is not {expected.__name__}"
+            )
+    target = doc.get("slo_target")
+    if isinstance(target, numbers.Real) and not 0.0 < target < 1.0:
+        errors.append(f"slo_target {target} outside (0, 1)")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        errors.append("points must be a non-empty list")
+        return errors
+    for index, point in enumerate(points):
+        check_slo_point(index, point, errors)
+    return errors
+
+
+def check_explain_document(doc: dict) -> list[str]:
+    errors: list[str] = []
+    _check_fields(EXPLAIN_FIELDS, doc, errors, label="doc")
+    path = doc.get("critical_path")
+    if not isinstance(path, dict):
+        return errors
+    for field in ("trace_id", "outcome", "arrival", "end", "latency", "stages"):
+        if field not in path:
+            errors.append(f"critical_path: missing field {field!r}")
+    stages = path.get("stages")
+    if not isinstance(stages, list):
+        errors.append("critical_path.stages must be a list")
+        return errors
+    # Stages tile [arrival, end] without gaps and attribute 100% of the
+    # request's latency (the tracer's core invariant, re-checked on the
+    # serialized artifact).
+    latency = path.get("latency")
+    if stages:
+        if stages[0].get("start") != path.get("arrival"):
+            errors.append("critical_path: first stage does not start at arrival")
+        if stages[-1].get("end") != path.get("end"):
+            errors.append("critical_path: last stage does not end at end")
+        for a, b in zip(stages, stages[1:]):
+            if a.get("end") != b.get("start"):
+                errors.append(
+                    f"critical_path: gap between {a.get('name')!r} "
+                    f"and {b.get('name')!r}"
+                )
+        total = sum(s.get("cycles", 0) for s in stages)
+        if isinstance(latency, numbers.Integral) and total != latency:
+            errors.append(
+                f"critical_path: stage cycles sum to {total}, "
+                f"latency is {latency}"
+            )
+        pct = sum(s.get("pct", 0) for s in stages)
+        if isinstance(latency, numbers.Integral) and latency > 0 and not (
+            99.0 <= pct <= 101.0
+        ):
+            errors.append(f"critical_path: stage pct sums to {pct}, not ~100")
+    elif isinstance(latency, numbers.Integral) and latency != 0:
+        errors.append(
+            f"critical_path: no stages but latency is {latency}"
+        )
     return errors
 
 
@@ -310,6 +517,12 @@ def main(argv: list[str] | None = None) -> int:
     elif isinstance(doc, dict) and doc.get("schema") == WALLCLOCK_SCHEMA:
         errors = check_wallclock_document(doc)
         schema = WALLCLOCK_SCHEMA
+    elif isinstance(doc, dict) and doc.get("schema") == SLO_SCHEMA:
+        errors = check_slo_document(doc)
+        schema = SLO_SCHEMA
+    elif isinstance(doc, dict) and doc.get("schema") == EXPLAIN_SCHEMA:
+        errors = check_explain_document(doc)
+        schema = EXPLAIN_SCHEMA
     else:
         errors = check_document(doc, args.require)
         schema = SCHEMA
@@ -328,6 +541,18 @@ def main(argv: list[str] | None = None) -> int:
             f"OK: {path} matches {schema} "
             f"(speedup {doc['speedup']}x at jobs={doc['jobs']}, "
             f"warm replay {doc['cache_warm_speedup']}x)"
+        )
+    elif schema == SLO_SCHEMA:
+        print(
+            f"OK: {path} matches {schema} "
+            f"({doc['scenario']!r}, {len(doc['points'])} points, "
+            f"faults={doc['fault_profile']!r})"
+        )
+    elif schema == EXPLAIN_SCHEMA:
+        print(
+            f"OK: {path} matches {schema} "
+            f"({doc['scenario']!r}/{doc['technique']} p{doc['q']:g} -> "
+            f"{doc['exemplar']['trace_id']})"
         )
     else:
         n_points = sum(len(s["points"]) for s in doc["sweeps"].values())

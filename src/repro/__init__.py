@@ -119,9 +119,11 @@ from repro.sim import AddressSpaceAllocator, ExecutionEngine, MemorySystem
 from repro import api
 from repro.api import (
     ExperimentResult,
+    ExplainResult,
     FaultInjectionResult,
     LookupResult,
     ServeResult,
+    explain,
     inject_faults,
     lookup_batch,
     run_experiment,
@@ -230,10 +232,12 @@ __all__ = [
     "api",
     "ExperimentResult",
     "ServeResult",
+    "ExplainResult",
     "LookupResult",
     "FaultInjectionResult",
     "run_experiment",
     "serve",
+    "explain",
     "lookup_batch",
     "inject_faults",
     "FAULT_KINDS",

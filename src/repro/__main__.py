@@ -9,6 +9,8 @@ Usage::
     python -m repro serve mixed          # online-serving load sweep
     python -m repro serve quick --json --seed 3
     python -m repro serve chaos --faults chaos   # fault-injected sweep
+    python -m repro serve quick --trace-requests /tmp/rt   # span artifacts
+    python -m repro explain chaos-quick --pN 99   # p99 critical path
     python -m repro fig7 --jobs 4        # fan sweep points over 4 processes
     python -m repro fig7 --no-cache      # recompute instead of replaying
     python -m repro profile fig7 --top 10   # cProfile one sweep point
@@ -23,7 +25,10 @@ kernel and writes a Chrome-trace/Perfetto JSON, a run-summary JSON, and
 a JSONL event stream into ``--out`` (see docs/observability.md). The
 ``serve`` verb runs a named serving scenario — seeded arrivals,
 admission control, request coalescing — and prints the per-technique
-throughput-vs-latency table (see docs/serving.md).
+throughput-vs-latency table (see docs/serving.md); with
+``--trace-requests DIR`` it also writes per-point request span
+artifacts. The ``explain`` verb re-runs one sweep point with request
+tracing and prints the pN exemplar request's critical path.
 """
 
 from __future__ import annotations
@@ -146,7 +151,11 @@ def _list_main() -> int:
 def _serve_main(argv: list[str]) -> int:
     from repro.errors import ReproError, WorkloadError
     from repro.faults.schedule import fault_profile_names, get_fault_profile
-    from repro.service.loadgen import render_service_doc, run_scenario
+    from repro.service.loadgen import (
+        render_service_doc,
+        run_scenario,
+        run_traced_scenario,
+    )
     from repro.service.scenarios import get_scenario, scenario_names
 
     parser = argparse.ArgumentParser(
@@ -181,6 +190,16 @@ def _serve_main(argv: list[str]) -> int:
             "scenario's default"
         ),
     )
+    parser.add_argument(
+        "--trace-requests",
+        metavar="DIR",
+        default=None,
+        help=(
+            "run with request tracing and write per-point Chrome-trace "
+            "and JSONL span artifacts into DIR (the printed document is "
+            "identical either way)"
+        ),
+    )
     _add_perf_options(parser)
     args = parser.parse_args(argv)
     _configure_perf(args)
@@ -201,7 +220,14 @@ def _serve_main(argv: list[str]) -> int:
         return 2
 
     try:
-        doc = run_scenario(scenario, seed=args.seed, faults=faults)
+        if args.trace_requests is None:
+            doc = run_scenario(scenario, seed=args.seed, faults=faults)
+        else:
+            doc, traced = run_traced_scenario(
+                scenario, seed=args.seed, faults=faults
+            )
+            for path in _write_trace_artifacts(args.trace_requests, traced):
+                print(f"trace artifact: {path}", file=sys.stderr)
     except ReproError as error:
         print(f"serve failed: {error}", file=sys.stderr)
         return 1
@@ -209,6 +235,129 @@ def _serve_main(argv: list[str]) -> int:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(render_service_doc(doc))
+    return 0
+
+
+def _write_trace_artifacts(out_dir: str, traced: dict) -> list[str]:
+    """Write one Chrome trace + one spans JSONL per traced sweep point.
+
+    Point labels like ``CORO@x2.5`` become filename-safe stems
+    (``CORO_x2.5``); returns the written paths in label order.
+    """
+    from repro.obs.rtrace import request_chrome_trace, request_traces_jsonl
+
+    os.makedirs(out_dir, exist_ok=True)
+    paths: list[str] = []
+    for label, record in traced.items():
+        stem = label.replace("@", "_").replace("/", "-")
+        timeline = record["fault_timeline"]
+        chrome = request_chrome_trace(
+            record["traces"],
+            label=label,
+            fault_windows=timeline["windows"],
+            fault_points=timeline["points"],
+        )
+        chrome_path = os.path.join(out_dir, f"requests_{stem}.trace.json")
+        with open(chrome_path, "w", encoding="utf-8") as handle:
+            json.dump(chrome, handle, indent=2, sort_keys=True)
+        paths.append(chrome_path)
+        jsonl_path = os.path.join(out_dir, f"requests_{stem}.jsonl")
+        with open(jsonl_path, "w", encoding="utf-8") as handle:
+            for line in request_traces_jsonl(record["traces"]):
+                handle.write(line + "\n")
+        paths.append(jsonl_path)
+    return paths
+
+
+def _explain_main(argv: list[str]) -> int:
+    from repro.errors import ReproError, WorkloadError
+    from repro.faults.schedule import fault_profile_names, get_fault_profile
+    from repro.service.explain import explain_point, render_explain_doc
+    from repro.service.scenarios import get_scenario, scenario_names
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description=(
+            "Re-run one (technique, load) point of a serving scenario "
+            "with request tracing and print the pN exemplar request's "
+            "critical path — which stage the tail latency actually "
+            "lives in."
+        ),
+    )
+    parser.add_argument(
+        "scenario", help=f"scenario name ({', '.join(scenario_names())})"
+    )
+    parser.add_argument(
+        "--pN",
+        type=float,
+        default=99,
+        metavar="N",
+        dest="pn",
+        help="percentile to explain, in (0, 100] (default 99)",
+    )
+    parser.add_argument(
+        "--technique",
+        default=None,
+        help="technique to trace (default: CORO when swept, else last)",
+    )
+    parser.add_argument(
+        "--load",
+        type=float,
+        default=None,
+        metavar="X",
+        help="load multiplier to trace (default: the scenario's highest)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for arrivals and probe values (default 0)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PROFILE",
+        default=None,
+        help=(
+            "fault profile to inject "
+            f"({', '.join(fault_profile_names())}); overrides the "
+            "scenario's default"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the repro.explain/1 document as JSON instead of ASCII",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        scenario = get_scenario(args.scenario)
+        faults = (
+            None if args.faults is None else get_fault_profile(args.faults)
+        )
+    except WorkloadError as error:
+        print(f"explain: {error}", file=sys.stderr)
+        return 2
+    try:
+        doc = explain_point(
+            scenario,
+            technique=args.technique,
+            load=args.load,
+            seed=args.seed,
+            faults=faults,
+            q=args.pn,
+        )
+    except WorkloadError as error:
+        # Unknown technique / load for this scenario — a usage error.
+        print(f"explain: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"explain failed: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_explain_doc(doc))
     return 0
 
 
@@ -332,6 +481,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return _explain_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
 
@@ -347,7 +498,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         help="experiment names, 'list' to enumerate them, 'trace' "
         "(see 'python -m repro trace --help'), 'serve' "
-        "(see 'python -m repro serve --help'), or 'profile' "
+        "(see 'python -m repro serve --help'), 'explain' "
+        "(see 'python -m repro explain --help'), or 'profile' "
         "(see 'python -m repro profile --help')",
     )
     parser.add_argument(

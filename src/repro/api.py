@@ -33,10 +33,12 @@ from repro.errors import WorkloadError
 __all__ = [
     "ExperimentResult",
     "ServeResult",
+    "ExplainResult",
     "LookupResult",
     "FaultInjectionResult",
     "run_experiment",
     "serve",
+    "explain",
     "lookup_batch",
     "inject_faults",
 ]
@@ -102,6 +104,34 @@ class ServeResult:
         from repro.service.loadgen import render_service_doc
 
         return render_service_doc(self.doc)
+
+
+@dataclass(frozen=True)
+class ExplainResult:
+    """One sweep point's p-N request, explained (``repro.explain/1``)."""
+
+    scenario: str
+    technique: str
+    load_multiplier: float
+    #: The percentile that was explained (e.g. ``99``).
+    q: float
+    doc: dict
+
+    @property
+    def trace_id(self) -> str:
+        """Deterministic id of the exemplar request."""
+        return self.doc["exemplar"]["trace_id"]
+
+    @property
+    def stages(self) -> list[dict]:
+        """Critical-path stages: name, start, end, cycles, pct."""
+        return self.doc["critical_path"]["stages"]
+
+    def render(self) -> str:
+        """The CLI's ASCII critical-path tables."""
+        from repro.service.explain import render_explain_doc
+
+        return render_explain_doc(self.doc)
 
 
 @dataclass(frozen=True)
@@ -218,6 +248,38 @@ def serve(
     with _perf_scope(jobs, cache):
         doc = run_scenario(scenario, seed=seed, faults=faults)
     return ServeResult(scenario=doc["scenario"], schema=doc["schema"], doc=doc)
+
+
+def explain(
+    scenario,
+    *,
+    technique: str | None = None,
+    load: float | None = None,
+    seed: int = 0,
+    faults=None,
+    q: float = 99,
+) -> ExplainResult:
+    """Explain the p-``q`` exemplar request of one serving sweep point.
+
+    Re-runs a single (technique, load) point with request tracing
+    enabled, resolves the p-``q`` exemplar out of the point's latency
+    histogram, and reduces its span tree to a critical path — the
+    typed counterpart of ``python -m repro explain``. ``technique``
+    defaults to CORO when the scenario sweeps it; ``load`` to the
+    scenario's highest multiplier.
+    """
+    from repro.service.explain import explain_point
+
+    doc = explain_point(
+        scenario, technique=technique, load=load, seed=seed, faults=faults, q=q
+    )
+    return ExplainResult(
+        scenario=doc["scenario"],
+        technique=doc["technique"],
+        load_multiplier=doc["load_multiplier"],
+        q=doc["q"],
+        doc=doc,
+    )
 
 
 def lookup_batch(

@@ -122,6 +122,19 @@ class FaultInjector:
             lfb_capacity=self.lfb_capacity_at(shard, at),
         )
 
+    def window_kinds_between(self, shard: int, start: int, end: int) -> tuple:
+        """Kinds of fault windows overlapping ``[start, end)`` on a shard.
+
+        Purely an annotation query (request tracing tags each dispatch
+        attempt with the chaos it executed under); deduplicated, in
+        schedule order, never consulted by the simulation itself.
+        """
+        kinds: list[str] = []
+        for event in self._windows[shard]:
+            if event.at < end and event.until > start and event.kind not in kinds:
+                kinds.append(event.kind)
+        return tuple(kinds)
+
     def crash_between(self, shard: int, start: int, end: int) -> ShardCrash | None:
         """First crash hitting ``shard`` strictly inside ``(start, end)``.
 

@@ -15,10 +15,20 @@ so the simulator carries a first-class instrumentation layer:
 * :mod:`repro.obs.export` — exporters: JSONL events, Chrome-trace /
   Perfetto JSON (one "thread" per coroutine frame, cycle timestamps),
   and a JSON run summary.
+* :mod:`repro.obs.rtrace` — request-centric tracing for the serving
+  layer: one causally-linked span tree per request (admission → queue →
+  coalesce → dispatch attempts → completion), with hedge winner/loser
+  links and fault annotations, exportable as Chrome-trace or JSONL.
+* :mod:`repro.obs.hist` — fixed-bucket log-scale latency histograms
+  whose buckets keep trace-id **exemplars** ("show me a p99 request" is
+  one lookup), plus the repo's canonical nearest-rank percentile.
+* :mod:`repro.obs.slo` — multi-window error-budget **burn rates** over
+  simulated time (the ``repro.slo/1`` document).
 
 Instrumentation is **zero-overhead by default**: the engine ships with
-the shared :data:`~repro.obs.spans.NULL_RECORDER`, whose ``enabled``
-flag gates every hot-path hook, so un-traced runs charge bit-identical
+the shared :data:`~repro.obs.spans.NULL_RECORDER` and the serving layer
+with :data:`~repro.obs.rtrace.NULL_REQUEST_TRACER`; their ``enabled``
+flags gate every hot-path hook, so un-traced runs charge bit-identical
 cycle counts.
 """
 
@@ -37,20 +47,43 @@ from repro.obs.export import (
     spans_jsonl,
     write_run_artifacts,
 )
+from repro.obs.hist import Exemplar, ExemplarHistogram, nearest_rank
+from repro.obs.rtrace import (
+    NULL_REQUEST_TRACER,
+    NullRequestTracer,
+    RequestTracer,
+    critical_path,
+    request_chrome_trace,
+    request_traces_jsonl,
+    trace_errors,
+)
+from repro.obs.slo import SLO_SCHEMA, burn_analysis
 
 __all__ = [
     "Counter",
+    "Exemplar",
+    "ExemplarHistogram",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_RECORDER",
+    "NULL_REQUEST_TRACER",
     "NullRecorder",
+    "NullRequestTracer",
     "RecordingStream",
+    "RequestTracer",
+    "SLO_SCHEMA",
     "Span",
     "SpanRecorder",
     "SPAN_KINDS",
+    "burn_analysis",
     "chrome_trace",
+    "critical_path",
+    "nearest_rank",
+    "request_chrome_trace",
+    "request_traces_jsonl",
     "run_summary",
     "spans_jsonl",
+    "trace_errors",
     "write_run_artifacts",
 ]

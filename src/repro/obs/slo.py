@@ -1,0 +1,145 @@
+"""SLO error-budget burn rates over simulated time.
+
+SRE-style burn-rate accounting, transplanted onto the serving
+simulation's cycle clock. A run's SLO is "fraction ``target`` of
+requests answered within ``slo_cycles``"; its **error budget** is
+``1 - target``. The burn rate of a time window is how fast that budget
+is being consumed relative to plan::
+
+    burn = (bad_events / events_in_window) / (1 - target)
+
+``burn == 1`` consumes the budget exactly at the sustainable rate;
+``burn == 10`` exhausts a whole budget in a tenth of the period. The
+standard operational practice is **multi-window** evaluation — a long
+window for significance and a short window for freshness; an alert
+fires only when *both* burn fast, so a recovered blip (short window
+clean) stops paging even while the long window still remembers it.
+
+:func:`burn_analysis` computes exactly that over tumbling windows of
+simulated cycles, plus a cumulative ``budget_consumed`` series (share
+of the run's total error budget spent so far — monotone by
+construction, which the ``repro.slo/1`` schema checker asserts).
+
+An *event* here is any request reaching a terminal state: good iff it
+finished with end-to-end latency within the SLO. Refusals, timeouts,
+and crash-failures are all budget burn — that is the point: under the
+chaos profile the interleaved server converts faults into *slightly
+slower completions* while the sequential server converts them into
+*misses*, so CORO burns budget measurably slower at equal fault load
+(pinned by ``benchmarks/bench_slo.py``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SLO_SCHEMA", "burn_analysis"]
+
+#: Schema tag of the burn-rate data document / BENCH_slo.json.
+SLO_SCHEMA = "repro.slo/1"
+
+#: Long window: one sixth of the run; short window: one fifth of long.
+#: (The 36:6:1 spirit of production multi-window policies, scaled to a
+#: run that is itself only a few hundred requests long.)
+_LONG_DIVISOR = 6
+_SHORT_PER_LONG = 5
+
+
+def _window_series(events, horizon: int, window: int) -> list[dict]:
+    """Tumbling-window burn inputs: events and bad-events per window."""
+    n_windows = -(-horizon // window)  # ceil
+    totals = [0] * n_windows
+    bad = [0] * n_windows
+    for cycle, ok in events:
+        index = min(cycle // window, n_windows - 1)
+        totals[index] += 1
+        if not ok:
+            bad[index] += 1
+    return [
+        {"start": i * window, "events": totals[i], "bad": bad[i]}
+        for i in range(n_windows)
+    ]
+
+
+def burn_analysis(
+    events,
+    *,
+    makespan: int,
+    slo_cycles: int,
+    target: float = 0.99,
+    short_window: int | None = None,
+    long_window: int | None = None,
+) -> dict:
+    """Multi-window error-budget burn over one run's terminal events.
+
+    ``events`` is an iterable of ``(cycle, ok)`` pairs — one per request
+    reaching a terminal state, stamped with the cycle it did. Window
+    sizes default to deterministic fractions of the makespan, so two
+    runs of the same seed produce the identical series.
+    """
+    if not 0.0 < target < 1.0:
+        raise ConfigurationError(f"SLO target {target!r} outside (0, 1)")
+    if slo_cycles <= 0:
+        raise ConfigurationError("slo_cycles must be positive")
+    events = sorted(events)
+    horizon = max(makespan, max((cycle for cycle, _ in events), default=0)) + 1
+    if long_window is None:
+        long_window = max(1, -(-horizon // _LONG_DIVISOR))
+    if short_window is None:
+        short_window = max(1, -(-long_window // _SHORT_PER_LONG))
+    if short_window < 1 or long_window < short_window:
+        raise ConfigurationError(
+            "burn windows need 1 <= short_window <= long_window"
+        )
+    budget = 1.0 - target
+
+    def burns(series):
+        return [
+            round(w["bad"] / w["events"] / budget, 6) if w["events"] else 0.0
+            for w in series
+        ]
+
+    short_series = _window_series(events, horizon, short_window)
+    long_series = _window_series(events, horizon, long_window)
+    short_burn = burns(short_series)
+    long_burn = burns(long_series)
+
+    total = len(events)
+    total_bad = sum(1 for _, ok in events if not ok)
+    # Cumulative share of the whole run's error budget spent by the end
+    # of each long window — monotone non-decreasing by construction.
+    consumed: list[float] = []
+    running_bad = 0
+    for window in long_series:
+        running_bad += window["bad"]
+        consumed.append(
+            round(running_bad / (total * budget), 6) if total else 0.0
+        )
+
+    # Page only when both windows burn fast (the multi-window AND).
+    ratio = long_window // short_window
+    alerts = 0
+    for i, burn in enumerate(long_burn):
+        if burn <= 1.0:
+            continue
+        shorts = short_burn[i * ratio : (i + 1) * ratio]
+        if any(b > 1.0 for b in shorts):
+            alerts += 1
+
+    return {
+        "slo_cycles": slo_cycles,
+        "target": target,
+        "budget": round(budget, 6),
+        "short_window_cycles": short_window,
+        "long_window_cycles": long_window,
+        "events": total,
+        "bad": total_bad,
+        "attainment": round((total - total_bad) / total, 6) if total else 1.0,
+        "overall_burn": round(total_bad / total / budget, 6) if total else 0.0,
+        "burn_short": short_burn,
+        "burn_long": long_burn,
+        "max_burn_short": max(short_burn, default=0.0),
+        "max_burn_long": max(long_burn, default=0.0),
+        "budget_consumed": consumed,
+        "alert_windows": alerts,
+    }

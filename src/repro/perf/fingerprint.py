@@ -35,6 +35,13 @@ FINGERPRINT_PATHS = (
     "faults",
     "analysis/calibration.py",
     "analysis/experiments.py",
+    # The obs modules below shape measure_service_point's cached outcome
+    # (exemplar histograms, burn analysis, span trees), so edits to them
+    # must invalidate service sweep entries. obs/export.py et al. stay
+    # out: offline tracing never enters the cache.
+    "obs/hist.py",
+    "obs/slo.py",
+    "obs/rtrace.py",
 )
 
 

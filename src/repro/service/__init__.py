@@ -30,12 +30,20 @@ from repro.service.arrivals import (
     make_arrivals,
 )
 from repro.service.coalescer import Coalescer
+from repro.service.explain import (
+    EXPLAIN_SCHEMA,
+    explain_point,
+    render_explain_doc,
+)
 from repro.service.loadgen import (
     CHAOS_SCHEMA,
     SERVICE_SCHEMA,
+    SLO_SCHEMA,
     fault_horizon,
     render_service_doc,
     run_scenario,
+    run_slo_scenario,
+    run_traced_scenario,
     sequential_capacity,
 )
 from repro.service.request import OUTCOMES, Request
@@ -57,11 +65,13 @@ from repro.service.server import (
 __all__ = [
     "ARRIVAL_KINDS",
     "CHAOS_SCHEMA",
+    "EXPLAIN_SCHEMA",
     "OUTCOMES",
     "OVERLOAD_POLICIES",
     "PERCENTILES",
     "SCENARIO_REGISTRY",
     "SERVICE_SCHEMA",
+    "SLO_SCHEMA",
     "AdmissionController",
     "ArrivalProcess",
     "BurstyArrivals",
@@ -74,13 +84,17 @@ __all__ = [
     "ServiceReport",
     "ServiceServer",
     "TokenBucket",
+    "explain_point",
     "fault_horizon",
     "get_scenario",
     "make_arrivals",
     "percentile",
     "register_scenario",
+    "render_explain_doc",
     "render_service_doc",
     "run_scenario",
+    "run_slo_scenario",
+    "run_traced_scenario",
     "scenario_names",
     "sequential_capacity",
 ]

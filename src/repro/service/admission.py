@@ -28,6 +28,7 @@ from collections import deque
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.rtrace import NULL_REQUEST_TRACER
 from repro.service.request import Request
 
 __all__ = ["OVERLOAD_POLICIES", "TokenBucket", "AdmissionController"]
@@ -82,6 +83,7 @@ class AdmissionController:
         policy: str = "reject",
         rate_limiter: TokenBucket | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer=NULL_REQUEST_TRACER,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError("admission queue needs capacity for one request")
@@ -93,6 +95,7 @@ class AdmissionController:
         self.capacity = capacity
         self.policy = policy
         self.rate_limiter = rate_limiter
+        self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queue: deque[Request] = deque()
         self._arrivals = self.metrics.counter("service.arrivals")
@@ -116,19 +119,27 @@ class AdmissionController:
             self._rate_limited.inc()
             self._rejected.inc()
             request.outcome = "rejected"
+            if self.tracer.enabled:
+                self.tracer.on_admission(request, "reject", rate_limited=True)
             return "reject"
         if len(self.queue) >= self.capacity:
             if self.policy == "shed":
                 self._shed.inc()
                 request.outcome = "shed"
+                if self.tracer.enabled:
+                    self.tracer.on_admission(request, "shed")
                 return "shed"
             counter = self._dropped if self.policy == "drop" else self._rejected
             counter.inc()
             request.outcome = "dropped" if self.policy == "drop" else "rejected"
+            if self.tracer.enabled:
+                self.tracer.on_admission(request, self.policy)
             return self.policy
         self._admitted.inc()
         self.queue.append(request)
         self._depth.set(len(self.queue))
+        if self.tracer.enabled:
+            self.tracer.on_admission(request, "admit")
         return "admit"
 
     def requeue(self, request: Request) -> None:

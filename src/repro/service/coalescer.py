@@ -19,9 +19,10 @@ calls :meth:`take` once a shard actually starts the batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs.rtrace import NULL_REQUEST_TRACER
 from repro.service.admission import AdmissionController
 from repro.service.request import Request
 
@@ -35,6 +36,7 @@ class Coalescer:
     admission: AdmissionController
     max_batch: int
     max_wait_cycles: int
+    tracer: object = field(default=NULL_REQUEST_TRACER, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -64,4 +66,6 @@ class Coalescer:
         batch = self.admission.take(self.max_batch)
         for request in batch:
             request.trigger = trigger
+        if batch and self.tracer.enabled:
+            self.tracer.on_coalesce(batch, trigger)
         return batch

@@ -24,6 +24,8 @@ import numpy as np
 from repro.config import HASWELL, ArchSpec, scaled
 from repro.faults.schedule import FaultProfile, FaultSchedule, resolve_schedule
 from repro.interleaving.executor import BulkLookup, get_executor
+from repro.obs.rtrace import RequestTracer
+from repro.obs.slo import SLO_SCHEMA
 from repro.perf import Task, default_runner
 from repro.service.arrivals import make_arrivals
 from repro.service.scenarios import Scenario, get_scenario
@@ -35,10 +37,13 @@ from repro.workloads.generators import make_table
 __all__ = [
     "SERVICE_SCHEMA",
     "CHAOS_SCHEMA",
+    "SLO_SCHEMA",
     "fault_horizon",
     "sequential_capacity",
     "measure_service_point",
     "run_scenario",
+    "run_traced_scenario",
+    "run_slo_scenario",
     "render_service_doc",
 ]
 
@@ -147,6 +152,38 @@ def _point(
     return record
 
 
+def _slo_record(report: ServiceReport, multiplier: float) -> dict:
+    """One load point of the ``repro.slo/1`` document.
+
+    Exemplar histograms plus burn analysis — kept *outside* the
+    ``repro.service/1`` point dict so existing documents stay
+    byte-identical.
+    """
+    exemplar = report.exemplar_for(99)
+    return {
+        "technique": report.technique,
+        "load_multiplier": multiplier,
+        "requests": len(report.requests),
+        "served": report.served,
+        "p99": int(percentile_of(report)),
+        "slo_attainment": report.slo_attainment,
+        "p99_exemplar": exemplar.as_dict() if exemplar else None,
+        "hist": report.exemplars.as_dict(),
+        "lane_hists": {
+            lane: hist.as_dict()
+            for lane, hist in sorted(report.shard_exemplars.items())
+        },
+        "burn": report.burn_analysis(),
+    }
+
+
+def percentile_of(report: ServiceReport, q: float = 99):
+    """p-q end-to-end latency over *answered* requests (batched + shed)."""
+    from repro.obs.hist import nearest_rank
+
+    return nearest_rank(sorted(report.latencies + report.shed_latencies), q)
+
+
 def measure_service_point(
     scenario: Scenario,
     technique: str,
@@ -154,13 +191,17 @@ def measure_service_point(
     seed: int,
     faults,
     capacity: float,
+    trace: bool = False,
 ) -> dict:
     """Run one (technique, load) serving point; picklable sweep-point fn.
 
     The table and probe values are rebuilt from the scenario and seed —
     both are pure functions of their inputs, so a worker process
     reconstructs exactly the state the old in-process loop shared, and
-    the resulting point is bit-identical at any job count.
+    the resulting point is bit-identical at any job count. With
+    ``trace=True`` a :class:`~repro.obs.rtrace.RequestTracer` rides
+    along and the outcome additionally carries every request's span
+    tree (tracing is observational: the point itself is unchanged).
     """
     arch = _arch_for(scenario)
     allocator = AddressSpaceAllocator(page_size=arch.page_size)
@@ -185,13 +226,78 @@ def measure_service_point(
         n_shards=config.n_shards,
         seed=seed,
     )
-    server = ServiceServer(table, config, arch=arch, seed=seed, faults=schedule)
+    tracer = RequestTracer() if trace else None
+    server = ServiceServer(
+        table,
+        config,
+        arch=arch,
+        seed=seed,
+        faults=schedule,
+        **({"tracer": tracer} if tracer is not None else {}),
+    )
     report = server.serve(arrivals, values)
     point = _point(report, multiplier, rate)
     chaos = schedule is not None
     if chaos:
         point.update(_chaos_point(report, schedule))
-    return {"point": point, "chaos": chaos}
+    outcome = {"point": point, "chaos": chaos, "slo": _slo_record(report, multiplier)}
+    if tracer is not None:
+        outcome["traces"] = tracer.traces()
+        outcome["fault_timeline"] = {
+            "windows": list(tracer.fault_windows),
+            "points": list(tracer.fault_points),
+        }
+    return outcome
+
+
+def _sweep(scenario, seed, faults, trace=False):
+    """Run the full (technique, load) sweep; return the raw outcomes.
+
+    ``trace=False`` tasks carry the historical six-argument tuple, so
+    they share result-cache entries with every other untraced caller
+    (``run_scenario`` and ``run_slo_scenario`` of the same scenario hit
+    the same cache line).
+    """
+    arch = _arch_for(scenario)
+    allocator = AddressSpaceAllocator(page_size=arch.page_size)
+    table = make_table(allocator, "serve/dict", scenario.table_bytes)
+    capacity, cycles_per_lookup = sequential_capacity(
+        table, arch, n_shards=scenario.config.n_shards, seed=seed
+    )
+    args_tail = (True,) if trace else ()
+    outcomes = default_runner().run(
+        [
+            Task(
+                measure_service_point,
+                (scenario, technique, multiplier, seed, faults, capacity)
+                + args_tail,
+            )
+            for technique in scenario.techniques
+            for multiplier in scenario.loads
+        ]
+    )
+    return arch, capacity, cycles_per_lookup, outcomes
+
+
+def _service_doc(scenario, seed, faults, arch, capacity, cycles_per_lookup, outcomes):
+    chaos = any(outcome["chaos"] for outcome in outcomes)
+    doc = {
+        "kind": "service",
+        "schema": CHAOS_SCHEMA if chaos else SERVICE_SCHEMA,
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "arrival_kind": scenario.arrival_kind,
+        "arch": arch.name,
+        "table_bytes": scenario.table_bytes,
+        "n_requests": scenario.n_requests,
+        "seed": seed,
+        "seq_capacity_per_kcycle": capacity,
+        "seq_cycles_per_lookup": cycles_per_lookup,
+        "points": [outcome["point"] for outcome in outcomes],
+    }
+    if chaos:
+        doc["fault_profile"] = _fault_name(faults)
+    return doc
 
 
 def run_scenario(
@@ -216,42 +322,91 @@ def run_scenario(
         scenario = get_scenario(scenario)
     if faults is None:
         faults = scenario.fault_profile
-    arch = _arch_for(scenario)
-    allocator = AddressSpaceAllocator(page_size=arch.page_size)
-    table = make_table(allocator, "serve/dict", scenario.table_bytes)
-    capacity, cycles_per_lookup = sequential_capacity(
-        table, arch, n_shards=scenario.config.n_shards, seed=seed
+    arch, capacity, cycles_per_lookup, outcomes = _sweep(scenario, seed, faults)
+    return _service_doc(
+        scenario, seed, faults, arch, capacity, cycles_per_lookup, outcomes
     )
-    outcomes = default_runner().run(
-        [
-            Task(
-                measure_service_point,
-                (scenario, technique, multiplier, seed, faults, capacity),
-            )
-            for technique in scenario.techniques
-            for multiplier in scenario.loads
-        ]
-    )
-    chaos = any(outcome["chaos"] for outcome in outcomes)
-    points = [outcome["point"] for outcome in outcomes]
 
-    doc = {
-        "kind": "service",
-        "schema": CHAOS_SCHEMA if chaos else SERVICE_SCHEMA,
+
+def run_traced_scenario(
+    scenario: Scenario | str,
+    *,
+    seed: int = 0,
+    faults: FaultSchedule | FaultProfile | str | None = None,
+) -> tuple[dict, dict]:
+    """Like :func:`run_scenario`, but with request tracing enabled.
+
+    Returns ``(doc, traced)`` where ``doc`` is the *identical* service
+    document an untraced run emits (tracing is observational), and
+    ``traced`` maps a ``"technique@xLOAD"`` label per point to
+    ``{"traces": [...], "fault_timeline": {...}}`` — the inputs of
+    :func:`repro.obs.rtrace.request_chrome_trace`.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if faults is None:
+        faults = scenario.fault_profile
+    arch, capacity, cycles_per_lookup, outcomes = _sweep(
+        scenario, seed, faults, trace=True
+    )
+    doc = _service_doc(
+        scenario, seed, faults, arch, capacity, cycles_per_lookup, outcomes
+    )
+    labels = [
+        f"{technique}@x{multiplier:g}"
+        for technique in scenario.techniques
+        for multiplier in scenario.loads
+    ]
+    traced = {
+        label: {
+            "traces": outcome["traces"],
+            "fault_timeline": outcome["fault_timeline"],
+        }
+        for label, outcome in zip(labels, outcomes)
+    }
+    return doc, traced
+
+
+def run_slo_scenario(
+    scenario: Scenario | str,
+    *,
+    seed: int = 0,
+    faults: FaultSchedule | FaultProfile | str | None = None,
+) -> dict:
+    """Run the sweep and emit the ``repro.slo/1`` burn-rate document.
+
+    Shares the sweep (and its result cache) with :func:`run_scenario`;
+    the document carries, per (technique, load) point, the exemplar
+    latency histogram, the per-lane execution histograms, and the
+    multi-window burn analysis of :mod:`repro.obs.slo`.
+    """
+    from repro.errors import ConfigurationError
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if scenario.config.slo_cycles is None:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} has no slo_cycles: nothing to burn"
+        )
+    if faults is None:
+        faults = scenario.fault_profile
+    arch, capacity, _, outcomes = _sweep(scenario, seed, faults)
+    chaos = any(outcome["chaos"] for outcome in outcomes)
+    return {
+        "kind": "slo",
+        "schema": SLO_SCHEMA,
         "scenario": scenario.name,
-        "description": scenario.description,
         "arrival_kind": scenario.arrival_kind,
         "arch": arch.name,
         "table_bytes": scenario.table_bytes,
         "n_requests": scenario.n_requests,
         "seed": seed,
+        "slo_cycles": scenario.config.slo_cycles,
+        "slo_target": scenario.config.slo_target,
+        "fault_profile": _fault_name(faults) if chaos else "none",
         "seq_capacity_per_kcycle": capacity,
-        "seq_cycles_per_lookup": cycles_per_lookup,
-        "points": points,
+        "points": [outcome["slo"] for outcome in outcomes],
     }
-    if chaos:
-        doc["fault_profile"] = _fault_name(faults)
-    return doc
 
 
 def _replace_config(config, **changes):

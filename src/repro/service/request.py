@@ -54,6 +54,21 @@ class Request:
     attempts: int = 0
 
     # ------------------------------------------------------------------
+    # Trace identity
+    # ------------------------------------------------------------------
+
+    @property
+    def trace_id(self) -> str:
+        """Deterministic trace id: a pure function of (index, arrival).
+
+        Two runs of the same seed mint identical ids, so an exemplar
+        recorded in one run can be looked up in a replay — the property
+        ``python -m repro explain`` is built on. Computed on demand (no
+        stored field), so untraced serving carries zero extra state.
+        """
+        return f"req-{self.index:05d}-{self.arrival:08x}"
+
+    # ------------------------------------------------------------------
     # Latency decomposition
     # ------------------------------------------------------------------
 

@@ -54,7 +54,10 @@ from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.interleaving.executor import BulkLookup, get_executor
 from repro.interleaving.policies import degraded_group_size
+from repro.obs.hist import ExemplarHistogram, nearest_rank
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.rtrace import NULL_REQUEST_TRACER
+from repro.obs.slo import burn_analysis
 from repro.service.admission import AdmissionController, TokenBucket
 from repro.service.arrivals import ArrivalProcess
 from repro.service.coalescer import Coalescer
@@ -92,13 +95,12 @@ DEGRADATION_POLICIES = ("off", "adaptive")
 
 
 def percentile(sorted_values: list, q: float):
-    """Nearest-rank percentile of an ascending-sorted list."""
-    if not sorted_values:
-        return 0
-    if not 0 < q <= 100:
-        raise SimulationError(f"percentile {q!r} outside (0, 100]")
-    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil(n*q/100)
-    return sorted_values[int(rank) - 1]
+    """Nearest-rank percentile of an ascending-sorted list.
+
+    Kept as a re-export for compatibility; the implementation is the
+    repo-wide :func:`repro.obs.hist.nearest_rank`.
+    """
+    return nearest_rank(sorted_values, q)
 
 
 @dataclass(frozen=True)
@@ -120,6 +122,10 @@ class ServiceConfig:
     warmup_requests: int = 32
     #: End-to-end latency SLO in cycles; ``None`` skips attainment.
     slo_cycles: int | None = None
+    #: Fraction of requests the SLO promises within ``slo_cycles``; the
+    #: error budget ``1 - slo_target`` is what burn rates are measured
+    #: against (see :mod:`repro.obs.slo`).
+    slo_target: float = 0.99
     #: Per-request deadline enforced at dispatch; ``None`` disables.
     timeout_cycles: int | None = None
     #: Crash-retry budget per request (0 = a crash fails the request).
@@ -143,6 +149,8 @@ class ServiceConfig:
             raise ConfigurationError("server needs at least one shard")
         if self.warmup_requests < 0:
             raise ConfigurationError("warmup_requests cannot be negative")
+        if not 0.0 < self.slo_target < 1.0:
+            raise ConfigurationError("slo_target must lie strictly in (0, 1)")
         if self.timeout_cycles is not None and self.timeout_cycles <= 0:
             raise ConfigurationError("timeout_cycles must be positive")
         if self.max_retries < 0:
@@ -167,6 +175,11 @@ class ServiceReport:
     requests: list[Request]
     makespan: int
     metrics: MetricsRegistry
+    #: End-to-end latency histogram of answered requests, each bucket
+    #: keeping its worst request's trace id (see repro.obs.hist).
+    exemplars: ExemplarHistogram | None = None
+    #: Per-lane execution-cycle histograms ("shard0".., "overflow").
+    shard_exemplars: dict[str, ExemplarHistogram] = field(default_factory=dict)
     #: Ascending end-to-end latencies of batch-completed requests.
     latencies: list[int] = field(init=False)
     #: Ascending end-to-end latencies of shed (overflow-lane) requests.
@@ -265,11 +278,74 @@ class ServiceReport:
         batches = self.counters["batches"]
         return self.completed / batches if batches else 0.0
 
+    # ------------------------------------------------------------------
+    # Exemplars and SLO burn accounting
+    # ------------------------------------------------------------------
+
+    def exemplar_for(self, q: float):
+        """The worst request of the pN latency bucket (``None`` = none)."""
+        if self.exemplars is None:
+            return None
+        return self.exemplars.exemplar_for(q)
+
+    def slo_events(self) -> list[tuple[int, bool]]:
+        """One ``(terminal_cycle, ok)`` pair per terminal request.
+
+        A request is *good* iff it finished within the SLO; refusals,
+        timeouts, and retry-exhausted failures all burn budget. The
+        event is stamped at completion for finished requests and at
+        arrival for refused/unfinished ones (the cycle the client
+        learned its fate, as far as the simulation can tell).
+        """
+        slo = self.config.slo_cycles
+        if slo is None:
+            raise SimulationError(
+                "burn accounting needs slo_cycles on the service config"
+            )
+        events = []
+        for request in self.requests:
+            if request.finished:
+                events.append((request.completion, request.latency <= slo))
+            else:
+                events.append((request.arrival, False))
+        return events
+
+    def burn_analysis(
+        self,
+        *,
+        target: float | None = None,
+        short_window: int | None = None,
+        long_window: int | None = None,
+    ) -> dict | None:
+        """Multi-window error-budget burn of this run (``None`` = no SLO)."""
+        if self.config.slo_cycles is None:
+            return None
+        return burn_analysis(
+            self.slo_events(),
+            makespan=self.makespan,
+            slo_cycles=self.config.slo_cycles,
+            target=self.config.slo_target if target is None else target,
+            short_window=short_window,
+            long_window=long_window,
+        )
+
 
 @dataclass
 class _Shard:
     engine: ExecutionEngine
     busy_until: int = 0
+
+
+@dataclass
+class _Leg:
+    """One dispatch leg of a batch (hedging launches two)."""
+
+    shard_index: int
+    start: int
+    #: ``None`` when an injected crash killed the leg mid-execution.
+    completion: int | None
+    crash: object
+    group_size: int
 
 
 class ServiceServer:
@@ -283,11 +359,13 @@ class ServiceServer:
         arch: ArchSpec = HASWELL,
         seed: int = 0,
         faults: FaultSchedule | None = None,
+        tracer=NULL_REQUEST_TRACER,
     ) -> None:
         self.table = table
         self.config = config
         self.arch = arch
         self.seed = seed
+        self.tracer = tracer
         self.executor = get_executor(config.technique)
         self.group_size = config.group_size or self.executor.default_group_size
         self.metrics = MetricsRegistry()
@@ -299,10 +377,16 @@ class ServiceServer:
                 TokenBucket(rate, config.rate_limit_burst) if rate else None
             ),
             metrics=self.metrics,
+            tracer=tracer,
         )
         self.coalescer = Coalescer(
-            self.admission, config.max_batch, config.max_wait_cycles
+            self.admission, config.max_batch, config.max_wait_cycles, tracer
         )
+        # Exemplar histograms are always on: fixed buckets, O(log n)
+        # per observation, and kept out of the metrics registry and the
+        # serialized point dict so existing documents stay byte-stable.
+        self.exemplars = ExemplarHistogram()
+        self.shard_exemplars: dict[str, ExemplarHistogram] = {}
         self._completed = self.metrics.counter("service.completed")
         self._batches = self.metrics.counter("service.batches")
         self._hist = {
@@ -330,6 +414,8 @@ class ServiceServer:
                 faults, self.system.memories, shared_l3=self.system.shared_l3
             )
             self._jitter_rng = faults.jitter_rng()
+            if self.tracer.enabled:
+                self.tracer.record_schedule(faults)
         self._retry_heap: list[tuple[int, int, Request]] = []
         self._retry_seq = 0
 
@@ -373,6 +459,14 @@ class ServiceServer:
     def _count(self, name: str, amount: int = 1) -> None:
         """Bump a lazily-created resilience counter under ``service.``."""
         self.metrics.counter(f"service.{name}").inc(amount)
+
+    def _observe_answer(self, request: Request, lane: str) -> None:
+        """Feed one answered request into the exemplar histograms."""
+        self.exemplars.observe(request.latency, request.trace_id)
+        hist = self.shard_exemplars.get(lane)
+        if hist is None:
+            hist = self.shard_exemplars[lane] = ExemplarHistogram()
+        hist.observe(request.execution_cycles, request.trace_id)
 
     # ------------------------------------------------------------------
     # The event loop
@@ -436,6 +530,8 @@ class ServiceServer:
                 now = max(now, next_fault)
                 for event in self._injector.apply_pending(now):
                     self._count(f"faults.{event.kind}")
+                    if self.tracer.enabled:
+                        self.tracer.on_fault_point(event)
                 continue
             now = max(now, dispatch_at)
             completion = self._run_batch(now, plan, arrivals)
@@ -446,6 +542,8 @@ class ServiceServer:
             requests=requests,
             makespan=makespan,
             metrics=self.metrics,
+            exemplars=self.exemplars,
+            shard_exemplars=self.shard_exemplars,
         )
 
     def _plan_dispatch(self) -> tuple[int, int, int | None, bool] | None:
@@ -497,6 +595,8 @@ class ServiceServer:
                 if now > request.arrival + self.config.timeout_cycles:
                     request.outcome = "timeout"
                     self._count("timeouts")
+                    if self.tracer.enabled:
+                        self.tracer.on_timeout(request, now)
                     arrivals.notify_completion(now)
                 else:
                     alive.append(request)
@@ -526,33 +626,117 @@ class ServiceServer:
                 )
             legs.append(self._launch(hedge_index, probe_values, hedge_start))
 
-        survivors = [leg for leg in legs if leg[1] is not None]
-        if not survivors:
+        survivors = [leg for leg in legs if leg.completion is not None]
+        winner = (
+            min(survivors, key=lambda leg: (leg.completion, leg.start))
+            if survivors
+            else None
+        )
+        if self.tracer.enabled:
+            self._trace_attempts(batch, legs, winner)
+        if winner is None:
             # Every leg crashed: the batch fails when the last hope dies.
-            failure_at = max(leg[2].at for leg in legs)
+            failure_at = max(leg.crash.at for leg in legs)
             return self._fail_batch(batch, failure_at, arrivals)
-        winner = min(survivors, key=lambda leg: (leg[1], leg[0]))
         if len(legs) > 1 and winner is not legs[0]:
             self._count("hedge_wins")
-        win_start, completion, _ = winner
+        completion = winner.completion
         self._batches.inc()
+        lane = f"shard{winner.shard_index}"
         for request in batch:
-            request.dispatch = win_start
+            request.dispatch = winner.start
             request.completion = completion
             self._completed.inc()
             self._hist["e2e"].observe(request.latency)
             self._hist["queue_wait"].observe(request.queue_wait)
             self._hist["batch_wait"].observe(request.batch_wait)
             self._hist["execution"].observe(request.execution_cycles)
+            self._observe_answer(request, lane)
             arrivals.notify_completion(completion)
         return completion
 
-    def _launch(self, shard_index: int, values: list, start: int):
-        """Execute one leg on a shard; returns ``(start, completion, crash)``.
+    def _trace_attempts(self, batch, legs: list[_Leg], winner: _Leg | None) -> None:
+        """Record every dispatch leg of one batch as attempt spans.
 
-        ``completion`` is ``None`` when an injected crash landed inside
-        the execution window — the shard then stays down until the
-        crash's restart cycle.
+        A crashed leg closes at its crash cycle (restart attached); a
+        hedge loser closes at the *winner's* completion — cancel on
+        first answer — with its planned completion kept as an attribute
+        so the trace shows both where it was cut and where it would
+        have run to.
+        """
+        dispatch_id = self.tracer.begin_dispatch()
+        for leg in legs:
+            hedge = leg is not legs[0]
+            faults = self._leg_fault_kinds(leg)
+            if leg.crash is not None and (
+                winner is None or leg.crash.at <= winner.completion
+            ):
+                self.tracer.on_attempt(
+                    batch,
+                    dispatch_id=dispatch_id,
+                    lane=leg.shard_index,
+                    start=leg.start,
+                    end=leg.crash.at,
+                    group_size=leg.group_size,
+                    status="crashed",
+                    hedge=hedge,
+                    restart_until=leg.crash.until,
+                    faults=faults,
+                )
+            elif leg is not winner:
+                # A losing leg — surviving or crashing only after the
+                # winner already answered — is *cancelled* the moment
+                # the first answer lands: whatever happens to the shard
+                # afterwards is no longer this request's story.
+                planned = (
+                    leg.completion if leg.crash is None else leg.crash.at
+                )
+                # A leg whose start was pushed past the winner's answer
+                # is cancelled before it ever ran (zero-width span).
+                start = min(leg.start, winner.completion)
+                end = max(start, min(planned, winner.completion))
+                self.tracer.on_attempt(
+                    batch,
+                    dispatch_id=dispatch_id,
+                    lane=leg.shard_index,
+                    start=start,
+                    end=end,
+                    group_size=leg.group_size,
+                    status="cancelled",
+                    hedge=hedge,
+                    planned_end=planned,
+                    planned_start=leg.start if leg.start != start else None,
+                    faults=faults,
+                )
+            else:
+                self.tracer.on_attempt(
+                    batch,
+                    dispatch_id=dispatch_id,
+                    lane=leg.shard_index,
+                    start=leg.start,
+                    end=leg.completion,
+                    group_size=leg.group_size,
+                    status="ok",
+                    winner=True,
+                    hedge=hedge,
+                    faults=faults,
+                )
+
+    def _leg_fault_kinds(self, leg: _Leg) -> tuple:
+        """Kinds of fault windows this leg executed under (annotation)."""
+        if self._injector is None:
+            return ()
+        end = leg.completion if leg.completion is not None else leg.crash.until
+        return self._injector.window_kinds_between(
+            leg.shard_index, leg.start, end
+        )
+
+    def _launch(self, shard_index: int, values: list, start: int) -> _Leg:
+        """Execute one leg on a shard.
+
+        The returned leg's ``completion`` is ``None`` when an injected
+        crash landed inside the execution window — the shard then stays
+        down until the crash's restart cycle.
         """
         shard = self.shards[shard_index]
         group = self._effective_group_size(shard_index, start)
@@ -576,9 +760,9 @@ class ServiceServer:
             self._count("batch_failures")
             self._count("faults.shard_crash")
             shard.busy_until = crash.until
-            return (start, None, crash)
+            return _Leg(shard_index, start, None, crash, group)
         shard.busy_until = completion
-        return (start, completion, None)
+        return _Leg(shard_index, start, completion, None, group)
 
     def _plan_hedge(self, primary: int, start: int) -> int:
         """Pick the secondary shard for a hedged dispatch."""
@@ -629,9 +813,15 @@ class ServiceServer:
                     self._retry_heap,
                     (failure_at + delay, self._retry_seq, request),
                 )
+                if self.tracer.enabled:
+                    self.tracer.on_backoff(
+                        request, failure_at, failure_at + delay
+                    )
             else:
                 request.outcome = "failed"
                 self._count("failed")
+                if self.tracer.enabled:
+                    self.tracer.on_failed(request, failure_at)
                 arrivals.notify_completion(failure_at)
         return failure_at
 
@@ -652,6 +842,8 @@ class ServiceServer:
             due.append(request)
         for request in reversed(due):
             self.admission.requeue(request)
+            if self.tracer.enabled:
+                self.tracer.on_requeue(request, now)
 
     def _run_fallback(
         self, batch: list[Request], now: int, arrivals: ArrivalProcess
@@ -666,6 +858,17 @@ class ServiceServer:
         completion = start + cycles
         lane.busy_until = completion
         self._batches.inc()
+        if self.tracer.enabled:
+            self.tracer.on_attempt(
+                batch,
+                dispatch_id=self.tracer.begin_dispatch(),
+                lane="overflow",
+                start=start,
+                end=completion,
+                group_size=1,
+                status="ok",
+                winner=True,
+            )
         for request in batch:
             request.attempts += 1
             request.dispatch = start
@@ -675,6 +878,7 @@ class ServiceServer:
             self._hist["queue_wait"].observe(request.queue_wait)
             self._hist["batch_wait"].observe(request.batch_wait)
             self._hist["execution"].observe(request.execution_cycles)
+            self._observe_answer(request, "overflow")
             arrivals.notify_completion(completion)
         return completion
 
@@ -689,4 +893,16 @@ class ServiceServer:
         request.dispatch = start
         request.completion = completion
         self._shed_hist.observe(request.latency)
+        self._observe_answer(request, "overflow")
+        if self.tracer.enabled:
+            self.tracer.on_attempt(
+                [request],
+                dispatch_id=self.tracer.begin_dispatch(),
+                lane="overflow",
+                start=start,
+                end=completion,
+                group_size=1,
+                status="ok",
+                winner=True,
+            )
         return completion

@@ -1,0 +1,231 @@
+"""Tests for request span trees and their exporters, on the hard edges.
+
+The generic "every trace is well-formed" sweep lives in the service
+integration tests; this file drives the two lifecycles that historically
+break trace exporters — a request *admitted under pressure then shed to
+the overflow lane*, and a *hedged dispatch pair whose loser is cancelled
+mid-span* — and asserts that both the span trees and the Chrome-trace
+export stay closed: no orphan parents, no unclosed (inverted) spans, no
+event outside its request's window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled
+from repro.obs.rtrace import (
+    REQUEST_TRACE_SCHEMA,
+    RequestTracer,
+    request_chrome_trace,
+    request_traces_jsonl,
+    trace_errors,
+)
+from repro.service.arrivals import PoissonArrivals
+from repro.service.loadgen import sequential_capacity
+from repro.service.server import ServiceConfig, ServiceServer
+from repro.sim.allocator import AddressSpaceAllocator
+from repro.workloads.generators import make_table
+
+ARCH = scaled(64)
+N_REQUESTS = 60
+SEED = 0
+
+BASE_CONFIG = ServiceConfig(
+    max_batch=8,
+    max_wait_cycles=2_000,
+    queue_capacity=32,
+    n_shards=2,
+    warmup_requests=8,
+    slo_cycles=20_000,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    allocator = AddressSpaceAllocator(page_size=ARCH.page_size)
+    return make_table(allocator, "rtrace/dict", 1 << 20)
+
+
+@pytest.fixture(scope="module")
+def values(table):
+    rng = np.random.RandomState(SEED + 11)
+    return [int(v) for v in rng.randint(0, table.size, N_REQUESTS)]
+
+
+@pytest.fixture(scope="module")
+def capacity(table):
+    cap, _ = sequential_capacity(
+        table, ARCH, n_shards=BASE_CONFIG.n_shards, seed=SEED
+    )
+    return cap
+
+
+def traced_run(table, values, config, rate):
+    tracer = RequestTracer()
+    server = ServiceServer(table, config, arch=ARCH, seed=SEED, tracer=tracer)
+    report = server.serve(PoissonArrivals(rate, len(values), SEED), values)
+    return report, tracer
+
+
+def chrome_invariants(doc):
+    """Structural checks every exported Chrome trace must satisfy."""
+    assert doc["schema"] == REQUEST_TRACE_SCHEMA
+    events = doc["traceEvents"]
+    named_tids = {
+        e["tid"] for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    for event in events:
+        if event["ph"] == "M":
+            continue
+        # Every sample lands on a declared request (or fault) thread.
+        assert event["tid"] in named_tids, event
+        assert event["ph"] in ("X", "i"), event
+        if event["ph"] == "X":
+            assert event["dur"] >= 0, event  # closed, never inverted
+    return events
+
+
+@pytest.fixture(scope="module")
+def shed_run(table, values, capacity):
+    """Overloaded shed-policy run: admitted-then-shed requests exist."""
+    import dataclasses
+
+    config = dataclasses.replace(
+        BASE_CONFIG, overload_policy="shed", queue_capacity=16
+    )
+    return traced_run(table, values, config, 3 * capacity)
+
+
+@pytest.fixture(scope="module")
+def hedge_run(table, values, capacity):
+    """Overloaded hedging run: hedged pairs with cancelled losers exist."""
+    import dataclasses
+
+    config = dataclasses.replace(BASE_CONFIG, hedge_after_cycles=200)
+    return traced_run(table, values, config, 3 * capacity)
+
+
+class TestShedExport:
+    def test_shed_requests_trace_through_the_overflow_lane(self, shed_run):
+        report, tracer = shed_run
+        traces = tracer.traces()
+        shed = [t for t in traces if t["outcome"] == "shed"]
+        assert shed, "overload did not shed — fixture rate too low"
+        for trace in shed:
+            assert trace_errors(trace) == []
+            stages = [s for s in trace["spans"] if s["kind"] == "stage"]
+            assert [s["name"] for s in stages] == ["shed-wait", "execute"]
+            attempts = [s for s in trace["spans"] if s["kind"] == "attempt"]
+            assert len(attempts) == 1
+            assert attempts[0]["attrs"]["lane"] == "overflow"
+            # The admission verdict is preserved on the mark span.
+            (admission,) = [
+                s for s in trace["spans"] if s["name"] == "admission"
+            ]
+            assert admission["attrs"]["verdict"] == "shed"
+
+    def test_chrome_export_closes_every_shed_span(self, shed_run):
+        _, tracer = shed_run
+        traces = tracer.traces()
+        events = chrome_invariants(request_chrome_trace(traces, label="shed"))
+        by_tid = {}
+        for trace in traces:
+            by_tid[trace["index"]] = trace
+        for event in events:
+            if event["ph"] == "M":
+                continue
+            trace = by_tid[event["tid"]]
+            end = event["ts"] + event.get("dur", 0)
+            assert trace["arrival"] <= event["ts"] <= trace["end"]
+            assert end <= trace["end"], event
+
+
+class TestHedgeExport:
+    def test_loser_is_cancelled_mid_span_and_linked_to_its_winner(
+        self, hedge_run
+    ):
+        _, tracer = hedge_run
+        traces = tracer.traces()
+        cancelled = []
+        for trace in traces:
+            assert trace_errors(trace) == []
+            spans = {s["id"]: s for s in trace["spans"]}
+            for span in trace["spans"]:
+                if (
+                    span["kind"] == "attempt"
+                    and span["attrs"].get("status") == "cancelled"
+                ):
+                    cancelled.append((trace, span, spans))
+        assert cancelled, "overload did not hedge — fixture rate too low"
+        truncated = 0
+        for trace, span, spans in cancelled:
+            attrs = span["attrs"]
+            assert not attrs.get("winner")
+            # The loser closes inside the request window...
+            assert span["end"] <= trace["end"]
+            # ...while its planned end records where it would have run.
+            assert attrs["planned_end"] >= span["end"]
+            if attrs["planned_end"] > span["end"]:
+                truncated += 1
+            # The race link resolves to the winning attempt span, and a
+            # completed request's answer arrives when its winner does.
+            winner = spans[attrs["raced_with"]]
+            assert winner["kind"] == "attempt"
+            assert winner["attrs"]["winner"] is True
+            # Exactly one leg of the pair is the hedged duplicate — the
+            # loser when the primary won, the winner when it didn't.
+            assert attrs["hedge"] != winner["attrs"]["hedge"]
+            if trace["outcome"] == "completed":
+                assert winner["end"] == trace["end"]
+        # At least one loser was genuinely cut short mid-flight (not
+        # merely slower-by-a-hair): the export edge this test exists for.
+        assert truncated > 0
+
+    def test_chrome_export_has_no_orphans_or_unclosed_spans(self, hedge_run):
+        _, tracer = hedge_run
+        traces = tracer.traces()
+        events = chrome_invariants(request_chrome_trace(traces, label="hedge"))
+        # Every span of every trace made it out: completes + instants
+        # (metadata rows excluded) match the span population.
+        n_spans = sum(len(t["spans"]) for t in traces)
+        samples = [e for e in events if e["ph"] != "M"]
+        assert len(samples) == n_spans
+
+    def test_fault_timeline_thread_only_appears_when_faulted(self, hedge_run):
+        _, tracer = hedge_run
+        doc = request_chrome_trace(tracer.traces(), label="hedge")
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "faults" not in names
+        faulted = request_chrome_trace(
+            tracer.traces(),
+            label="hedge",
+            fault_windows=[(100, 400, "shard_stall", 0)],
+            fault_points=[(250, "cache_flush", None)],
+        )
+        names = [
+            e["args"]["name"]
+            for e in faulted["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "faults" in names
+        fault_events = [
+            e for e in faulted["traceEvents"] if e.get("cat") == "fault"
+        ]
+        assert {e["ph"] for e in fault_events} == {"X", "i"}
+
+
+class TestJsonlExport:
+    def test_one_sorted_line_per_trace(self, shed_run):
+        import json
+
+        _, tracer = shed_run
+        traces = tracer.traces()
+        lines = list(request_traces_jsonl(traces))
+        assert len(lines) == len(traces)
+        for line, trace in zip(lines, traces):
+            assert json.loads(line) == trace
+            assert line == json.dumps(trace, sort_keys=True)

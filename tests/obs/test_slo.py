@@ -1,0 +1,137 @@
+"""Tests for multi-window SLO burn-rate accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.slo import burn_analysis
+
+
+def events_over(horizon, n, *, bad_at=()):
+    """``n`` evenly spread terminal events; indices in ``bad_at`` miss."""
+    bad = set(bad_at)
+    return [
+        (i * horizon // n, i not in bad)
+        for i in range(n)
+    ]
+
+
+class TestValidation:
+    def test_rejects_target_outside_unit_interval(self):
+        for target in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                burn_analysis([], makespan=100, slo_cycles=10, target=target)
+
+    def test_rejects_non_positive_slo(self):
+        with pytest.raises(ConfigurationError):
+            burn_analysis([], makespan=100, slo_cycles=0)
+
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ConfigurationError):
+            burn_analysis(
+                [], makespan=100, slo_cycles=10, short_window=50, long_window=20
+            )
+
+
+class TestBurnArithmetic:
+    def test_all_good_burns_nothing(self):
+        out = burn_analysis(
+            events_over(600, 60), makespan=600, slo_cycles=10, target=0.99
+        )
+        assert out["bad"] == 0
+        assert out["overall_burn"] == 0.0
+        assert out["attainment"] == 1.0
+        assert out["max_burn_short"] == 0.0
+        assert out["max_burn_long"] == 0.0
+        assert out["alert_windows"] == 0
+        assert all(v == 0.0 for v in out["budget_consumed"])
+
+    def test_burn_is_miss_fraction_over_budget(self):
+        # 5 bad out of 100 at 99% target: overall burn = 0.05 / 0.01.
+        out = burn_analysis(
+            events_over(1000, 100, bad_at=range(5)),
+            makespan=1000,
+            slo_cycles=10,
+            target=0.99,
+        )
+        assert out["bad"] == 5
+        assert out["overall_burn"] == pytest.approx(5.0)
+        assert out["attainment"] == pytest.approx(0.95)
+        assert out["budget"] == pytest.approx(0.01)
+
+    def test_budget_consumed_is_monotone_and_ends_at_total_burn(self):
+        out = burn_analysis(
+            events_over(1200, 120, bad_at=(0, 1, 50, 51, 118)),
+            makespan=1200,
+            slo_cycles=10,
+        )
+        consumed = out["budget_consumed"]
+        assert all(a <= b for a, b in zip(consumed, consumed[1:]))
+        # The final entry is the whole run's bad share over its budget.
+        assert consumed[-1] == pytest.approx(
+            out["bad"] / (out["events"] * out["budget"]), abs=1e-6
+        )
+
+    def test_default_windows_are_deterministic_fractions_of_the_run(self):
+        out = burn_analysis(
+            events_over(6000, 60), makespan=6000, slo_cycles=10
+        )
+        assert out["long_window_cycles"] == -(-6001 // 6)
+        assert out["short_window_cycles"] == -(-out["long_window_cycles"] // 5)
+        assert len(out["burn_long"]) == 6
+        assert len(out["budget_consumed"]) == len(out["burn_long"])
+
+    def test_events_beyond_makespan_extend_the_horizon(self):
+        # A straggler completing after the nominal makespan must still
+        # be counted, not dropped or crashed on.
+        out = burn_analysis(
+            [(10, True), (5000, False)], makespan=100, slo_cycles=10
+        )
+        assert out["events"] == 2
+        assert out["bad"] == 1
+
+
+class TestMultiWindowAlerts:
+    def test_alert_requires_both_windows_burning(self):
+        # Window layout: long=100, short=20. All 10 bad events land in
+        # cycles 0..19 — the first short window — so both the first long
+        # window and a short window inside it burn > 1.
+        events = [(i, False) for i in range(10)]
+        events += [(200 + i, True) for i in range(40)]
+        out = burn_analysis(
+            events,
+            makespan=595,
+            slo_cycles=10,
+            target=0.99,
+            short_window=20,
+            long_window=100,
+        )
+        assert out["alert_windows"] >= 1
+
+    def test_no_alert_when_misses_are_diluted_across_short_windows(self):
+        # One bad event per short window: each short window's burn is
+        # 1/1/0.01 = 100 > 1... so to get burn <= 1 the short windows
+        # need enough good events. Give each short window 1 bad in 200
+        # events at a 50% target (budget 0.5): short burn = 0.005/0.5
+        # = 0.01 <= 1, so the long window may burn but never alerts.
+        events = []
+        for window in range(5):
+            base = window * 20
+            events.append((base, False))
+            events += [(base + 1 + (i % 19), True) for i in range(199)]
+        out = burn_analysis(
+            events,
+            makespan=99,
+            slo_cycles=10,
+            target=0.5,
+            short_window=20,
+            long_window=100,
+        )
+        assert out["max_burn_short"] <= 1.0
+        assert out["alert_windows"] == 0
+
+    def test_empty_run_is_all_zeroes(self):
+        out = burn_analysis([], makespan=0, slo_cycles=10)
+        assert out["events"] == 0
+        assert out["overall_burn"] == 0.0
+        assert out["attainment"] == 1.0
+        assert out["alert_windows"] == 0
