@@ -4,11 +4,22 @@ Paper claims: interleaving reduces Main runtime beyond the LLC (9% at
 32 MB up to 40% at 2 GB) and Delta runtime at *all* sizes (10%-30%),
 because Delta's tree traversal plus dictionary dereferences miss even
 for small dictionaries.
+
+Since the ``repro.query`` refactor every point here runs as a real
+operator plan (encode join → filter → semi-join scan → aggregate), so
+the sweep also checks the per-operator accounting: each point carries
+executor-tagged operator profiles whose cycles sum to the total, and a
+traced run emits one ``operator`` span per charge window.
 """
+
+import numpy as np
 
 from repro.analysis import format_size, series_table
 
 LLC = 25 << 20
+
+#: Encode strategy -> the executor its probes dispatch through.
+STRATEGY_EXECUTORS = {"sequential": "sequential", "interleaved": "CORO"}
 
 
 def test_fig8_main_and_delta(benchmark, record_table, query_sweep):
@@ -63,3 +74,78 @@ def test_fig8_main_and_delta(benchmark, record_table, query_sweep):
     # Delta is the slower store (tree + dictionary dereferences).
     for seq_main, seq_delta in zip(series["Main"], series["Delta"]):
         assert seq_delta >= 0.8 * seq_main
+
+
+def test_fig8_points_carry_operator_plans(query_sweep):
+    """Every sweep point ran through a real plan: profiles add up."""
+    for (store, strategy), points in query_sweep["points"].items():
+        for point in points:
+            rows = {row["op"]: row for row in point.operators}
+            assert set(rows) == {
+                "in_predicate_encode/values",
+                "in_predicate_encode",
+                "filter_found",
+                "scan",
+                "aggregate",
+            }, (store, strategy, point.dict_bytes)
+            # The encode join probed through the executor the strategy
+            # maps to, on the index path (no sequential fallbacks).
+            encode = rows["in_predicate_encode"]
+            assert encode["executor"] == STRATEGY_EXECUTORS[strategy]
+            assert encode["strategy"] == strategy
+            assert encode.get("batches_via_index", 0) >= 1
+            assert "batches_via_fallback" not in encode
+            # Operator cycles tile the two-phase totals exactly.
+            assert sum(r["cycles"] for r in rows.values()) == point.total_cycles
+            assert rows["scan"]["cycles"] == point.scan_cycles
+            assert (
+                rows["in_predicate_encode/values"]["cycles"]
+                + encode["cycles"]
+                + rows["filter_found"]["cycles"]
+                == point.locate_cycles
+            )
+
+
+def test_fig8_traced_point_emits_operator_spans():
+    """One traced run: each charging operator emits ``operator`` spans."""
+    from repro.api import run_plan
+    from repro.columnstore.column import EncodedColumn
+    from repro.columnstore.dictionary import MainDictionary
+    from repro.config import HASWELL
+    from repro.obs import SpanRecorder
+
+    allocator_page = HASWELL.page_size
+    from repro.sim.allocator import AddressSpaceAllocator
+
+    allocator = AddressSpaceAllocator(page_size=allocator_page)
+    dictionary = MainDictionary.implicit(allocator, "dict", 1 << 20)
+    rng = np.random.RandomState(0)
+    codes = rng.randint(0, dictionary.n_values, 20_000)
+    column = EncodedColumn(dictionary, codes, allocator, "col")
+    values = rng.randint(0, dictionary.n_values, 64).tolist()
+
+    recorder = SpanRecorder()
+    result = run_plan(
+        column, values, strategy="interleaved", recorder=recorder
+    )
+
+    spans = [s for s in recorder.spans if s.kind == "operator"]
+    assert spans, "traced plan run recorded no operator spans"
+    by_operator = {}
+    for span in spans:
+        assert span.attrs and "operator" in span.attrs
+        by_operator.setdefault(span.attrs["operator"], []).append(span)
+    # Every cycle-charging operator kind shows up, executor-tagged on
+    # the join probe.
+    assert {"in_predicate_encode", "scan", "aggregate"} <= set(by_operator)
+    probe = by_operator["in_predicate_encode"][0]
+    assert probe.attrs["executor"] == "CORO"
+    assert probe.attrs["path"] == "index"
+    # Span durations agree with the untraced profiles (tracing must not
+    # perturb the simulation).
+    for profile in result.operators:
+        if profile.cycles:
+            recorded = sum(
+                s.duration for s in by_operator.get(profile.operator, [])
+            )
+            assert recorded == profile.cycles, profile.operator

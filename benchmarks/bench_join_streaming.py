@@ -1,0 +1,219 @@
+"""Streaming index-join benchmark: the operator path, sized and bounded.
+
+Two claims about the :class:`repro.query.IndexJoin` operator:
+
+* **Robustness** — joining a probe stream against a sorted inner index
+  through the CORO executor beats the sequential probe once the index
+  outgrows the LLC, exactly as the bulk-lookup sweeps show: the
+  operator layer adds bookkeeping on the Python side but charges the
+  same simulated probe work.
+* **Bounded buffers** — the producer/probe stages are connected by
+  bounded task/match buffers. The degenerate capacity-1 configuration
+  (one task in flight, one match batch buffered, probe batches of one)
+  must complete with the *same* matches as any other configuration —
+  never deadlock, never drop or duplicate a row.
+
+The sweep is recorded to ``benchmarks/results/BENCH_join.json``
+(schema ``repro.query/1``, kind ``join_streaming``), validated in CI
+by ``benchmarks/check_bench_schema.py``.
+
+Measurement functions live at module level so the perf layer's process
+pool can pickle them; points replay from the result cache like every
+other sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro import perf
+from repro.analysis import bench_scale, lookups_per_point, size_grid
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+LLC = 25 << 20
+SEED = 0
+
+#: Inner-index size for the bounded-buffer sweep: one comfortably
+#: DRAM-resident point (past the LLC on the quick grid too).
+BUFFER_TABLE_BYTES = 64 << 20
+
+#: (task_buffer, match_buffer, probe_batch) configurations swept for
+#: the equivalence claim; (1, 1, 1) is the degenerate lock-step case.
+BUFFER_CONFIGS = (
+    (1, 1, 1),
+    (1, 1, 8),
+    (4, 1, 8),
+    (1, 4, 8),
+    (8, 8, 64),
+)
+
+
+def _join_plan(table, values, executor, task_buffer, match_buffer, probe_batch):
+    from repro.query import IndexJoin, QueryPlan, Scan, SortedArrayInner
+
+    return QueryPlan(
+        IndexJoin(
+            Scan.values(values, batch_size=probe_batch, label="probe_values"),
+            SortedArrayInner(table),
+            executor=executor,
+            task_buffer=task_buffer,
+            match_buffer=match_buffer,
+            label="join",
+        )
+    )
+
+
+def measure_join(
+    table_bytes: int,
+    executor: str,
+    *,
+    n_lookups: int,
+    task_buffer: int = 1,
+    match_buffer: int = 1,
+    probe_batch: int | None = None,
+    seed: int = SEED,
+) -> dict:
+    """Measure one streaming index-join point (module-level: picklable).
+
+    Warm-up pass with a disjoint probe list, then a measured pass;
+    returns a plain dict so points replay from the perf result cache.
+    """
+    from repro.analysis.experiments import warmed_engine
+    from repro.config import HASWELL
+    from repro.sim.allocator import AddressSpaceAllocator
+    from repro.workloads.generators import lookup_values, make_table
+
+    allocator = AddressSpaceAllocator(page_size=HASWELL.page_size)
+    table = make_table(allocator, "join/inner", table_bytes)
+    values = lookup_values(n_lookups, table, seed)
+    warm_values = lookup_values(n_lookups, table, seed + 977)
+
+    def run(engine, probe):
+        plan = _join_plan(
+            table, probe, executor, task_buffer, match_buffer, probe_batch
+        )
+        return plan.execute(engine)
+
+    engine = warmed_engine(HASWELL, [table.region], lambda warm: run(warm, warm_values))
+    result = run(engine, values)
+    join = result.profile("join")
+    matches = sorted(result.value)
+    return {
+        "table_bytes": table_bytes,
+        "executor": executor,
+        "n_lookups": n_lookups,
+        "task_buffer": task_buffer,
+        "match_buffer": match_buffer,
+        "probe_batch": probe_batch or n_lookups,
+        "total_cycles": join.cycles,
+        "n_matches": len(matches),
+        "match_checksum": hash(tuple(matches)) & 0xFFFFFFFF,
+        "batches_via_index": join.attrs.get("batches_via_index", 0),
+        "batches_via_fallback": join.attrs.get("batches_via_fallback", 0),
+    }
+
+
+@pytest.fixture(scope="module")
+def join_sweep():
+    """CORO vs sequential across the size grid, plus the buffer sweep."""
+    sizes = size_grid()
+    n_lookups = lookups_per_point()
+    grid = [
+        {"table_bytes": size, "executor": executor}
+        for executor in ("sequential", "CORO")
+        for size in sizes
+    ]
+    grid += [
+        {
+            "table_bytes": BUFFER_TABLE_BYTES,
+            "executor": "CORO",
+            "task_buffer": task,
+            "match_buffer": match,
+            "probe_batch": probe,
+        }
+        for task, match, probe in BUFFER_CONFIGS
+    ]
+    results = perf.default_runner().map(
+        measure_join, grid, common={"n_lookups": n_lookups}
+    )
+    sequential = results[: len(sizes)]
+    coro = results[len(sizes) : 2 * len(sizes)]
+    buffers = results[2 * len(sizes) :]
+
+    doc = {
+        "schema": "repro.query/1",
+        "kind": "join_streaming",
+        "scale": bench_scale(),
+        "llc_bytes": LLC,
+        "n_lookups": n_lookups,
+        "seed": SEED,
+        "points": [
+            {
+                "table_bytes": seq["table_bytes"],
+                "n_lookups": n_lookups,
+                "sequential_cycles": seq["total_cycles"],
+                "coro_cycles": cor["total_cycles"],
+                "speedup": round(seq["total_cycles"] / cor["total_cycles"], 4),
+            }
+            for seq, cor in zip(sequential, coro)
+        ],
+        "buffer_sweep": [
+            {
+                "task_buffer": b["task_buffer"],
+                "match_buffer": b["match_buffer"],
+                "probe_batch": b["probe_batch"],
+                "total_cycles": b["total_cycles"],
+                "n_matches": b["n_matches"],
+            }
+            for b in buffers
+        ],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = RESULTS_DIR / "BENCH_join.json"
+    artifact.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return {"doc": doc, "raw": {"sequential": sequential, "coro": coro, "buffers": buffers}}
+
+
+def test_coro_join_beats_sequential_beyond_llc(benchmark, record_table, join_sweep):
+    doc = benchmark.pedantic(lambda: join_sweep["doc"], rounds=1, iterations=1)
+    from repro.analysis import format_size, series_table
+
+    record_table(
+        "join_streaming",
+        series_table(
+            "index size",
+            [format_size(p["table_bytes"]) for p in doc["points"]],
+            {
+                "sequential cycles": [p["sequential_cycles"] for p in doc["points"]],
+                "CORO cycles": [p["coro_cycles"] for p in doc["points"]],
+                "speedup": [p["speedup"] for p in doc["points"]],
+            },
+            title=f"Streaming index join, CORO vs sequential ({doc['scale']} scale)",
+        ),
+    )
+    beyond = [p for p in doc["points"] if p["table_bytes"] > LLC]
+    assert beyond, "size grid never crossed the LLC"
+    for point in beyond:
+        assert point["speedup"] > 1.0, point["table_bytes"]
+
+    # Both executors answered every probe through the index path.
+    for raw in (*join_sweep["raw"]["sequential"], *join_sweep["raw"]["coro"]):
+        assert raw["batches_via_index"] >= 1
+        assert raw["batches_via_fallback"] == 0
+
+
+def test_bounded_buffers_never_deadlock_and_agree(join_sweep):
+    """Capacity-1 buffers complete and every configuration agrees."""
+    buffers = join_sweep["raw"]["buffers"]
+    assert {(b["task_buffer"], b["match_buffer"]) for b in buffers} >= {(1, 1)}
+    matches = {b["n_matches"] for b in buffers}
+    checksums = {b["match_checksum"] for b in buffers}
+    assert len(matches) == 1, matches
+    assert len(checksums) == 1, "buffer sizing changed the join's output"
+    # Probe values are drawn from the table's own domain, so every
+    # lookup finds its key: nothing was dropped in the buffers.
+    for b in buffers:
+        assert b["n_matches"] == b["n_lookups"]

@@ -11,7 +11,12 @@ SLO burn-rate sweep into ``BENCH_slo.json`` (see
 perf layer into ``BENCH_wallclock.json`` (see
 ``benchmarks/bench_wallclock.py``). ``python -m repro explain --json``
 documents (``repro.explain/1``) validate through the same dispatch —
-CI smokes the explain verb by piping its output here.
+CI smokes the explain verb by piping its output here. ``repro.query/1``
+documents come in two kinds, dispatched on the ``kind`` field:
+``plan_run`` (``python -m repro plan --json``) and ``join_streaming``
+(``benchmarks/bench_join_streaming.py`` → ``BENCH_join.json``); both
+carry per-operator profile rows validated against
+``OPERATOR_ROW_FIELDS``.
 Downstream consumers — plots, the paper-comparison notebooks, CI trend
 tracking — key off the ``repro.bench-sim/1`` / ``repro.service/1`` /
 ``repro.chaos/1`` / ``repro.slo/1`` / ``repro.explain/1`` /
@@ -52,6 +57,7 @@ CHAOS_SCHEMA = "repro.chaos/1"
 WALLCLOCK_SCHEMA = "repro.wallclock/1"
 SLO_SCHEMA = "repro.slo/1"
 EXPLAIN_SCHEMA = "repro.explain/1"
+QUERY_SCHEMA = "repro.query/1"
 
 #: Field name -> type check, for binary-search sweep points
 #: (mirrors ``conftest._point_record``).
@@ -81,7 +87,48 @@ QUERY_FIELDS = {
     "locate_fraction": numbers.Real,
     "locate_cpi": numbers.Real,
     "locate_breakdown": dict,
+    "operators": list,
 }
+
+#: Fields every per-operator profile row carries
+#: (mirrors ``repro.query.OperatorProfile.as_dict``); rows may add
+#: operator-specific scalar attrs (``executor``, ``group_size``, ...).
+OPERATOR_ROW_FIELDS = {
+    "op": str,
+    "kind": str,
+    "cycles": numbers.Integral,
+    "batches": numbers.Integral,
+    "rows": numbers.Integral,
+}
+
+
+def check_operator_rows(label: str, rows: object, errors: list[str]) -> None:
+    """Validate a list of per-operator profile rows."""
+    if not isinstance(rows, list):
+        errors.append(f"{label}: operators is {type(rows).__name__}, not list")
+        return
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"{label}.operators[{i}]: not an object")
+            continue
+        for field, expected in OPERATOR_ROW_FIELDS.items():
+            if field not in row:
+                errors.append(f"{label}.operators[{i}]: missing field {field!r}")
+            elif not isinstance(row[field], expected) or isinstance(
+                row[field], bool
+            ):
+                errors.append(
+                    f"{label}.operators[{i}].{field}: "
+                    f"{type(row[field]).__name__} is not {expected.__name__}"
+                )
+        for field, value in row.items():
+            if not isinstance(value, (str, numbers.Real)) or isinstance(
+                value, bool
+            ):
+                errors.append(
+                    f"{label}.operators[{i}].{field}: attrs must be scalar, "
+                    f"got {type(value).__name__}"
+                )
 
 VALID_SCALES = ("quick", "full")
 
@@ -388,6 +435,8 @@ def check_point(sweep: str, index: int, point: object, errors: list[str]) -> Non
     for field in point:
         if field not in fields:
             errors.append(f"{sweep}[{index}]: unknown field {field!r} (schema drift?)")
+    if sweep == "query" and isinstance(point.get("operators"), list):
+        check_operator_rows(f"{sweep}[{index}]", point["operators"], errors)
 
 
 def check_document(doc: object, required: list[str]) -> list[str]:
@@ -415,6 +464,132 @@ def check_document(doc: object, required: list[str]) -> list[str]:
             continue
         for index, point in enumerate(points):
             check_point(name, index, point, errors)
+    return errors
+
+
+#: Top-level fields of a ``repro.query/1`` ``plan_run`` document
+#: (mirrors ``python -m repro plan --json``).
+PLAN_RUN_FIELDS = {
+    "kind": str,
+    "store": str,
+    "dict_bytes": numbers.Integral,
+    "n_predicates": numbers.Integral,
+    "n_rows": numbers.Integral,
+    "seed": numbers.Integral,
+    "strategy": str,
+    "group_size": numbers.Integral,
+    "n_matches": numbers.Integral,
+    "total_cycles": numbers.Integral,
+    "operators": list,
+}
+
+#: Per-point fields of a ``repro.query/1`` ``join_streaming`` document
+#: (mirrors ``benchmarks/bench_join_streaming.py``).
+JOIN_POINT_FIELDS = {
+    "table_bytes": numbers.Integral,
+    "n_lookups": numbers.Integral,
+    "sequential_cycles": numbers.Integral,
+    "coro_cycles": numbers.Integral,
+    "speedup": numbers.Real,
+}
+
+#: Per-configuration fields of the bounded-buffer sweep in a
+#: ``join_streaming`` document.
+BUFFER_POINT_FIELDS = {
+    "task_buffer": numbers.Integral,
+    "match_buffer": numbers.Integral,
+    "probe_batch": numbers.Integral,
+    "total_cycles": numbers.Integral,
+    "n_matches": numbers.Integral,
+}
+
+
+def check_query_document(doc: dict) -> list[str]:
+    """Validate a ``repro.query/1`` document, dispatching on ``kind``."""
+    errors: list[str] = []
+    kind = doc.get("kind")
+    if kind == "plan_run":
+        _check_fields(PLAN_RUN_FIELDS, doc, errors, label="doc")
+        check_operator_rows("doc", doc.get("operators"), errors)
+        operators = doc.get("operators")
+        total = doc.get("total_cycles")
+        if isinstance(operators, list) and isinstance(total, numbers.Integral):
+            opsum = sum(
+                row.get("cycles", 0)
+                for row in operators
+                if isinstance(row, dict)
+            )
+            if opsum != total:
+                errors.append(
+                    f"operator cycles sum to {opsum}, total_cycles is {total}"
+                )
+    elif kind == "join_streaming":
+        doc_fields = [
+            ("kind", str),
+            ("scale", str),
+            ("llc_bytes", numbers.Integral),
+            ("n_lookups", numbers.Integral),
+            ("seed", numbers.Integral),
+        ]
+        for field, expected in doc_fields:
+            if field not in doc:
+                errors.append(f"missing field {field!r}")
+            elif not isinstance(doc[field], expected):
+                errors.append(
+                    f"{field}: {type(doc[field]).__name__} "
+                    f"is not {expected.__name__}"
+                )
+        if doc.get("scale") not in VALID_SCALES:
+            errors.append(f"scale is {doc.get('scale')!r}")
+        points = doc.get("points")
+        if not isinstance(points, list) or not points:
+            errors.append("points must be a non-empty list")
+        else:
+            for index, point in enumerate(points):
+                if not isinstance(point, dict):
+                    errors.append(f"points[{index}]: not an object")
+                    continue
+                _check_fields(
+                    JOIN_POINT_FIELDS, point, errors, label=f"points[{index}]"
+                )
+                # The robustness claim itself: beyond the LLC the
+                # interleaved join must win.
+                llc = doc.get("llc_bytes")
+                if (
+                    isinstance(llc, numbers.Integral)
+                    and point.get("table_bytes", 0) > llc
+                    and point.get("speedup", 0) <= 1.0
+                ):
+                    errors.append(
+                        f"points[{index}]: CORO does not beat sequential "
+                        f"beyond the LLC (speedup {point.get('speedup')})"
+                    )
+        sweep = doc.get("buffer_sweep")
+        if not isinstance(sweep, list) or not sweep:
+            errors.append("buffer_sweep must be a non-empty list")
+        else:
+            matches = {
+                p.get("n_matches") for p in sweep if isinstance(p, dict)
+            }
+            if len(matches) > 1:
+                errors.append(
+                    f"buffer_sweep match counts differ across buffer "
+                    f"sizes: {sorted(matches)}"
+                )
+            for index, point in enumerate(sweep):
+                if not isinstance(point, dict):
+                    errors.append(f"buffer_sweep[{index}]: not an object")
+                    continue
+                _check_fields(
+                    BUFFER_POINT_FIELDS,
+                    point,
+                    errors,
+                    label=f"buffer_sweep[{index}]",
+                )
+    else:
+        errors.append(
+            f"kind is {kind!r}, expected 'plan_run' or 'join_streaming'"
+        )
     return errors
 
 
@@ -523,6 +698,9 @@ def main(argv: list[str] | None = None) -> int:
     elif isinstance(doc, dict) and doc.get("schema") == EXPLAIN_SCHEMA:
         errors = check_explain_document(doc)
         schema = EXPLAIN_SCHEMA
+    elif isinstance(doc, dict) and doc.get("schema") == QUERY_SCHEMA:
+        errors = check_query_document(doc)
+        schema = QUERY_SCHEMA
     else:
         errors = check_document(doc, args.require)
         schema = SCHEMA
@@ -554,6 +732,19 @@ def main(argv: list[str] | None = None) -> int:
             f"({doc['scenario']!r}/{doc['technique']} p{doc['q']:g} -> "
             f"{doc['exemplar']['trace_id']})"
         )
+    elif schema == QUERY_SCHEMA:
+        if doc["kind"] == "plan_run":
+            print(
+                f"OK: {path} matches {schema} "
+                f"(plan_run, {len(doc['operators'])} operators, "
+                f"{doc['total_cycles']} cycles)"
+            )
+        else:
+            print(
+                f"OK: {path} matches {schema} "
+                f"(join_streaming, {len(doc['points'])} points, "
+                f"{len(doc['buffer_sweep'])} buffer configs)"
+            )
     else:
         n_points = sum(len(s["points"]) for s in doc["sweeps"].values())
         print(

@@ -100,6 +100,7 @@ def _query_record(point) -> dict:
         "locate_fraction": point.locate_fraction,
         "locate_cpi": point.locate_tmam.cpi,
         "locate_breakdown": point.locate_tmam.breakdown(),
+        "operators": [dict(op) for op in getattr(point, "operators", ())],
     }
 
 

@@ -19,6 +19,9 @@ Layers (bottom-up):
   group-size model.
 * :mod:`repro.columnstore` — SAP HANA-like substrate: Main/Delta
   dictionaries, encoded columns, IN-predicate queries.
+* :mod:`repro.query` — pull-based query plans: Scan/Filter/Aggregate
+  around a streaming ``IndexJoin`` that probes inner indexes through
+  the executor registry with bounded task/match buffers.
 * :mod:`repro.service` — the online serving layer: simulated-time
   arrivals, admission control, request coalescing, SLO accounting.
 * :mod:`repro.workloads` / :mod:`repro.analysis` — workload generation,
@@ -53,6 +56,7 @@ from repro.errors import (
     ConfigurationError,
     CoroutineStateError,
     IndexStructureError,
+    QueryError,
     ReproError,
     SchedulerError,
     SimulationError,
@@ -107,6 +111,18 @@ from repro.columnstore import (
     MainDictionary,
     run_in_predicate,
 )
+from repro.query import (
+    Aggregate,
+    Filter,
+    IndexJoin,
+    InPredicateEncode,
+    OperatorProfile,
+    PlanResult,
+    QueryPlan,
+    Scan,
+    SortedArrayInner,
+    in_predicate_plan,
+)
 from repro.service import (
     Scenario,
     ServiceConfig,
@@ -123,10 +139,12 @@ from repro.api import (
     FaultInjectionResult,
     LookupResult,
     ServeResult,
+    PlanRunResult,
     explain,
     inject_faults,
     lookup_batch,
     run_experiment,
+    run_plan,
     serve,
 )
 from repro.faults import (
@@ -176,6 +194,7 @@ __all__ = [
     "IndexStructureError",
     "ColumnStoreError",
     "WorkloadError",
+    "QueryError",
     "AddressSpaceAllocator",
     "ExecutionEngine",
     "MemorySystem",
@@ -222,6 +241,16 @@ __all__ = [
     "DeltaStore",
     "ColumnTable",
     "run_in_predicate",
+    "Aggregate",
+    "Filter",
+    "IndexJoin",
+    "InPredicateEncode",
+    "OperatorProfile",
+    "PlanResult",
+    "QueryPlan",
+    "Scan",
+    "SortedArrayInner",
+    "in_predicate_plan",
     "Scenario",
     "ServiceConfig",
     "ServiceReport",
@@ -235,7 +264,9 @@ __all__ = [
     "ExplainResult",
     "LookupResult",
     "FaultInjectionResult",
+    "PlanRunResult",
     "run_experiment",
+    "run_plan",
     "serve",
     "explain",
     "lookup_batch",

@@ -8,6 +8,8 @@ Usage::
     python -m repro trace fig7 --out /tmp/t   # span-traced run artifacts
     python -m repro serve mixed          # online-serving load sweep
     python -m repro serve quick --json --seed 3
+    python -m repro plan --store main --dict-bytes 8388608   # operator plan
+    python -m repro plan --strategy interleaved --json       # repro.query/1 doc
     python -m repro serve chaos --faults chaos   # fault-injected sweep
     python -m repro serve quick --trace-requests /tmp/rt   # span artifacts
     python -m repro explain chaos-quick --pN 99   # p99 critical path
@@ -145,6 +147,13 @@ def _list_main() -> int:
     for name in fault_profile_names():
         profile = get_fault_profile(name)
         print(f"  {name:<14} {profile.description}")
+    print()
+    print("query operators (python -m repro plan --help):")
+    from repro.query import Aggregate, Filter, IndexJoin, InPredicateEncode, Scan
+
+    for operator in (Scan, Filter, IndexJoin, InPredicateEncode, Aggregate):
+        summary = (operator.__doc__ or "").strip().splitlines()[0]
+        print(f"  {operator.kind:<20} {summary}")
     return 0
 
 
@@ -361,6 +370,155 @@ def _explain_main(argv: list[str]) -> int:
     return 0
 
 
+def _plan_main(argv: list[str]) -> int:
+    """Build and run one IN-predicate query as an operator plan."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro plan",
+        description=(
+            "Run the Figure 1/8 IN-predicate query as a repro.query "
+            "operator plan over a synthetic column and print the "
+            "per-operator cycle profile."
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        choices=("main", "delta"),
+        default="main",
+        help="dictionary store to query (default main)",
+    )
+    parser.add_argument(
+        "--dict-bytes",
+        type=int,
+        default=8 << 20,
+        metavar="N",
+        help="dictionary footprint in bytes (default 8 MiB)",
+    )
+    parser.add_argument(
+        "--predicates",
+        type=int,
+        default=500,
+        metavar="K",
+        help="IN-list length (default 500)",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="column rows to scan (default 400 x predicates)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default=None,
+        help=(
+            "encode strategy: sequential, interleaved, gp, amac "
+            "(default: calibration-driven policy)"
+        ),
+    )
+    parser.add_argument(
+        "--group-size", type=int, default=None, metavar="G",
+        help="interleave group size (default: executor/policy choice)",
+    )
+    parser.add_argument(
+        "--scan-batch", type=int, default=None, metavar="N",
+        help="rows per column-scan batch (default: one batch)",
+    )
+    parser.add_argument(
+        "--probe-batch", type=int, default=None, metavar="N",
+        help="outer keys per index-join probe batch (default: one batch)",
+    )
+    parser.add_argument(
+        "--task-buffer", type=int, default=None, metavar="N",
+        help="bounded task-buffer capacity, in batches (default 1)",
+    )
+    parser.add_argument(
+        "--match-buffer", type=int, default=None, metavar="N",
+        help="bounded match-buffer capacity, in batches (default 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for codes and predicate values (default 0)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a repro.query/1 plan-run document instead of ASCII",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.columnstore.column import ENCODE_STRATEGIES
+
+    if args.strategy is not None and args.strategy not in ENCODE_STRATEGIES:
+        print(
+            f"plan: unknown strategy {args.strategy!r}; expected one of "
+            f"{', '.join(ENCODE_STRATEGIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    for knob in ("predicates", "dict_bytes"):
+        if getattr(args, knob) <= 0:
+            print(f"plan: --{knob.replace('_', '-')} must be positive", file=sys.stderr)
+            return 2
+
+    import numpy as np
+
+    from repro import api
+    from repro.columnstore.column import EncodedColumn
+    from repro.columnstore.dictionary import DeltaDictionary, MainDictionary
+    from repro.config import HASWELL
+    from repro.errors import ReproError
+    from repro.sim.allocator import AddressSpaceAllocator
+
+    try:
+        allocator = AddressSpaceAllocator(page_size=HASWELL.page_size)
+        dictionary = (
+            MainDictionary.implicit(allocator, "dict", args.dict_bytes)
+            if args.store == "main"
+            else DeltaDictionary.implicit(allocator, "dict", args.dict_bytes)
+        )
+        n_rows = args.rows or 400 * args.predicates
+        rng = np.random.RandomState(args.seed)
+        codes = rng.randint(0, dictionary.n_values, n_rows)
+        column = EncodedColumn(dictionary, codes, allocator, "col")
+        predicates = rng.randint(0, dictionary.n_values, args.predicates).tolist()
+        result = api.run_plan(
+            column,
+            predicates,
+            strategy=args.strategy,
+            group_size=args.group_size,
+            scan_batch=args.scan_batch,
+            probe_batch=args.probe_batch,
+            task_buffer=args.task_buffer,
+            match_buffer=args.match_buffer,
+        )
+    except ReproError as error:
+        print(f"plan failed: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        doc = {
+            "schema": "repro.query/1",
+            "kind": "plan_run",
+            "store": args.store,
+            "dict_bytes": args.dict_bytes,
+            "n_predicates": args.predicates,
+            "n_rows": n_rows,
+            "seed": args.seed,
+            "strategy": result.strategy,
+            "group_size": result.group_size,
+            "n_matches": result.n_matches,
+            "total_cycles": result.total_cycles,
+            "operators": [op.as_dict() for op in result.operators],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{args.store} store, {args.dict_bytes:,} B dictionary, "
+            f"{args.predicates:,} predicates over {n_rows:,} rows"
+        )
+        print(result.render())
+    return 0
+
+
 def _trace_main(argv: list[str]) -> int:
     from repro.analysis.tracing import (
         TRACE_DEFAULT_LOOKUPS,
@@ -483,6 +641,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "explain":
         return _explain_main(argv[1:])
+    if argv and argv[0] == "plan":
+        return _plan_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
 
@@ -499,7 +659,8 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment names, 'list' to enumerate them, 'trace' "
         "(see 'python -m repro trace --help'), 'serve' "
         "(see 'python -m repro serve --help'), 'explain' "
-        "(see 'python -m repro explain --help'), or 'profile' "
+        "(see 'python -m repro explain --help'), 'plan' "
+        "(see 'python -m repro plan --help'), or 'profile' "
         "(see 'python -m repro profile --help')",
     )
     parser.add_argument(

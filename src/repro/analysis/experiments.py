@@ -23,7 +23,7 @@ the LLC boundary with fewer points so the suite finishes in CI time.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.config import HASWELL, ArchSpec
 from repro.errors import WorkloadError
@@ -141,6 +141,11 @@ class QueryPoint:
     locate_cycles: int
     scan_cycles: int
     locate_tmam: TmamStats
+    #: Per-operator profile rows (``OperatorProfile.as_dict()``) of the
+    #: underlying ``repro.query`` plan run. Plain dicts so points stay
+    #: picklable for the perf result cache; excluded from equality so
+    #: pre-plan cached points still compare.
+    operators: tuple = field(default=(), compare=False, repr=False)
 
     @property
     def response_ms(self) -> float:
@@ -348,4 +353,5 @@ def measure_query(
         locate_cycles=result.locate.cycles,
         scan_cycles=result.scan.cycles,
         locate_tmam=result.locate.tmam,
+        operators=tuple(op.as_dict() for op in result.operators),
     )

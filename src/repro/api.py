@@ -7,6 +7,8 @@ each used to require knowing which subpackage implements it:
 * **serve a scenario** — the online robustness story (``repro.service``),
 * **look up a batch** — one bulk index join under a chosen or
   policy-picked technique (``repro.interleaving``),
+* **run a plan** — an IN-predicate query as a pull-based operator
+  pipeline with per-operator profiles (``repro.query``),
 * **inject faults** — replay a bulk run under a deterministic chaos
   schedule (``repro.faults``).
 
@@ -35,11 +37,13 @@ __all__ = [
     "ServeResult",
     "ExplainResult",
     "LookupResult",
+    "PlanRunResult",
     "FaultInjectionResult",
     "run_experiment",
     "serve",
     "explain",
     "lookup_batch",
+    "run_plan",
     "inject_faults",
 ]
 
@@ -153,6 +157,60 @@ class LookupResult:
     @property
     def cycles_per_lookup(self) -> float:
         return self.cycles / self.n_lookups if self.results else 0.0
+
+
+@dataclass(frozen=True)
+class PlanRunResult:
+    """One IN-predicate query executed as an operator plan."""
+
+    #: Encode strategy that actually ran (resolved from the policy when
+    #: not forced) and its group size.
+    strategy: str
+    group_size: int
+    #: Matching row indices, in row order.
+    rows: tuple
+    #: Per-operator profiles (:class:`repro.query.OperatorProfile`),
+    #: leaf-to-root execution order.
+    operators: tuple
+    #: ASCII rendering of the operator tree.
+    plan: str
+
+    @property
+    def n_matches(self) -> int:
+        return len(self.rows)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(op.cycles for op in self.operators)
+
+    def operator(self, label: str):
+        for profile in self.operators:
+            if profile.label == label:
+                return profile
+        from repro.errors import QueryError
+
+        raise QueryError(f"plan has no operator labelled {label!r}")
+
+    def render(self) -> str:
+        total = self.total_cycles or 1
+        lines = [
+            self.plan,
+            "",
+            f"{'operator':<32} {'cycles':>12} {'%':>6} {'batches':>8} "
+            f"{'rows':>10}  executor",
+        ]
+        for op in self.operators:
+            lines.append(
+                f"{op.label:<32} {op.cycles:>12,} "
+                f"{100.0 * op.cycles / total:>5.1f}% {op.batches:>8} "
+                f"{op.rows:>10,}  {op.executor or '-'}"
+            )
+        lines.append(
+            f"{'total':<32} {self.total_cycles:>12,} {'100.0':>5}% "
+            f"{'':>8} {self.n_matches:>10,}  ({self.strategy}, "
+            f"G={self.group_size})"
+        )
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -325,6 +383,61 @@ def lookup_batch(
         group_size=group_size,
         results=tuple(results),
         cycles=engine.clock - before,
+    )
+
+
+def run_plan(
+    column,
+    predicate_values: Sequence[int],
+    *,
+    strategy: str | None = None,
+    group_size: int | None = None,
+    arch: ArchSpec = HASWELL,
+    engine=None,
+    scan_batch: int | None = None,
+    probe_batch: int | None = None,
+    task_buffer: int | None = None,
+    match_buffer: int | None = None,
+    recorder=None,
+    **legacy,
+) -> PlanRunResult:
+    """Execute an IN-predicate query as a ``repro.query`` operator plan.
+
+    Builds the Figure 1/8 pipeline (literal scan → index-join encode →
+    filter → semi-join column scan → aggregate) over ``column``,
+    executes it, and reports per-operator cycle profiles. ``strategy``
+    and ``group_size`` resolve exactly as :func:`repro.run_in_predicate`
+    does (policy-driven when unset); batching and buffer knobs stream
+    the plan instead of running it in one batch per operator. Legacy
+    ``G=``/``g=``/``group=`` spellings canonicalize onto ``group_size``
+    with the same warnings and conflict errors as every executor
+    surface.
+    """
+    from repro.interleaving.executor import canonical_group_size
+    from repro.query import in_predicate_plan
+    from repro.sim.engine import ExecutionEngine
+
+    group_size = canonical_group_size(group_size, legacy)
+    if engine is None:
+        engine = ExecutionEngine(arch)
+    plan = in_predicate_plan(
+        column,
+        predicate_values,
+        strategy=strategy,
+        group_size=group_size,
+        scan_batch=scan_batch,
+        probe_batch=probe_batch,
+        task_buffer=task_buffer,
+        match_buffer=match_buffer,
+    )
+    result = plan.execute(engine, recorder=recorder)
+    encode = result.profile("in_predicate_encode")
+    return PlanRunResult(
+        strategy=str(encode.attrs.get("strategy", strategy or "?")),
+        group_size=int(encode.attrs.get("group_size", group_size or 0)),
+        rows=tuple(int(row) for row in result.value),
+        operators=result.profiles,
+        plan=plan.describe(),
     )
 
 

@@ -147,6 +147,82 @@ class EncodedColumn:
     # The index join: bulk locate
     # ------------------------------------------------------------------
 
+    def resolve_locate_execution(
+        self,
+        engine: ExecutionEngine,
+        n_lookups: int,
+        *,
+        strategy: str | None = "sequential",
+        group_size: int | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> tuple[str, int]:
+        """Resolve the ``(strategy, group_size)`` a bulk locate will use.
+
+        ``strategy=None`` defers to ``policy`` (or, when that is also
+        unset, to :meth:`locate_policy`'s calibration-driven choice);
+        an explicit strategy always wins. This is the resolution step of
+        :meth:`encode_values`, split out so the ``repro.query`` plan
+        operators resolve exactly the way the bulk entry point does.
+        """
+        if strategy is None:
+            if policy is None:
+                policy = self.locate_policy(engine, n_lookups)
+            strategy = (
+                "interleaved" if policy.technique.lower() == "coro"
+                else policy.technique.lower()
+            ) if policy.interleave else "sequential"
+            group_size = group_size or policy.group_size
+        if strategy not in ENCODE_STRATEGIES:
+            raise ColumnStoreError(
+                f"unknown strategy {strategy!r}; expected one of {ENCODE_STRATEGIES}"
+            )
+        return strategy, group_size or 6
+
+    def locate_job(
+        self,
+        values: Sequence[int],
+        strategy: str,
+        costs: SearchCosts = DEFAULT_COSTS,
+    ):
+        """Bulk-locate workload for ``strategy``: ``(executor_name, job, post)``.
+
+        ``job`` is the :class:`BulkLookup` to hand the named executor and
+        ``post`` maps its raw results to one code per input
+        (``INVALID_CODE`` for absent values). GP and AMAC are only
+        available for Main dictionaries (they are binary-search
+        rewrites); the coroutine strategies work for both stores — the
+        paper's practicality argument.
+        """
+        if strategy not in ENCODE_STRATEGIES:
+            raise ColumnStoreError(
+                f"unknown strategy {strategy!r}; expected one of {ENCODE_STRATEGIES}"
+            )
+        dictionary = self.dictionary
+        executor_name = _STRATEGY_EXECUTORS[strategy]
+        if strategy in ("sequential", "interleaved"):
+            job = BulkLookup.stream(
+                lambda v, il: dictionary.locate_stream(v, il, costs), values
+            )
+            return executor_name, job, lambda raw: raw
+        if not isinstance(dictionary, MainDictionary):
+            raise ColumnStoreError(
+                f"{strategy} was only implemented for the sorted Main "
+                "dictionary; rewriting it for the Delta tree is exactly "
+                "the cost the paper's coroutines avoid"
+            )
+        job = BulkLookup.sorted_array(dictionary.array, values, costs)
+
+        def membership(lows: Sequence[int]) -> list[int]:
+            # GP and AMAC return lower-bound positions; the dictionary
+            # join needs membership, so map misses to INVALID_CODE (pure
+            # Python — no simulated cycles).
+            return [
+                low if dictionary.array.value_at(low) == value else INVALID_CODE
+                for low, value in zip(lows, values)
+            ]
+
+        return executor_name, job, membership
+
     def encode_values(
         self,
         engine: ExecutionEngine,
@@ -160,50 +236,13 @@ class EncodedColumn:
         """Locate every value, with the chosen execution strategy.
 
         Returns one code per input (``INVALID_CODE`` for absent values).
-        GP and AMAC are only available for Main dictionaries (they are
-        binary-search rewrites); the coroutine strategies work for both
-        stores — the paper's practicality argument.
-
-        ``strategy=None`` defers to ``policy`` (or, when that is also
-        unset, to :meth:`locate_policy`'s calibration-driven choice);
-        an explicit strategy always wins.
+        See :meth:`resolve_locate_execution` for how ``strategy=None``
+        defers to the calibration-driven policy, and :meth:`locate_job`
+        for which executors each store supports.
         """
-        if strategy is None:
-            if policy is None:
-                policy = self.locate_policy(engine, len(values))
-            strategy = (
-                "interleaved" if policy.technique.lower() == "coro"
-                else policy.technique.lower()
-            ) if policy.interleave else "sequential"
-            group_size = group_size or policy.group_size
-        if strategy not in ENCODE_STRATEGIES:
-            raise ColumnStoreError(
-                f"unknown strategy {strategy!r}; expected one of {ENCODE_STRATEGIES}"
-            )
-        group_size = group_size or 6
-        dictionary = self.dictionary
-        if strategy in ("sequential", "interleaved"):
-            tasks = BulkLookup.stream(
-                lambda v, il: dictionary.locate_stream(v, il, costs), values
-            )
-            return get_executor(_STRATEGY_EXECUTORS[strategy]).run(
-                tasks, engine, group_size=group_size
-            )
-        if not isinstance(dictionary, MainDictionary):
-            raise ColumnStoreError(
-                f"{strategy} was only implemented for the sorted Main "
-                "dictionary; rewriting it for the Delta tree is exactly "
-                "the cost the paper's coroutines avoid"
-            )
-        lows = get_executor(_STRATEGY_EXECUTORS[strategy]).run(
-            BulkLookup.sorted_array(dictionary.array, values, costs),
-            engine,
-            group_size=group_size,
+        strategy, group_size = self.resolve_locate_execution(
+            engine, len(values),
+            strategy=strategy, group_size=group_size, policy=policy,
         )
-        # GP and AMAC return lower-bound positions; the dictionary join
-        # needs membership, so map misses to INVALID_CODE (pure Python —
-        # no simulated cycles).
-        return [
-            low if dictionary.array.value_at(low) == value else INVALID_CODE
-            for low, value in zip(lows, values)
-        ]
+        executor_name, job, post = self.locate_job(values, strategy, costs)
+        return post(get_executor(executor_name).run(job, engine, group_size=group_size))

@@ -8,26 +8,29 @@ column runs in two phases:
 2. **Scan** — stream the code vector collecting rows whose code is in
    the encoded set; row-count-bound and robust to dictionary size.
 
-:func:`run_in_predicate` executes both phases on one engine and returns
-the matching rows together with a per-phase profile (Table 1's
-"runtime %" and CPI of ``locate``, and Table 2's pipeline-slot breakdown,
-come straight from the ``locate`` section of this profile).
+:func:`run_in_predicate` is the historic two-phase entry point, kept as
+a thin compatibility shim: it now builds the equivalent ``repro.query``
+operator plan (encode join → filter → semi-join scan → aggregate) via
+:func:`repro.query.in_predicate_plan`, executes it, and folds the
+per-operator profiles back into the two-phase :class:`QueryResult`
+shape (Table 1's "runtime %" and CPI of ``locate``, and Table 2's
+pipeline-slot breakdown, come straight from the ``locate`` section).
+Golden tests pin the shim's cycles bit-identical to the pre-plan
+implementation; new code should build plans directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from repro.indexes.base import INVALID_CODE
 from repro.interleaving.policies import ExecutionPolicy
 from repro.sim.engine import ExecutionEngine
 from repro.sim.tmam import TmamStats
 
 from repro.columnstore.column import EncodedColumn
-from repro.columnstore.scan import scan_matching_rows
 
 __all__ = ["PhaseProfile", "QueryResult", "run_in_predicate"]
 
@@ -58,13 +61,19 @@ RESULT_CYCLES_PER_MATCH = 20
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Rows matched plus per-phase profiles."""
+    """Rows matched plus per-phase profiles.
+
+    ``operators`` carries the per-operator
+    :class:`~repro.query.OperatorProfile` tuple of the underlying plan
+    run (empty for results not produced through a plan).
+    """
 
     rows: np.ndarray
     codes: list[int]
     locate: PhaseProfile
     scan: PhaseProfile
     other: PhaseProfile
+    operators: tuple = field(default=(), compare=False)
 
     @property
     def total_cycles(self) -> int:
@@ -101,49 +110,37 @@ def run_in_predicate(
     interleave with the technique and group size Inequality 1 picks.
     Pass ``strategy`` (or a precomputed ``policy``) to override.
     """
-    locate_start = engine.clock
-    tmam_before = engine.tmam.snapshot()
-    codes = column.encode_values(
-        engine,
+    from repro.query import in_predicate_plan
+
+    plan = in_predicate_plan(
+        column,
         predicate_values,
         strategy=strategy,
         group_size=group_size,
         policy=policy,
     )
-    engine.settle()
+    result = plan.execute(engine)
+
+    encode = result.profile("in_predicate_encode")
+    values_scan = result.profile("in_predicate_encode/values")
+    found_filter = result.profile("filter_found")
+    scan = result.profile("scan")
+    aggregate = result.profile("aggregate")
+    # The two-phase view: encode (+ its zero-cost feeders) is "locate",
+    # the semi-join scan is "scan", the sink's plan/materialization
+    # charge is "other".
     locate_profile = PhaseProfile(
         "locate",
-        engine.clock - locate_start,
-        engine.tmam.delta(tmam_before),
+        values_scan.cycles + encode.cycles + found_filter.cycles,
+        encode.tmam,
     )
-
-    scan_start = engine.clock
-    tmam_before = engine.tmam.snapshot()
-    found = [code for code in codes if code != INVALID_CODE]
-    rows = scan_matching_rows(engine, column, found)
-    scan_profile = PhaseProfile(
-        "scan",
-        engine.clock - scan_start,
-        engine.tmam.delta(tmam_before),
-    )
-
-    other_start = engine.clock
-    tmam_before = engine.tmam.snapshot()
-    overhead = (
-        QUERY_FIXED_OVERHEAD_CYCLES
-        + QUERY_CYCLES_PER_PREDICATE * len(predicate_values)
-        + RESULT_CYCLES_PER_MATCH * int(rows.size)
-    )
-    engine.compute(overhead, overhead)  # plan + result materialization
-    other_profile = PhaseProfile(
-        "other",
-        engine.clock - other_start,
-        engine.tmam.delta(tmam_before),
-    )
+    scan_profile = PhaseProfile("scan", scan.cycles, scan.tmam)
+    other_profile = PhaseProfile("other", aggregate.cycles, aggregate.tmam)
     return QueryResult(
-        rows=rows,
-        codes=codes,
+        rows=np.asarray(result.value, dtype=np.int64),
+        codes=list(result.extras["in_predicate_encode"]),
         locate=locate_profile,
         scan=scan_profile,
         other=other_profile,
+        operators=result.profiles,
     )

@@ -11,6 +11,17 @@ real streaming loads avoid with non-temporal hints).
 
 This is why Figure 1's *interleaved* curve is nearly flat: the scan cost
 depends on the row count, not the dictionary size.
+
+Two edge cases short-circuit to a zero-cycle scan: an empty code set
+(the IN-list itself was empty) and a set containing only
+``INVALID_CODE`` (no predicate value exists in the dictionary). Both
+mean *no row can match*, and a real executor would fold the scan away
+at plan time instead of streaming the whole column to select nothing.
+
+:func:`scan_batch_stream` is the batched form used by the
+``repro.query`` operators: it scans one row range ``[start, stop)`` with
+costs that telescope — summed over any partition of the column they
+equal the single full scan's charge exactly.
 """
 
 from __future__ import annotations
@@ -19,12 +30,20 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.errors import ColumnStoreError
+from repro.indexes.base import INVALID_CODE
 from repro.sim.engine import ExecutionEngine, InstructionStream
 from repro.sim.events import Compute
 
 from repro.columnstore.column import EncodedColumn
 
-__all__ = ["scan_stream", "scan_matching_rows", "SCAN_CYCLES_PER_LINE", "SCAN_CYCLES_PER_ROW"]
+__all__ = [
+    "scan_stream",
+    "scan_batch_stream",
+    "scan_matching_rows",
+    "SCAN_CYCLES_PER_LINE",
+    "SCAN_CYCLES_PER_ROW",
+]
 
 #: Streaming cost per 64-byte line of codes (bandwidth-bound).
 SCAN_CYCLES_PER_LINE = 4
@@ -32,20 +51,56 @@ SCAN_CYCLES_PER_LINE = 4
 SCAN_CYCLES_PER_ROW = 2.0
 
 
-def scan_stream(column: EncodedColumn, code_set: Iterable[int]) -> InstructionStream:
-    """Instruction stream of one full code-vector scan."""
-    code_set = set(int(c) for c in code_set)
+def _live_codes(code_set: Iterable[int]) -> set[int]:
+    """The matchable codes: duplicates collapsed, ``INVALID_CODE`` out."""
+    return {int(c) for c in code_set if int(c) != INVALID_CODE}
+
+
+def scan_batch_stream(
+    column: EncodedColumn,
+    code_set: Iterable[int],
+    start: int,
+    stop: int,
+) -> InstructionStream:
+    """Instruction stream scanning rows ``[start, stop)`` of the column.
+
+    Costs are written as differences of the cumulative full-scan cost,
+    so any partition of ``[0, n_rows)`` into batches charges exactly
+    what one full :func:`scan_stream` does. An empty (or all-invalid)
+    code set returns no matches without charging a cycle.
+    """
     n_rows = column.n_rows
-    lines = max(1, (n_rows * column.code_size + 63) // 64)
-    row_cycles = int(n_rows * SCAN_CYCLES_PER_ROW)
-    total_cycles = lines * SCAN_CYCLES_PER_LINE + row_cycles
-    # One instruction per row retires (vectorized: 4+ rows per cycle),
-    # plus the line-touch overhead.
-    yield Compute(total_cycles, n_rows + lines)
+    if not 0 <= start <= stop <= n_rows:
+        raise ColumnStoreError(
+            f"scan range [{start}, {stop}) outside column rows [0, {n_rows})"
+        )
+    code_set = _live_codes(code_set)
     if not code_set:
         return np.empty(0, dtype=np.int64)
-    matches = np.flatnonzero(np.isin(column.codes, list(code_set)))
-    return matches
+    code_size = column.code_size
+
+    def lines_before(row: int) -> int:
+        return (row * code_size + 63) // 64
+
+    lines = lines_before(stop) - lines_before(start)
+    if (start, stop) == (0, n_rows):
+        lines = max(1, lines)  # the full scan touches at least one line
+    row_cycles = int(stop * SCAN_CYCLES_PER_ROW) - int(start * SCAN_CYCLES_PER_ROW)
+    n_batch_rows = stop - start
+    if lines or n_batch_rows:
+        # One instruction per row retires (vectorized: 4+ rows per
+        # cycle), plus the line-touch overhead.
+        yield Compute(
+            lines * SCAN_CYCLES_PER_LINE + row_cycles, n_batch_rows + lines
+        )
+    window = column.codes[start:stop]
+    matches = np.flatnonzero(np.isin(window, list(code_set)))
+    return matches + start
+
+
+def scan_stream(column: EncodedColumn, code_set: Iterable[int]) -> InstructionStream:
+    """Instruction stream of one full code-vector scan."""
+    return (yield from scan_batch_stream(column, code_set, 0, column.n_rows))
 
 
 def scan_matching_rows(

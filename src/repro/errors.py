@@ -57,5 +57,9 @@ class WorkloadError(ReproError):
     """A workload generator was asked for an impossible configuration."""
 
 
+class QueryError(ReproError):
+    """A query plan was built or executed incorrectly."""
+
+
 class PerfError(ReproError):
     """The sweep runner or result cache was configured or driven incorrectly."""

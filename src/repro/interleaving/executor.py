@@ -69,6 +69,7 @@ __all__ = [
     "STREAM",
     "BulkLookup",
     "Executor",
+    "canonical_group_size",
     "EXECUTOR_REGISTRY",
     "register_executor",
     "get_executor",
@@ -254,14 +255,17 @@ def executors_supporting(workload_kind: str) -> list[Executor]:
 _GROUP_SIZE_ALIASES = ("G", "g", "group")
 
 
-def _canonical_group_size(group_size: int | None, legacy: dict) -> int | None:
+def canonical_group_size(group_size: int | None, legacy: dict) -> int | None:
     """Resolve the canonical ``group_size`` from legacy alias kwargs.
 
     Historical call sites spelled the group width ``G=`` (the paper's
     symbol) or ``group=``; the registry API canonicalizes on
     ``group_size``. Aliases still work for one release — with a
     DeprecationWarning — and conflicts with the canonical spelling are
-    rejected outright rather than silently picking one.
+    rejected outright rather than silently picking one. Every surface
+    that accepts executor kwargs — ``Executor.run``, the ``repro.api``
+    facade, and the ``repro.query`` plan builders — resolves through
+    this one function so aliases behave identically everywhere.
     """
     import warnings
 
@@ -284,6 +288,10 @@ def _canonical_group_size(group_size: int | None, legacy: dict) -> int | None:
         unknown = ", ".join(sorted(legacy))
         raise SchedulerError(f"unknown executor kwargs: {unknown}")
     return group_size
+
+
+#: Backwards-compatible name from before the function was public.
+_canonical_group_size = canonical_group_size
 
 
 class _ExecutorBase:
@@ -310,7 +318,7 @@ class _ExecutorBase:
         recorder=None,
         **legacy,
     ) -> list:
-        group_size = _canonical_group_size(group_size, legacy)
+        group_size = canonical_group_size(group_size, legacy)
         if not self.supports(tasks.kind):
             raise WorkloadError(
                 f"executor {self.name!r} does not support {tasks.kind!r} "

@@ -38,6 +38,7 @@ __all__ = [
 
 #: Span vocabulary, in rough nesting order.
 SPAN_KINDS = (
+    "operator",  # one plan-operator charge window (attrs: operator, executor)
     "executor",  # one executor.run() call (attrs: executor, workload_kind)
     "lookup",  # one whole lookup, open across suspensions
     "resume",  # scheduler resumed a frame until its next suspension

@@ -31,6 +31,7 @@ FINGERPRINT_PATHS = (
     "indexes",
     "workloads",
     "columnstore",
+    "query",
     "service",
     "faults",
     "analysis/calibration.py",

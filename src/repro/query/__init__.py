@@ -1,0 +1,48 @@
+"""``repro.query`` — pull-based query plans over the simulated engine.
+
+The operator layer that turns the repo's bulk index-join lookups into
+real query plans: ``Scan``/``Filter``/``Aggregate`` around a streaming
+``IndexJoin`` that probes inner indexes through the executor registry
+with bounded task/match buffers, plus ``InPredicateEncode`` — the
+paper's S |><| D dictionary join as an operator. Build trees by hand or
+via :func:`in_predicate_plan`, then ``QueryPlan.execute(engine)``.
+
+Import from this package root: the ``operators``/``plan`` submodules
+are internal and an AST lint keeps the rest of the codebase off them.
+"""
+
+from repro.query.operators import (
+    Aggregate,
+    DictionaryInner,
+    Filter,
+    IndexJoin,
+    InnerIndex,
+    InPredicateEncode,
+    Operator,
+    PlanContext,
+    Scan,
+    SortedArrayInner,
+)
+from repro.query.plan import (
+    OperatorProfile,
+    PlanResult,
+    QueryPlan,
+    in_predicate_plan,
+)
+
+__all__ = [
+    "Aggregate",
+    "DictionaryInner",
+    "Filter",
+    "IndexJoin",
+    "InnerIndex",
+    "InPredicateEncode",
+    "Operator",
+    "OperatorProfile",
+    "PlanContext",
+    "PlanResult",
+    "QueryPlan",
+    "Scan",
+    "SortedArrayInner",
+    "in_predicate_plan",
+]

@@ -245,6 +245,33 @@ register_scenario(
 
 register_scenario(
     Scenario(
+        name="plans",
+        description=(
+            "Plan-shaped serving: every batch runs as a repro.query "
+            "streaming index-join plan (batch values as the outer side, "
+            "the served table as the inner index) instead of a raw bulk "
+            "lookup. Same calibrated cycles per probe; exercises the "
+            "operator path under online load."
+        ),
+        techniques=("sequential", "CORO"),
+        loads=(0.6, 1.8),
+        table_bytes=2 << 20,
+        n_requests=200,
+        config=ServiceConfig(
+            max_batch=16,
+            max_wait_cycles=2500,
+            queue_capacity=48,
+            overload_policy="reject",
+            n_shards=2,
+            warmup_requests=16,
+            slo_cycles=25_000,
+            request_kind="plan",
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
         name="quick",
         description=(
             "CI smoke: sequential vs CORO at an easy and an overloaded "

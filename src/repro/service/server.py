@@ -93,6 +93,13 @@ RESILIENCE_KEYS = (
 #: Degradation policies :attr:`ServiceConfig.degradation` accepts.
 DEGRADATION_POLICIES = ("off", "adaptive")
 
+#: Request shapes :attr:`ServiceConfig.request_kind` accepts. ``"lookup"``
+#: runs each batch as a raw bulk lookup (the historic path, byte-stable);
+#: ``"plan"`` runs it as a ``repro.query`` index-join plan — the batch's
+#: values become the outer side of a streaming join against the served
+#: table, probed through the same configured executor.
+REQUEST_KINDS = ("lookup", "plan")
+
 
 def percentile(sorted_values: list, q: float):
     """Nearest-rank percentile of an ascending-sorted list.
@@ -143,6 +150,10 @@ class ServiceConfig:
     #: When every shard is fault-stalled past the overflow lane's
     #: availability, serve the batch there (sequential, ungrouped).
     overflow_fallback: bool = False
+    #: Shape of each dispatched batch: ``"lookup"`` (raw bulk lookups,
+    #: the historic byte-stable path) or ``"plan"`` (a ``repro.query``
+    #: streaming index-join plan per batch).
+    request_kind: str = "lookup"
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -163,6 +174,11 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"unknown degradation policy {self.degradation!r}; expected "
                 f"one of {DEGRADATION_POLICIES}"
+            )
+        if self.request_kind not in REQUEST_KINDS:
+            raise ConfigurationError(
+                f"unknown request kind {self.request_kind!r}; expected "
+                f"one of {REQUEST_KINDS}"
             )
 
 
@@ -447,6 +463,8 @@ class ServiceServer:
 
     def _execute(self, shard: _Shard, values: list, executor, group_size: int) -> tuple[list, int]:
         """Run one batch on ``shard``'s engine; return (results, cycles)."""
+        if self.config.request_kind == "plan":
+            return self._execute_plan(shard, values, executor, group_size)
         before = shard.engine.clock
         results = executor.run(
             BulkLookup.sorted_array(self.table, values),
@@ -455,6 +473,33 @@ class ServiceServer:
         )
         shard.engine.settle()
         return results, shard.engine.clock - before
+
+    def _execute_plan(
+        self, shard: _Shard, values: list, executor, group_size: int
+    ) -> tuple[list, int]:
+        """Run one batch as a streaming index-join plan.
+
+        The batch's values form the outer side of an
+        :class:`~repro.query.IndexJoin` against the served table; the
+        probe runs through the same configured executor (or whatever
+        ``executor`` the caller degraded/fell back to), so the serving
+        economics — switch overhead vs. stall overlap — are unchanged.
+        Misses are kept: every request gets an answer slot.
+        """
+        from repro.query import IndexJoin, QueryPlan, Scan, SortedArrayInner
+
+        plan = QueryPlan(
+            IndexJoin(
+                Scan.values(values, label="batch_values"),
+                SortedArrayInner(self.table),
+                executor=executor.name,
+                group_size=group_size,
+                keep_misses=True,
+            )
+        )
+        before = shard.engine.clock
+        result = plan.execute(shard.engine)
+        return list(result.value), shard.engine.clock - before
 
     def _count(self, name: str, amount: int = 1) -> None:
         """Bump a lazily-created resilience counter under ``service.``."""

@@ -56,3 +56,70 @@ class TestScanCostModel:
         code = column.dictionary.locate(1)
         result = ExecutionEngine(HASWELL).run(scan_stream(column, [code, code]))
         assert result.tolist() == [0, 2]
+
+
+class TestDegenerateCodeSets:
+    """Empty and all-miss predicate sets short-circuit the scan."""
+
+    def test_empty_set_matches_nothing_at_zero_cost(self):
+        column = make_column(list(range(1_000)))
+        engine = ExecutionEngine(HASWELL)
+        result = engine.run(scan_stream(column, []))
+        assert result.tolist() == []
+        assert engine.clock == 0
+
+    def test_all_invalid_set_matches_nothing_at_zero_cost(self):
+        from repro.indexes.base import INVALID_CODE
+
+        column = make_column(list(range(1_000)))
+        engine = ExecutionEngine(HASWELL)
+        result = engine.run(scan_stream(column, [INVALID_CODE, INVALID_CODE]))
+        assert result.tolist() == []
+        assert engine.clock == 0
+
+    def test_invalid_codes_mixed_with_live_ones_are_dropped(self):
+        from repro.indexes.base import INVALID_CODE
+
+        column = make_column([5, 6, 5, 7])
+        code = column.dictionary.locate(5)
+        result = ExecutionEngine(HASWELL).run(
+            scan_stream(column, [INVALID_CODE, code])
+        )
+        assert result.tolist() == [0, 2]
+
+
+class TestBatchedScan:
+    """scan_batch_stream partitions tile the full scan exactly."""
+
+    def test_batches_telescope_to_full_scan_cycles_and_matches(self):
+        from repro.columnstore.scan import scan_batch_stream
+
+        rng = np.random.RandomState(3)
+        rows = rng.randint(0, 40, 2_731)  # deliberately not line-aligned
+        column = make_column(rows)
+        codes = [column.dictionary.locate(v) for v in (1, 4, 9)]
+
+        full_engine = ExecutionEngine(HASWELL)
+        full = full_engine.run(scan_stream(column, codes))
+
+        batch_engine = ExecutionEngine(HASWELL)
+        pieces = []
+        for start in range(0, column.n_rows, 700):
+            stop = min(start + 700, column.n_rows)
+            pieces.append(
+                batch_engine.run(scan_batch_stream(column, codes, start, stop))
+            )
+        stitched = np.concatenate(pieces)
+        assert np.array_equal(stitched, full)
+        assert batch_engine.clock == full_engine.clock
+
+    def test_bad_ranges_raise(self):
+        from repro.columnstore.scan import scan_batch_stream
+        from repro.errors import ColumnStoreError
+
+        column = make_column([1, 2, 3])
+        engine = ExecutionEngine(HASWELL)
+        with pytest.raises(ColumnStoreError):
+            engine.run(scan_batch_stream(column, [0], 2, 1))
+        with pytest.raises(ColumnStoreError):
+            engine.run(scan_batch_stream(column, [0], 0, 99))

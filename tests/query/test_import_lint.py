@@ -1,0 +1,60 @@
+"""Acceptance: operator internals stay behind the ``repro.query`` facade.
+
+The ``operators`` and ``plan`` submodules are implementation detail —
+everything public re-exports through ``repro.query`` (and the package
+root). No code outside ``src/repro/query`` may import the submodules
+directly, so the layer can be reshaped without sweeping the codebase.
+The lint walks ``src``, ``tests``, ``benchmarks``, and ``examples``;
+``tests/query`` itself is exempt (white-box unit tests may one day
+need the internals, the rest of the repo may not).
+"""
+
+import ast
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+FORBIDDEN_PREFIXES = ("repro.query.operators", "repro.query.plan")
+
+SCAN_DIRS = ("src", "tests", "benchmarks", "examples")
+
+
+def _exempt(path: pathlib.Path) -> bool:
+    relative = path.relative_to(ROOT)
+    return relative.parts[:3] in {
+        ("src", "repro", "query"),
+        ("tests", "query", "test_import_lint.py"),
+    }
+
+
+class TestQueryInternalsStayInternal:
+    def test_no_submodule_imports_outside_the_package(self):
+        offenders = []
+        for scan_dir in SCAN_DIRS:
+            base = ROOT / scan_dir
+            if not base.exists():
+                continue
+            for module in sorted(base.rglob("*.py")):
+                if _exempt(module):
+                    continue
+                tree = ast.parse(module.read_text())
+                for node in ast.walk(tree):
+                    if isinstance(node, ast.ImportFrom):
+                        name = node.module or ""
+                        if name.startswith(FORBIDDEN_PREFIXES):
+                            offenders.append(
+                                f"{module.relative_to(ROOT)}: from {name}"
+                            )
+                    elif isinstance(node, ast.Import):
+                        for alias in node.names:
+                            if alias.name.startswith(FORBIDDEN_PREFIXES):
+                                offenders.append(
+                                    f"{module.relative_to(ROOT)}: import {alias.name}"
+                                )
+        assert not offenders, offenders
+
+    def test_the_facade_exports_everything_the_repo_uses(self):
+        import repro.query as query
+
+        for name in query.__all__:
+            assert getattr(query, name) is not None

@@ -177,3 +177,36 @@ class TestReportAndPercentiles:
             ServiceConfig(n_shards=0)
         with pytest.raises(ConfigurationError):
             ServiceConfig(warmup_requests=-1)
+
+
+class TestPlanRequests:
+    def test_plan_kind_is_cycle_identical_to_lookup_kind(self, table, values):
+        lookup = run_once(table, values)
+        plan_config = dataclasses.replace(BASE_CONFIG, request_kind="plan")
+        plan = run_once(table, values, config=plan_config)
+        # The streaming plan charges the same probe events inside the
+        # same settle window as the bulk lookup path, so per-request
+        # latencies — not just aggregates — must coincide.
+        assert plan.completed == lookup.completed
+        assert plan.latencies == lookup.latencies
+        assert plan.makespan == lookup.makespan
+
+    def test_plan_kind_completes_under_load(self, table, values):
+        config = dataclasses.replace(BASE_CONFIG, request_kind="plan")
+        report = run_once(table, values, config=config)
+        done = [r for r in report.requests if r.outcome == "completed"]
+        assert done
+        for request in done:
+            assert request.execution_cycles > 0
+
+    def test_unknown_request_kind_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="request kind"):
+            ServiceConfig(request_kind="rpc")
+
+    def test_plans_scenario_registered(self):
+        from repro.service.scenarios import get_scenario
+
+        scenario = get_scenario("plans")
+        assert scenario.config.request_kind == "plan"

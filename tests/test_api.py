@@ -238,3 +238,91 @@ class TestCliExitCodes:
         assert "fault profiles" in out
         assert "chaos-quick" in out
         assert "group_size=" in out
+
+
+class TestRunPlan:
+    """api.run_plan: the plan facade over a caller-supplied column."""
+
+    @pytest.fixture(scope="class")
+    def column(self):
+        import numpy as np
+
+        from repro.columnstore import EncodedColumn
+
+        return EncodedColumn.from_values(
+            AddressSpaceAllocator(), "api-plan/col", np.arange(5_000)
+        )
+
+    def test_run_plan_reports_operators_and_matches(self, column):
+        result = api.run_plan(column, [10, 20, 30], strategy="interleaved")
+        assert result.strategy == "interleaved"
+        assert result.n_matches == 3
+        labels = {op.label for op in result.operators}
+        assert {"in_predicate_encode", "scan", "aggregate"} <= labels
+        assert result.total_cycles == sum(op.cycles for op in result.operators)
+        assert result.operator("scan").operator == "scan"
+        rendered = result.render()
+        assert "in_predicate_encode" in rendered
+        assert "interleaved" in rendered
+
+    def test_unknown_operator_label_raises(self, column):
+        from repro.errors import QueryError
+
+        result = api.run_plan(column, [1], strategy="sequential")
+        with pytest.raises(QueryError):
+            result.operator("nope")
+
+    def test_plan_matches_run_in_predicate_bit_for_bit(self, column):
+        from repro.sim.engine import ExecutionEngine as Engine
+
+        values = [5, 4_999, 12_345]
+        legacy = repro.run_in_predicate(
+            Engine(ARCH), column, values, strategy="sequential"
+        )
+        plan = api.run_plan(
+            column, values, strategy="sequential", arch=ARCH
+        )
+        assert plan.total_cycles == legacy.total_cycles
+        assert sorted(plan.rows) == sorted(int(r) for r in legacy.rows)
+
+
+class TestCliPlanVerb:
+    def test_plan_renders_tree_and_profiles(self, capsys):
+        assert main(["plan", "--dict-bytes", "1048576", "--predicates", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate" in out
+        assert "index join" in out or "in_predicate_encode" in out
+
+    def test_plan_json_validates_against_the_query_schema(self, capsys):
+        assert (
+            main(
+                [
+                    "plan",
+                    "--json",
+                    "--dict-bytes",
+                    "1048576",
+                    "--predicates",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == check_bench_schema.QUERY_SCHEMA
+        assert doc["kind"] == "plan_run"
+        assert check_bench_schema.check_query_document(doc) == []
+
+    def test_plan_usage_errors_exit_2(self, capsys):
+        assert main(["plan", "--strategy", "bogus"]) == 2
+        # argparse rejects bad --store choices itself, exiting with the
+        # same usage status.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["plan", "--store", "basalt"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_list_shows_query_operators(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "query operators" in out
+        assert "index_join" in out
