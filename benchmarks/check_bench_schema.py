@@ -6,8 +6,11 @@ sweep point into ``BENCH_sim.json`` (see ``benchmarks/conftest.py``) and
 the serving-layer load sweep into ``BENCH_service.json`` (see
 ``benchmarks/bench_service_latency.py``), the fault-injected sweep
 into ``BENCH_chaos.json`` (see ``benchmarks/bench_chaos.py``), the
-SLO burn-rate sweep into ``BENCH_slo.json`` (see
-``benchmarks/bench_slo.py``), and the host wall-clock timings of the
+multi-node cluster sweep into ``BENCH_cluster.json`` (see
+``benchmarks/bench_cluster.py``; ``repro.cluster/1`` adds per-node
+batch/completion counters that must sum to the point totals and
+interconnect crossing counts), the SLO burn-rate sweep into
+``BENCH_slo.json`` (see ``benchmarks/bench_slo.py``), and the host wall-clock timings of the
 perf layer into ``BENCH_wallclock.json`` (see
 ``benchmarks/bench_wallclock.py``). ``python -m repro explain --json``
 documents (``repro.explain/1``) validate through the same dispatch —
@@ -54,6 +57,7 @@ import sys
 SCHEMA = "repro.bench-sim/1"
 SERVICE_SCHEMA = "repro.service/1"
 CHAOS_SCHEMA = "repro.chaos/1"
+CLUSTER_SCHEMA = "repro.cluster/1"
 WALLCLOCK_SCHEMA = "repro.wallclock/1"
 SLO_SCHEMA = "repro.slo/1"
 EXPLAIN_SCHEMA = "repro.explain/1"
@@ -175,6 +179,17 @@ CHAOS_POINT_FIELDS = {
     "outage_delays": numbers.Integral,
     "faults_by_kind": dict,
     "fault_events": numbers.Integral,
+}
+
+#: Extra per-point fields of cluster sweeps (``repro.cluster/1``;
+#: mirrors ``repro.cluster.loadgen._cluster_point``). Chaos fields ride
+#: along only when the document carries a ``fault_profile``.
+CLUSTER_POINT_FIELDS = {
+    "node_batches": dict,
+    "node_completed": dict,
+    "crossings": dict,
+    "interconnect_cycles": numbers.Integral,
+    "cross_node_hedges": numbers.Integral,
 }
 
 
@@ -594,9 +609,15 @@ def check_query_document(doc: dict) -> list[str]:
 
 
 def check_service_point(
-    index: int, point: object, errors: list[str], *, chaos: bool = False
+    index: int,
+    point: object,
+    errors: list[str],
+    *,
+    chaos: bool = False,
+    fields: dict | None = None,
 ) -> None:
-    fields = CHAOS_POINT_FIELDS if chaos else SERVICE_POINT_FIELDS
+    if fields is None:
+        fields = CHAOS_POINT_FIELDS if chaos else SERVICE_POINT_FIELDS
     if not isinstance(point, dict):
         errors.append(f"points[{index}]: point is {type(point).__name__}, not object")
         return
@@ -661,6 +682,103 @@ def check_service_document(doc: dict, *, chaos: bool = False) -> list[str]:
     return errors
 
 
+def _check_node_counters(
+    index: int, point: dict, field: str, total_field: str, errors: list[str]
+) -> None:
+    """Per-node counter dicts must cover node0..nodeN-1 + overflow and
+    sum exactly to the point's total — nothing served off the books."""
+    counters = point.get(field)
+    total = point.get(total_field)
+    if not isinstance(counters, dict) or not isinstance(
+        total, numbers.Integral
+    ):
+        return  # typed elsewhere
+    bad = [
+        key
+        for key, value in counters.items()
+        if not isinstance(value, numbers.Integral) or value < 0
+    ]
+    if bad:
+        errors.append(
+            f"points[{index}].{field}: non-counter values at {sorted(bad)}"
+        )
+        return
+    if sum(counters.values()) != total:
+        errors.append(
+            f"points[{index}].{field}: sums to {sum(counters.values())}, "
+            f"but {total_field} is {total}"
+        )
+
+
+def check_cluster_document(doc: dict) -> list[str]:
+    errors: list[str] = []
+    chaos = "fault_profile" in doc
+    doc_fields = [
+        ("scenario", str),
+        ("arrival_kind", str),
+        ("n_requests", numbers.Integral),
+        ("seed", numbers.Integral),
+        ("n_nodes", numbers.Integral),
+        ("replication", numbers.Integral),
+        ("n_shards_per_node", numbers.Integral),
+        ("n_users", numbers.Integral),
+        ("interconnect", dict),
+        ("regions", list),
+        ("seq_capacity_per_kcycle", numbers.Real),
+        ("seq_cycles_per_lookup", numbers.Real),
+    ]
+    if chaos:
+        doc_fields.append(("fault_profile", str))
+    for field, expected in doc_fields:
+        if field not in doc:
+            errors.append(f"missing field {field!r}")
+        elif not isinstance(doc[field], expected):
+            errors.append(
+                f"{field}: {type(doc[field]).__name__} is not {expected.__name__}"
+            )
+    n_nodes = doc.get("n_nodes")
+    replication = doc.get("replication")
+    if (
+        isinstance(n_nodes, numbers.Integral)
+        and isinstance(replication, numbers.Integral)
+        and not 1 <= replication <= n_nodes
+    ):
+        errors.append(
+            f"replication {replication} outside [1, n_nodes={n_nodes}]"
+        )
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        errors.append("points must be a non-empty list")
+        return errors
+    fields = {
+        **(CHAOS_POINT_FIELDS if chaos else SERVICE_POINT_FIELDS),
+        **CLUSTER_POINT_FIELDS,
+    }
+    for index, point in enumerate(points):
+        check_service_point(index, point, errors, fields=fields)
+        if not isinstance(point, dict):
+            continue
+        _check_node_counters(index, point, "node_batches", "batches", errors)
+        _check_node_counters(
+            index, point, "node_completed", "completed", errors
+        )
+        crossings = point.get("crossings")
+        if isinstance(crossings, dict):
+            if set(crossings) != {"local", "numa", "cxl"}:
+                errors.append(
+                    f"points[{index}].crossings: tiers {sorted(crossings)} "
+                    "!= ['cxl', 'local', 'numa']"
+                )
+            elif any(
+                not isinstance(v, numbers.Integral) or v < 0
+                for v in crossings.values()
+            ):
+                errors.append(
+                    f"points[{index}].crossings: non-counter values"
+                )
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -689,6 +807,9 @@ def main(argv: list[str] | None = None) -> int:
     elif isinstance(doc, dict) and doc.get("schema") == CHAOS_SCHEMA:
         errors = check_service_document(doc, chaos=True)
         schema = CHAOS_SCHEMA
+    elif isinstance(doc, dict) and doc.get("schema") == CLUSTER_SCHEMA:
+        errors = check_cluster_document(doc)
+        schema = CLUSTER_SCHEMA
     elif isinstance(doc, dict) and doc.get("schema") == WALLCLOCK_SCHEMA:
         errors = check_wallclock_document(doc)
         schema = WALLCLOCK_SCHEMA
@@ -713,6 +834,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"OK: {path} matches {schema} "
             f"({doc['scenario']!r}, {len(doc['points'])} points)"
+        )
+    elif schema == CLUSTER_SCHEMA:
+        print(
+            f"OK: {path} matches {schema} "
+            f"({doc['scenario']!r}, {doc['n_nodes']} nodes, "
+            f"R={doc['replication']}, {len(doc['points'])} points)"
         )
     elif schema == WALLCLOCK_SCHEMA:
         print(

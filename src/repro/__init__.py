@@ -24,6 +24,9 @@ Layers (bottom-up):
   the executor registry with bounded task/match buffers.
 * :mod:`repro.service` — the online serving layer: simulated-time
   arrivals, admission control, request coalescing, SLO accounting.
+* :mod:`repro.cluster` — the serving layer scaled out: routed nodes
+  with tiered interconnects, R-way replicated consistent hashing,
+  node-level chaos, and the ``planet`` scenario family.
 * :mod:`repro.workloads` / :mod:`repro.analysis` — workload generation,
   measurement harness, reporting, Table-5 LoC analysis.
 
@@ -131,9 +134,17 @@ from repro.service import (
     get_scenario,
     scenario_names,
 )
+from repro.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterScenario,
+    ClusterServer,
+    ClusterTopology,
+)
 from repro.sim import AddressSpaceAllocator, ExecutionEngine, MemorySystem
 from repro import api
 from repro.api import (
+    ClusterServeResult,
     ExperimentResult,
     ExplainResult,
     FaultInjectionResult,
@@ -146,6 +157,7 @@ from repro.api import (
     run_experiment,
     run_plan,
     serve,
+    serve_cluster,
 )
 from repro.faults import (
     FAULT_KINDS,
@@ -258,9 +270,16 @@ __all__ = [
     "get_scenario",
     "run_scenario",
     "scenario_names",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterScenario",
+    "ClusterServer",
+    "ClusterTopology",
     "api",
     "ExperimentResult",
     "ServeResult",
+    "ClusterServeResult",
+    "serve_cluster",
     "ExplainResult",
     "LookupResult",
     "FaultInjectionResult",

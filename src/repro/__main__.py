@@ -133,14 +133,22 @@ def _list_main() -> int:
         print(f"  {kind}")
     print()
     print("scenarios (python -m repro serve <name>):")
+    from repro.cluster.scenarios import ClusterScenario
+
     for scenario in SCENARIO_REGISTRY.values():
         techniques = "/".join(scenario.techniques)
         chaos = (
             f" faults={scenario.fault_profile}" if scenario.fault_profile else ""
         )
+        shape = ""
+        if isinstance(scenario, ClusterScenario):
+            shape = (
+                f" nodes={scenario.n_nodes} R={scenario.replication}"
+                f" users={scenario.n_users:,}"
+            )
         print(
-            f"  {scenario.name:<12} {scenario.arrival_kind:<8} "
-            f"loads x{list(scenario.loads)} [{techniques}]{chaos}"
+            f"  {scenario.name:<14} {scenario.arrival_kind:<8} "
+            f"loads x{list(scenario.loads)} [{techniques}]{shape}{chaos}"
         )
     print()
     print("fault profiles (python -m repro serve <name> --faults <profile>):")

@@ -35,12 +35,14 @@ from repro.errors import WorkloadError
 __all__ = [
     "ExperimentResult",
     "ServeResult",
+    "ClusterServeResult",
     "ExplainResult",
     "LookupResult",
     "PlanRunResult",
     "FaultInjectionResult",
     "run_experiment",
     "serve",
+    "serve_cluster",
     "explain",
     "lookup_batch",
     "run_plan",
@@ -108,6 +110,28 @@ class ServeResult:
         from repro.service.loadgen import render_service_doc
 
         return render_service_doc(self.doc)
+
+
+@dataclass(frozen=True)
+class ClusterServeResult(ServeResult):
+    """One cluster sweep: the ``repro.cluster/1`` document, typed."""
+
+    @property
+    def chaos(self) -> bool:
+        """Whether a non-empty fault schedule shaped this run."""
+        return "fault_profile" in self.doc
+
+    @property
+    def n_nodes(self) -> int:
+        return self.doc["n_nodes"]
+
+    @property
+    def replication(self) -> int:
+        return self.doc["replication"]
+
+    def node_batches(self, technique: str, load_multiplier: float) -> dict:
+        """Per-node batch counts of one (technique, load) point."""
+        return self.point(technique, load_multiplier)["node_batches"]
 
 
 @dataclass(frozen=True)
@@ -305,7 +329,30 @@ def serve(
 
     with _perf_scope(jobs, cache):
         doc = run_scenario(scenario, seed=seed, faults=faults)
-    return ServeResult(scenario=doc["scenario"], schema=doc["schema"], doc=doc)
+    cls = ClusterServeResult if doc.get("kind") == "cluster" else ServeResult
+    return cls(scenario=doc["scenario"], schema=doc["schema"], doc=doc)
+
+
+def serve_cluster(
+    scenario, *, seed: int = 0, faults=None, jobs: int | None = None, cache=None
+) -> ClusterServeResult:
+    """Run one multi-node cluster sweep (``repro.cluster/1``).
+
+    Like :func:`serve`, but insists the scenario is a
+    :class:`~repro.cluster.scenarios.ClusterScenario` (``planet``,
+    ``planet-quick``, ``cluster-steady``, or one you registered) and
+    returns the cluster-typed result with per-node accessors.
+    :func:`serve` also accepts cluster scenarios and returns the same
+    result type; this verb exists so callers who *require* routing get
+    a loud error instead of a silently single-node run.
+    """
+    from repro.cluster.loadgen import run_cluster_scenario
+
+    with _perf_scope(jobs, cache):
+        doc = run_cluster_scenario(scenario, seed=seed, faults=faults)
+    return ClusterServeResult(
+        scenario=doc["scenario"], schema=doc["schema"], doc=doc
+    )
 
 
 def explain(

@@ -1,0 +1,171 @@
+"""Cluster scenarios: the planet family and a steady multi-node baseline.
+
+A :class:`ClusterScenario` is a :class:`~repro.service.scenarios.
+Scenario` whose config is a :class:`~repro.cluster.server.ClusterConfig`
+and whose traffic knows about geography: the planet scenarios draw
+millions of simulated users through a diurnal, region-rotating arrival
+mix (:class:`~repro.service.arrivals.DiurnalArrivals`), map each region
+onto the topology's nodes, and — in the chaos variants — kill whole
+nodes mid-run via the ``cluster-chaos`` fault profile.
+
+Registration goes through the *same* scenario registry as the
+single-node scenarios, so ``python -m repro serve planet-quick``,
+``python -m repro list``, and the benchmarks need no special casing:
+the loadgen dispatches on the scenario's type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.service.scenarios import Scenario, register_scenario
+from repro.cluster.server import ClusterConfig
+from repro.cluster.topology import TOPOLOGY_PRESETS, ClusterTopology
+
+__all__ = [
+    "ClusterScenario",
+]
+
+
+@dataclass(frozen=True)
+class ClusterScenario(Scenario):
+    """A serving scenario over N routed nodes instead of one system."""
+
+    #: Topology preset name (see ``repro.cluster.topology``).
+    interconnect: str = "planet"
+    #: Size of the simulated user population the probe keys draw from.
+    n_users: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.config, ClusterConfig):
+            raise ConfigurationError(
+                f"scenario {self.name!r}: cluster scenarios need a ClusterConfig"
+            )
+        if self.interconnect not in TOPOLOGY_PRESETS:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown interconnect preset "
+                f"{self.interconnect!r} (have: "
+                f"{', '.join(sorted(TOPOLOGY_PRESETS))})"
+            )
+        if self.n_users < 1:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: needs at least one simulated user"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    @property
+    def replication(self) -> int:
+        return self.config.replication
+
+    def topology(self) -> ClusterTopology:
+        """Materialise the scenario's topology preset."""
+        return TOPOLOGY_PRESETS[self.interconnect](self.n_nodes)
+
+
+#: Resilience knobs the planet scenarios arm — the chaos-grade settings
+#: plus replication, so node crashes are something routing can answer.
+def _planet_config(
+    *, n_nodes: int, n_shards: int, quick: bool
+) -> ClusterConfig:
+    return ClusterConfig(
+        max_batch=16 if quick else 24,
+        max_wait_cycles=2500 if quick else 3000,
+        queue_capacity=48 if quick else 96,
+        overload_policy="reject",
+        n_shards=n_shards,
+        warmup_requests=16 if quick else 32,
+        slo_cycles=25_000 if quick else 30_000,
+        max_retries=2,
+        retry_backoff_cycles=1500,
+        hedge_after_cycles=9000,
+        degradation="adaptive",
+        overflow_fallback=True,
+        n_nodes=n_nodes,
+        replication=2,
+    )
+
+
+register_scenario(
+    ClusterScenario(
+        name="planet",
+        description=(
+            "Eight nodes across four pods, 2.5M simulated users on "
+            "follow-the-sun diurnal traffic over eight regions, R=2 "
+            "consistent-hash routing, and whole-node crashes and "
+            "brown-outs from the cluster-chaos profile: the robustness "
+            "claim at fleet scale."
+        ),
+        arrival_kind="diurnal",
+        arrival_params={
+            "n_regions": 8,
+            "day_cycles": 120_000,
+            "amplitude": 0.8,
+        },
+        techniques=("sequential", "CORO"),
+        loads=(0.6, 1.8),
+        table_bytes=4 << 20,
+        n_requests=400,
+        fault_profile="cluster-chaos",
+        config=_planet_config(n_nodes=8, n_shards=2, quick=False),
+        interconnect="planet",
+        n_users=2_500_000,
+    )
+)
+
+register_scenario(
+    ClusterScenario(
+        name="planet-quick",
+        description=(
+            "CI planet smoke: four nodes, diurnal traffic over four "
+            "regions, R=2 routing, node crashes from cluster-chaos. "
+            "Seconds, not minutes."
+        ),
+        arrival_kind="diurnal",
+        arrival_params={
+            "n_regions": 4,
+            "day_cycles": 60_000,
+            "amplitude": 0.8,
+        },
+        techniques=("sequential", "CORO"),
+        loads=(0.5, 2.0),
+        table_bytes=1 << 20,
+        n_requests=160,
+        fault_profile="cluster-chaos",
+        config=_planet_config(n_nodes=4, n_shards=1, quick=True),
+        interconnect="planet",
+        n_users=50_000,
+    )
+)
+
+register_scenario(
+    ClusterScenario(
+        name="cluster-steady",
+        description=(
+            "Four routed nodes at comfortable Poisson load with no "
+            "chaos: the interconnect-and-routing overhead floor, and "
+            "the baseline the planet chaos numbers are read against."
+        ),
+        arrival_kind="poisson",
+        techniques=("sequential", "CORO"),
+        loads=(0.6, 1.2),
+        table_bytes=2 << 20,
+        n_requests=240,
+        config=ClusterConfig(
+            max_batch=24,
+            max_wait_cycles=3000,
+            queue_capacity=96,
+            overload_policy="reject",
+            n_shards=2,
+            slo_cycles=30_000,
+            n_nodes=4,
+            replication=2,
+        ),
+        interconnect="planet",
+        n_users=200_000,
+    )
+)

@@ -15,6 +15,14 @@ shapes exist:
 ``shard`` selects a target engine shard; ``None`` means every shard.
 The overflow lane is deliberately un-targetable — it is the degraded
 path the server falls back to, so chaos never touches it.
+
+A third scope exists for the cluster layer: **node faults**
+(:class:`NodeCrash`, :class:`NodeSlow`) target a whole node — a machine,
+not a core. They are invisible to the shard-scope injector
+(``targets()`` is always ``False``); ``ClusterServer`` *lowers* them
+into per-shard events over the crashed node's shard range before
+building its injector, so the single-node service path never has to
+know nodes exist.
 """
 
 from __future__ import annotations
@@ -25,12 +33,15 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "FAULT_KINDS",
+    "NODE_FAULT_KINDS",
     "FaultEvent",
     "LatencySpike",
     "ShardStall",
     "ShardCrash",
     "CacheFlush",
     "LfbShrink",
+    "NodeCrash",
+    "NodeSlow",
 ]
 
 
@@ -160,7 +171,72 @@ class LfbShrink(FaultEvent):
             raise ConfigurationError("LFB shrink needs capacity for one fill")
 
 
+@dataclass(frozen=True)
+class NodeFault(FaultEvent):
+    """Base for node-scope faults: targets a machine, not a core shard.
+
+    ``node`` selects a cluster node; ``None`` means every node. Node
+    faults never match a shard directly — :meth:`targets` is ``False``
+    so a shard-scope :class:`~repro.faults.injector.FaultInjector`
+    handed an un-lowered schedule simply ignores them. The cluster
+    server translates each node fault into the equivalent per-shard
+    events over the node's shard range (crash -> per-shard crash,
+    slow -> per-shard latency spike) before injection.
+    """
+
+    node: int | None = None
+    is_window = True
+
+    def targets(self, shard: int) -> bool:
+        return False
+
+    def targets_node(self, node: int) -> bool:
+        """Whether this fault applies to cluster node ``node``."""
+        return self.node is None or self.node == node
+
+
+@dataclass(frozen=True)
+class NodeCrash(NodeFault):
+    """The whole node dies at ``at`` and rejoins ``duration`` cycles later.
+
+    :class:`ShardCrash` lifted to machine scope: every shard the node
+    hosts fails at once, in-flight batches on any of them fail, and the
+    consistent-hash ring routes the node's keys to their surviving
+    replicas until it rejoins.
+    """
+
+    duration: int = 0
+    kind = "node_crash"
+
+
+@dataclass(frozen=True)
+class NodeSlow(NodeFault):
+    """Every shard on the node sees ``extra_latency`` more DRAM cycles.
+
+    A machine-wide brown-out — thermal throttling, a noisy co-tenant
+    saturating the socket — rather than a single channel's spike. The
+    hedging policy exists for exactly this: a replica on a healthy node
+    beats the slow primary.
+    """
+
+    duration: int = 0
+    extra_latency: int = 0
+    kind = "node_slow"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.extra_latency <= 0:
+            raise ConfigurationError("node slow-down needs a positive extra_latency")
+
+
 #: Every fault kind, in documentation order (counters iterate this).
+#: Node kinds are deliberately *not* listed here: shard-scope resilience
+#: counters (``resilience["faults"]``, ``faults_by_kind``) keep their
+#: exact historical key set, and node events surface through the
+#: per-shard events they lower into.
 FAULT_KINDS = tuple(
     cls.kind for cls in (LatencySpike, ShardStall, ShardCrash, CacheFlush, LfbShrink)
 )
+
+#: Node-scope fault kinds (cluster layer), in documentation order.
+NODE_FAULT_KINDS = tuple(cls.kind for cls in (NodeCrash, NodeSlow))

@@ -28,6 +28,8 @@ from repro.faults.events import (
     FaultEvent,
     LatencySpike,
     LfbShrink,
+    NodeCrash,
+    NodeSlow,
     ShardCrash,
     ShardStall,
 )
@@ -72,10 +74,16 @@ class FaultSchedule:
         return [e for e in self.events if e.is_window and e.targets(shard)]
 
     def counts_by_kind(self) -> dict[str, int]:
-        """Scheduled events per kind (zero-filled, document-friendly)."""
+        """Scheduled events per kind (zero-filled, document-friendly).
+
+        Shard-scope kinds are always present (zero-filled over
+        :data:`FAULT_KINDS`); node-scope kinds appear only when the
+        schedule actually contains them, so pre-cluster documents keep
+        their exact key set.
+        """
         counts = {kind: 0 for kind in FAULT_KINDS}
         for event in self.events:
-            counts[event.kind] += 1
+            counts[event.kind] = counts.get(event.kind, 0) + 1
         return counts
 
     def jitter_rng(self) -> random.Random:
@@ -300,6 +308,49 @@ register_fault_profile(
             + list(_outages(horizon, shards, rng))
             + list(_storms(horizon, shards, rng))
         ),
+    )
+)
+
+def _node_chaos(horizon: int, n_nodes: int, rng: random.Random) -> list[FaultEvent]:
+    """Whole-machine failures on a jittered ~23k-cycle beat.
+
+    The ``n_shards`` builder argument is interpreted as the *node*
+    count — the cluster loadgen resolves this profile with
+    ``n_shards=scenario.n_nodes`` — so a crash takes out one machine's
+    entire shard range at once. Crashes and brown-outs alternate
+    roughly evenly: crashes exercise ring failover (replicas absorb the
+    dead node's keys), brown-outs exercise cross-replica hedging.
+    """
+    events: list[FaultEvent] = []
+    at = rng.randint(4_000, 12_000)
+    while at < horizon:
+        node = rng.randrange(n_nodes)
+        if rng.random() < 0.5:
+            events.append(
+                NodeCrash(at=at, node=node, duration=rng.randint(8_000, 16_000))
+            )
+        else:
+            events.append(
+                NodeSlow(
+                    at=at,
+                    node=node,
+                    duration=rng.randint(6_000, 12_000),
+                    extra_latency=rng.choice((200, 320, 450)),
+                )
+            )
+        at += rng.randint(16_000, 30_000)
+    return events
+
+
+register_fault_profile(
+    FaultProfile(
+        name="cluster-chaos",
+        description=(
+            "Node-scope failures (~every 23k cycles): whole-machine "
+            "crashes and brown-outs, for the cluster layer's ring "
+            "failover and cross-replica hedging."
+        ),
+        builder=_node_chaos,
     )
 )
 

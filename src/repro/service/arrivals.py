@@ -11,6 +11,11 @@ An online serving path cannot choose its workload — the arrival process
 * :class:`ClosedLoopArrivals` — a fixed client population, each issuing
   its next request ``think_cycles`` after its previous one completed:
   the self-throttling shape (offered load tracks service capacity).
+* :class:`DiurnalArrivals` — open-loop traffic from ``n_regions``
+  geographic regions, each on its own phase-shifted sinusoidal
+  day/night cycle: the planet-scale shape the cluster layer routes by
+  region. Each arrival is tagged with its originating region
+  (``.regions``, parallel to the emitted times).
 
 Every process takes an **explicit RNG seed** and owns a private
 ``random.Random`` — no global RNG state is touched, so two runs with the
@@ -22,6 +27,7 @@ sequence each process emits is non-decreasing.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 
 from repro.errors import WorkloadError
@@ -32,6 +38,7 @@ __all__ = [
     "PoissonArrivals",
     "BurstyArrivals",
     "ClosedLoopArrivals",
+    "DiurnalArrivals",
     "make_arrivals",
 ]
 
@@ -171,6 +178,84 @@ class BurstyArrivals(_OpenLoop):
         return times
 
 
+class DiurnalArrivals(_OpenLoop):
+    """Open-loop planet traffic: phase-shifted day/night cycles by region.
+
+    ``n_regions`` regions each modulate a shared base rate with a
+    sinusoid of period ``day_cycles``; region ``r`` is phase-shifted by
+    ``r / n_regions`` of a day, so peak load rotates around the planet
+    the way follow-the-sun traffic does. The instantaneous total rate is
+    the base rate times the mean region weight, and each arrival draws
+    its originating region proportionally to the weights at that moment
+    — recorded in :attr:`regions`, parallel to the emitted times, so the
+    cluster loadgen can map regions onto home nodes.
+
+    Weights are floored at 0.05 (night-time traffic never fully stops),
+    and ``amplitude`` sets how deep the swing is (0 = flat Poisson).
+    """
+
+    kind = "diurnal"
+
+    def __init__(
+        self,
+        base_rate_per_kcycle: float,
+        n_requests: int,
+        seed: int,
+        n_regions: int = 4,
+        day_cycles: int = 200_000,
+        amplitude: float = 0.8,
+    ) -> None:
+        _check_rate(base_rate_per_kcycle, "base_rate_per_kcycle")
+        if n_regions < 1:
+            raise WorkloadError("diurnal arrivals need at least one region")
+        if day_cycles <= 0:
+            raise WorkloadError("day_cycles must span at least one cycle")
+        if not 0.0 <= amplitude <= 1.0:
+            raise WorkloadError(f"amplitude must be in [0, 1], not {amplitude!r}")
+        self.base_rate_per_kcycle = base_rate_per_kcycle
+        self.n_regions = n_regions
+        self.day_cycles = day_cycles
+        self.amplitude = amplitude
+        #: Originating region per arrival, parallel to the emitted times.
+        self.regions: list[int] = []
+        super().__init__(n_requests, seed)
+
+    def _weights_at(self, cycle: float) -> list[float]:
+        phase = cycle / self.day_cycles
+        return [
+            max(
+                0.05,
+                1.0
+                + self.amplitude
+                * math.sin(2.0 * math.pi * (phase + r / self.n_regions)),
+            )
+            for r in range(self.n_regions)
+        ]
+
+    def _generate(self) -> list[int]:
+        base = self.base_rate_per_kcycle / 1000.0
+        clock = 0.0
+        times = []
+        for _ in range(self.n_requests):
+            weights = self._weights_at(clock)
+            total_rate = base * (sum(weights) / self.n_regions)
+            clock += self._rng.expovariate(total_rate)
+            times.append(int(clock))
+            # Draw the originating region from the weights at the
+            # *arrival* instant (recomputed: the sinusoid moved).
+            weights = self._weights_at(clock)
+            draw = self._rng.uniform(0.0, sum(weights))
+            cumulative = 0.0
+            region = self.n_regions - 1
+            for index, weight in enumerate(weights):
+                cumulative += weight
+                if draw <= cumulative:
+                    region = index
+                    break
+            self.regions.append(region)
+        return times
+
+
 class ClosedLoopArrivals(ArrivalProcess):
     """A fixed population of clients with think time between requests.
 
@@ -224,6 +309,7 @@ ARRIVAL_KINDS = {
     "poisson": PoissonArrivals,
     "bursty": BurstyArrivals,
     "closed": ClosedLoopArrivals,
+    "diurnal": DiurnalArrivals,
 }
 
 

@@ -96,12 +96,27 @@ def explain_point(
     arch = _arch_for(scenario)
     allocator = AddressSpaceAllocator(page_size=arch.page_size)
     table = make_table(allocator, "serve/dict", scenario.table_bytes)
-    capacity, _ = sequential_capacity(
-        table, arch, n_shards=scenario.config.n_shards, seed=seed
-    )
-    outcome = measure_service_point(
-        scenario, technique, load, seed, faults, capacity, True
-    )
+    from repro.cluster.scenarios import ClusterScenario
+
+    if isinstance(scenario, ClusterScenario):
+        from repro.cluster.loadgen import measure_cluster_point
+
+        capacity, _ = sequential_capacity(
+            table,
+            arch,
+            n_shards=scenario.config.n_shards * scenario.n_nodes,
+            seed=seed,
+        )
+        outcome = measure_cluster_point(
+            scenario, technique, load, seed, faults, capacity, True
+        )
+    else:
+        capacity, _ = sequential_capacity(
+            table, arch, n_shards=scenario.config.n_shards, seed=seed
+        )
+        outcome = measure_service_point(
+            scenario, technique, load, seed, faults, capacity, True
+        )
 
     slo = outcome["slo"]
     exemplar = exemplar_from_dict(slo["hist"], q)

@@ -96,6 +96,10 @@ def _arrival_params(scenario: Scenario, rate_per_kcycle: float) -> dict:
         # un-queued, so the population sets the un-throttled load.
         think = params.get("think_cycles", 8_000)
         params["n_clients"] = max(1, round(rate_per_kcycle * think / 1000.0))
+    elif scenario.arrival_kind == "diurnal":
+        # The regional weights average to 1 over a day, so the base
+        # rate is the offered rate.
+        params["base_rate_per_kcycle"] = rate_per_kcycle
     return params
 
 
@@ -320,6 +324,10 @@ def run_scenario(
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if _is_cluster(scenario):
+        from repro.cluster.loadgen import run_cluster_scenario
+
+        return run_cluster_scenario(scenario, seed=seed, faults=faults)
     if faults is None:
         faults = scenario.fault_profile
     arch, capacity, cycles_per_lookup, outcomes = _sweep(scenario, seed, faults)
@@ -344,6 +352,10 @@ def run_traced_scenario(
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if _is_cluster(scenario):
+        from repro.cluster.loadgen import run_traced_cluster_scenario
+
+        return run_traced_cluster_scenario(scenario, seed=seed, faults=faults)
     if faults is None:
         faults = scenario.fault_profile
     arch, capacity, cycles_per_lookup, outcomes = _sweep(
@@ -390,7 +402,11 @@ def run_slo_scenario(
         )
     if faults is None:
         faults = scenario.fault_profile
-    arch, capacity, _, outcomes = _sweep(scenario, seed, faults)
+    if _is_cluster(scenario):
+        from repro.cluster.loadgen import _cluster_sweep as sweep
+    else:
+        sweep = _sweep
+    arch, capacity, _, outcomes = sweep(scenario, seed, faults)
     chaos = any(outcome["chaos"] for outcome in outcomes)
     return {
         "kind": "slo",
@@ -415,10 +431,21 @@ def _replace_config(config, **changes):
     return dataclasses.replace(config, **changes)
 
 
+def _is_cluster(scenario) -> bool:
+    """Whether the scenario routes over nodes (lazy: no import cycle)."""
+    from repro.cluster.scenarios import ClusterScenario
+
+    return isinstance(scenario, ClusterScenario)
+
+
 def render_service_doc(doc: dict) -> str:
     """Render a service document as the CLI's ASCII artifact."""
     from repro.analysis.reporting import format_table
 
+    if doc.get("schema") == "repro.cluster/1":
+        from repro.cluster.loadgen import render_cluster_doc
+
+        return render_cluster_doc(doc)
     chaos = doc.get("schema") == CHAOS_SCHEMA
     headers = [
         "technique",

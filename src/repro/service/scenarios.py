@@ -21,6 +21,7 @@ with :func:`register_scenario` and the CLI, the benchmarks, and
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, WorkloadError
@@ -100,12 +101,23 @@ def register_scenario(scenario: Scenario) -> Scenario:
 
 
 def get_scenario(name: str) -> Scenario:
-    """Look up a scenario by name (case-insensitive)."""
+    """Look up a scenario by name (case-insensitive).
+
+    Unknown names raise :class:`WorkloadError` (the CLI maps it to the
+    documented usage exit code 2), suggesting the closest registered
+    name when one is plausibly a typo.
+    """
     scenario = SCENARIO_REGISTRY.get(str(name).lower())
     if scenario is None:
-        raise WorkloadError(
+        message = (
             f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
         )
+        close = difflib.get_close_matches(
+            str(name).lower(), list(SCENARIO_REGISTRY), n=1
+        )
+        if close:
+            message += f" (did you mean {SCENARIO_REGISTRY[close[0]].name!r}?)"
+        raise WorkloadError(message)
     return scenario
 
 

@@ -411,10 +411,7 @@ class ServiceServer:
         }
         self._shed_hist = self.metrics.histogram("service.latency.shed_e2e")
 
-        self.system = MultiCoreSystem(config.n_shards, arch)
-        self.shards = [
-            _Shard(engine) for engine in self.system.engines(seed)
-        ]
+        self._build_shards(arch, seed)
         # The overflow lane: its own engine over its own memory, so shed
         # traffic degrades its own latency rather than the batched path's.
         # Fault schedules deliberately cannot target it.
@@ -426,9 +423,7 @@ class ServiceServer:
         self._injector: FaultInjector | None = None
         self._jitter_rng = None
         if faults:
-            self._injector = FaultInjector(
-                faults, self.system.memories, shared_l3=self.system.shared_l3
-            )
+            self._injector = self._make_injector(faults)
             self._jitter_rng = faults.jitter_rng()
             if self.tracer.enabled:
                 self.tracer.record_schedule(faults)
@@ -436,6 +431,35 @@ class ServiceServer:
         self._retry_seq = 0
 
         self._warm_up()
+
+    # ------------------------------------------------------------------
+    # Construction seams (the cluster layer overrides these)
+    # ------------------------------------------------------------------
+
+    def _build_shards(self, arch: ArchSpec, seed: int) -> None:
+        """Materialise the engine shards behind one shared LLC.
+
+        ``ClusterServer`` overrides this to build one
+        :class:`MultiCoreSystem` per node and concatenate their shards.
+        """
+        self.system = MultiCoreSystem(self.config.n_shards, arch)
+        self.shards = [
+            _Shard(engine) for engine in self.system.engines(seed)
+        ]
+
+    def _make_injector(self, faults: FaultSchedule) -> FaultInjector:
+        """Build the fault injector over this server's memory domains."""
+        return FaultInjector(
+            faults, self.system.memories, shared_l3=self.system.shared_l3
+        )
+
+    def _lane_name(self, shard_index: int) -> str:
+        """Exemplar-histogram lane name for a shard."""
+        return f"shard{shard_index}"
+
+    def _lane_tag(self, shard_index: int):
+        """Request-trace attempt lane tag for a shard."""
+        return shard_index
 
     # ------------------------------------------------------------------
     # Warm-up
@@ -581,6 +605,10 @@ class ServiceServer:
             now = max(now, dispatch_at)
             completion = self._run_batch(now, plan, arrivals)
             makespan = max(makespan, completion)
+        return self._make_report(requests, makespan)
+
+    def _make_report(self, requests: list[Request], makespan: int) -> ServiceReport:
+        """Assemble the run's report (the cluster layer widens this)."""
         return ServiceReport(
             technique=self.executor.name,
             config=self.config,
@@ -632,25 +660,42 @@ class ServiceServer:
         batch = self.coalescer.take(trigger)
         if fault_delayed:
             self._count("outage_delays")
-        # Deadline enforcement happens at dispatch: a request whose
-        # deadline passed while its batch waited times out unserved.
-        if self.config.timeout_cycles is not None:
-            alive = []
-            for request in batch:
-                if now > request.arrival + self.config.timeout_cycles:
-                    request.outcome = "timeout"
-                    self._count("timeouts")
-                    if self.tracer.enabled:
-                        self.tracer.on_timeout(request, now)
-                    arrivals.notify_completion(now)
-                else:
-                    alive.append(request)
-            batch = alive
-            if not batch:
-                return now
+        batch = self._expire_timeouts(batch, now, arrivals)
+        if not batch:
+            return now
         if shard_index is None:
             return self._run_fallback(batch, now, arrivals)
+        return self._dispatch_group(batch, trigger, shard_index, now, arrivals)
 
+    def _expire_timeouts(
+        self, batch: list[Request], now: int, arrivals: ArrivalProcess
+    ) -> list[Request]:
+        """Deadline enforcement at dispatch: a request whose deadline
+        passed while its batch waited times out unserved."""
+        if self.config.timeout_cycles is None:
+            return batch
+        alive = []
+        for request in batch:
+            if now > request.arrival + self.config.timeout_cycles:
+                request.outcome = "timeout"
+                self._count("timeouts")
+                if self.tracer.enabled:
+                    self.tracer.on_timeout(request, now)
+                arrivals.notify_completion(now)
+            else:
+                alive.append(request)
+        return alive
+
+    def _dispatch_group(
+        self,
+        batch: list[Request],
+        trigger: int,
+        shard_index: int,
+        now: int,
+        arrivals: ArrivalProcess,
+    ) -> int:
+        """Dispatch one coalesced group onto its planned shard (plus a
+        hedge leg when the policy fires); returns its resolution cycle."""
         shard = self.shards[shard_index]
         start = max(now, shard.busy_until)
         for request in batch:
@@ -662,14 +707,18 @@ class ServiceServer:
             and len(self.shards) > 1
             and start - trigger > self.config.hedge_after_cycles
         ):
-            hedge_index = self._plan_hedge(shard_index, start)
-            self._count("hedges")
-            hedge_start = max(start, self.shards[hedge_index].busy_until)
-            if self._injector is not None:
-                hedge_start = self._injector.available_from(
-                    hedge_index, hedge_start
-                )
-            legs.append(self._launch(hedge_index, probe_values, hedge_start))
+            among = self._hedge_candidates(shard_index, batch)
+            # A restricted candidate set (cluster layer) may leave no
+            # legal secondary; the unrestricted default always has one.
+            if among is None or any(idx != shard_index for idx in among):
+                hedge_index = self._plan_hedge(shard_index, start, among=among)
+                self._count("hedges")
+                hedge_start = max(start, self.shards[hedge_index].busy_until)
+                if self._injector is not None:
+                    hedge_start = self._injector.available_from(
+                        hedge_index, hedge_start
+                    )
+                legs.append(self._launch(hedge_index, probe_values, hedge_start))
 
         survivors = [leg for leg in legs if leg.completion is not None]
         winner = (
@@ -685,10 +734,12 @@ class ServiceServer:
             return self._fail_batch(batch, failure_at, arrivals)
         if len(legs) > 1 and winner is not legs[0]:
             self._count("hedge_wins")
-        completion = winner.completion
+        resolved = winner.completion
         self._batches.inc()
-        lane = f"shard{winner.shard_index}"
+        self._on_batch_served(winner, batch)
+        lane = self._lane_name(winner.shard_index)
         for request in batch:
+            completion = self._member_completion(request, winner)
             request.dispatch = winner.start
             request.completion = completion
             self._completed.inc()
@@ -698,7 +749,31 @@ class ServiceServer:
             self._hist["execution"].observe(request.execution_cycles)
             self._observe_answer(request, lane)
             arrivals.notify_completion(completion)
-        return completion
+            resolved = max(resolved, completion)
+        return resolved
+
+    def _on_batch_served(self, winner: "_Leg | None", batch: list[Request]) -> None:
+        """One batch just got answers (``winner is None`` = overflow lane).
+
+        A no-op here; the cluster layer hangs its per-node accounting on
+        this seam.
+        """
+
+    def _hedge_candidates(self, primary: int, batch: list[Request]):
+        """Shard indexes a hedge may target; ``None`` = any other shard.
+
+        The cluster layer narrows this to the batch's replica nodes so a
+        hedge lands where the keys actually live.
+        """
+        return None
+
+    def _member_completion(self, request: Request, winner: _Leg) -> int:
+        """Completion cycle of one batch member on the winning leg.
+
+        The cluster layer adds the interconnect cost of returning the
+        answer to the request's home node.
+        """
+        return winner.completion
 
     def _trace_attempts(self, batch, legs: list[_Leg], winner: _Leg | None) -> None:
         """Record every dispatch leg of one batch as attempt spans.
@@ -719,7 +794,7 @@ class ServiceServer:
                 self.tracer.on_attempt(
                     batch,
                     dispatch_id=dispatch_id,
-                    lane=leg.shard_index,
+                    lane=self._lane_tag(leg.shard_index),
                     start=leg.start,
                     end=leg.crash.at,
                     group_size=leg.group_size,
@@ -743,7 +818,7 @@ class ServiceServer:
                 self.tracer.on_attempt(
                     batch,
                     dispatch_id=dispatch_id,
-                    lane=leg.shard_index,
+                    lane=self._lane_tag(leg.shard_index),
                     start=start,
                     end=end,
                     group_size=leg.group_size,
@@ -757,7 +832,7 @@ class ServiceServer:
                 self.tracer.on_attempt(
                     batch,
                     dispatch_id=dispatch_id,
-                    lane=leg.shard_index,
+                    lane=self._lane_tag(leg.shard_index),
                     start=leg.start,
                     end=leg.completion,
                     group_size=leg.group_size,
@@ -809,12 +884,19 @@ class ServiceServer:
         shard.busy_until = completion
         return _Leg(shard_index, start, completion, None, group)
 
-    def _plan_hedge(self, primary: int, start: int) -> int:
-        """Pick the secondary shard for a hedged dispatch."""
+    def _plan_hedge(self, primary: int, start: int, among=None) -> int:
+        """Pick the secondary shard for a hedged dispatch.
+
+        ``among`` restricts the candidate shard indexes (the cluster
+        layer passes the batch's replica shards); ``None`` considers
+        every shard but the primary.
+        """
+        candidates = range(len(self.shards)) if among is None else among
         best_key = None
-        for idx, shard in enumerate(self.shards):
+        for idx in candidates:
             if idx == primary:
                 continue
+            shard = self.shards[idx]
             leg_start = max(start, shard.busy_until)
             if self._injector is not None:
                 leg_start = self._injector.available_from(idx, leg_start)
@@ -903,6 +985,7 @@ class ServiceServer:
         completion = start + cycles
         lane.busy_until = completion
         self._batches.inc()
+        self._on_batch_served(None, batch)
         if self.tracer.enabled:
             self.tracer.on_attempt(
                 batch,

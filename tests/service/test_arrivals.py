@@ -130,6 +130,12 @@ class TestFactory:
                 "gap_cycles": 2_000,
             },
             "closed": {"n_clients": 2, "think_cycles": 1_000},
+            "diurnal": {
+                "base_rate_per_kcycle": 1.0,
+                "n_regions": 3,
+                "day_cycles": 50_000,
+                "amplitude": 0.7,
+            },
         }
         assert set(params) == set(ARRIVAL_KINDS)
         for kind, kwargs in params.items():
