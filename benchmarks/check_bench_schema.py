@@ -19,7 +19,14 @@ documents come in two kinds, dispatched on the ``kind`` field:
 ``plan_run`` (``python -m repro plan --json``) and ``join_streaming``
 (``benchmarks/bench_join_streaming.py`` → ``BENCH_join.json``); both
 carry per-operator profile rows validated against
-``OPERATOR_ROW_FIELDS``.
+``OPERATOR_ROW_FIELDS``. ``repro.control/1`` documents also dispatch on
+``kind``: a controlled serving sweep (no ``kind``) is validated as its
+``base_schema`` with the control extras stripped, plus per-point
+``control`` decision streams whose windows must tile the horizon from
+cycle 0 and reference only the exported signal/actuator names; the
+``control_bench`` kind (``benchmarks/bench_control.py`` →
+``BENCH_control.json``) additionally re-asserts the headline claim —
+the adaptive controller's median p99 beats the best static arm's.
 Downstream consumers — plots, the paper-comparison notebooks, CI trend
 tracking — key off the ``repro.bench-sim/1`` / ``repro.service/1`` /
 ``repro.chaos/1`` / ``repro.slo/1`` / ``repro.explain/1`` /
@@ -62,6 +69,31 @@ WALLCLOCK_SCHEMA = "repro.wallclock/1"
 SLO_SCHEMA = "repro.slo/1"
 EXPLAIN_SCHEMA = "repro.explain/1"
 QUERY_SCHEMA = "repro.query/1"
+CONTROL_SCHEMA = "repro.control/1"
+
+#: Signals a ``control.window`` record may reference, and nothing else.
+#: Mirrors ``repro.control.SIGNAL_NAMES`` — hardcoded on purpose, so a
+#: rename in the library shows up here as drift.
+CONTROL_SIGNALS = (
+    "arrivals",
+    "completed",
+    "p99",
+    "queue_depth",
+    "extra_latency",
+    "lfb_capacity",
+    "down_shards",
+    "batch_failures",
+)
+
+#: Actuators a window decision may move (mirrors
+#: ``repro.control.ACTION_NAMES``, hardcoded for the same reason).
+CONTROL_ACTIONS = (
+    "technique",
+    "group_size",
+    "max_wait_cycles",
+    "active_shards",
+    "overflow_lane",
+)
 
 #: Field name -> type check, for binary-search sweep points
 #: (mirrors ``conftest._point_record``).
@@ -390,7 +422,14 @@ def check_slo_document(doc: dict) -> list[str]:
 
 def check_explain_document(doc: dict) -> list[str]:
     errors: list[str] = []
-    _check_fields(EXPLAIN_FIELDS, doc, errors, label="doc")
+    fields = dict(EXPLAIN_FIELDS)
+    if "control" in doc:
+        # Controlled runs carry the point's decision stream; documents
+        # from uncontrolled runs stay valid without it.
+        fields["control"] = dict
+    _check_fields(fields, doc, errors, label="doc")
+    if isinstance(doc.get("control"), dict):
+        check_control_section("control", doc["control"], errors)
     path = doc.get("critical_path")
     if not isinstance(path, dict):
         return errors
@@ -608,6 +647,234 @@ def check_query_document(doc: dict) -> list[str]:
     return errors
 
 
+def check_control_section(
+    label: str,
+    control: object,
+    errors: list[str],
+    *,
+    makespan: int | None = None,
+) -> None:
+    """Validate one serving point's ``control`` decision stream.
+
+    The windows must tile ``[0, horizon)`` contiguously from cycle 0 at
+    the configured width, every record must speak the exported
+    signal/action vocabulary, and every decision must carry a reason.
+    """
+    if not isinstance(control, dict):
+        errors.append(f"{label}: control is {type(control).__name__}, not object")
+        return
+    width = control.get("window_cycles")
+    if not isinstance(width, numbers.Integral) or width < 1:
+        errors.append(f"{label}.window_cycles: {width!r} is not a positive int")
+        return
+    windows = control.get("windows")
+    if not isinstance(windows, list) or not windows:
+        errors.append(f"{label}.windows must be a non-empty list")
+        return
+    decided = 0
+    for position, window in enumerate(windows):
+        wlabel = f"{label}.windows[{position}]"
+        if not isinstance(window, dict):
+            errors.append(f"{wlabel}: not an object")
+            continue
+        if window.get("event") != "control.window":
+            errors.append(f"{wlabel}.event: {window.get('event')!r}")
+        if window.get("window") != position:
+            errors.append(
+                f"{wlabel}: window index {window.get('window')!r} "
+                f"!= position {position}"
+            )
+        start, end = window.get("start"), window.get("end")
+        if start != position * width or end != position * width + width:
+            errors.append(
+                f"{wlabel}: [{start}, {end}) does not tile the horizon "
+                f"at width {width}"
+            )
+        if window.get("cycle") != end:
+            errors.append(f"{wlabel}.cycle: {window.get('cycle')!r} != end {end!r}")
+        signals = window.get("signals")
+        if not isinstance(signals, dict) or set(signals) != set(CONTROL_SIGNALS):
+            errors.append(
+                f"{wlabel}.signals: keys do not match the exported "
+                f"signal names {sorted(CONTROL_SIGNALS)}"
+            )
+        actions = window.get("actions")
+        if not isinstance(actions, dict):
+            errors.append(f"{wlabel}.actions: not an object")
+        else:
+            unknown = set(actions) - set(CONTROL_ACTIONS)
+            if unknown:
+                errors.append(
+                    f"{wlabel}.actions: unknown actuators {sorted(unknown)}"
+                )
+            if actions:
+                decided += 1
+        reason = window.get("reason")
+        if not isinstance(reason, str) or not reason:
+            errors.append(f"{wlabel}.reason: missing or empty")
+    if control.get("decisions") != decided:
+        errors.append(
+            f"{label}.decisions: {control.get('decisions')!r} != "
+            f"{decided} windows with actions"
+        )
+    if isinstance(makespan, numbers.Integral):
+        last_end = (len(windows) - 1) * width + width
+        if last_end < makespan or last_end - width >= makespan:
+            errors.append(
+                f"{label}: {len(windows)} windows of {width} cycles do "
+                f"not tile the makespan {makespan}"
+            )
+
+
+def check_controlled_document(doc: dict) -> list[str]:
+    """Validate a ``repro.control/1`` serving document.
+
+    The document is its base sweep (service/chaos/cluster) plus the
+    control-plane extras: ``base_schema`` and the ``controller`` echo at
+    the top level, one ``control`` decision stream per point. The base
+    shape is delegated to the base schema's validator with the extras
+    stripped, so a controlled sweep can never drift from its uncontrolled
+    twin.
+    """
+    errors: list[str] = []
+    base = doc.get("base_schema")
+    if base not in (SERVICE_SCHEMA, CHAOS_SCHEMA, CLUSTER_SCHEMA):
+        errors.append(f"base_schema is {base!r}")
+        return errors
+    controller = doc.get("controller")
+    if not isinstance(controller, dict):
+        errors.append(f"controller: {type(controller).__name__} is not object")
+    elif not isinstance(controller.get("window_cycles"), numbers.Integral):
+        errors.append("controller.window_cycles: not an int")
+    stripped = {
+        key: value
+        for key, value in doc.items()
+        if key not in ("base_schema", "controller")
+    }
+    points = doc.get("points")
+    if isinstance(points, list):
+        stripped["points"] = [
+            {k: v for k, v in point.items() if k != "control"}
+            if isinstance(point, dict)
+            else point
+            for point in points
+        ]
+    if base == CLUSTER_SCHEMA:
+        errors.extend(check_cluster_document(stripped))
+    else:
+        errors.extend(check_service_document(stripped, chaos=base == CHAOS_SCHEMA))
+    if not isinstance(points, list):
+        return errors
+    for index, point in enumerate(points):
+        if not isinstance(point, dict):
+            continue
+        if "control" not in point:
+            errors.append(f"points[{index}]: missing control section")
+            continue
+        check_control_section(
+            f"points[{index}].control",
+            point["control"],
+            errors,
+            makespan=point.get("makespan"),
+        )
+        control = point["control"]
+        if (
+            isinstance(control, dict)
+            and isinstance(controller, dict)
+            and control.get("window_cycles") != controller.get("window_cycles")
+        ):
+            errors.append(
+                f"points[{index}].control.window_cycles != controller echo"
+            )
+    return errors
+
+
+#: Top-level fields of a ``repro.control/1`` ``control_bench`` document
+#: (mirrors ``benchmarks/bench_control.py``).
+CONTROL_BENCH_FIELDS = {
+    "kind": str,
+    "scenario": str,
+    "fault_profile": str,
+    "load_multiplier": numbers.Real,
+    "seeds": list,
+    "controller": dict,
+    "adaptive": dict,
+    "statics": list,
+    "best_static": dict,
+}
+
+
+def check_control_bench_document(doc: dict) -> list[str]:
+    """Validate the adaptive-vs-static-grid comparison artifact —
+    including the headline claim itself: the controller's median p99
+    beats the best static arm's."""
+    errors: list[str] = []
+    _check_fields(CONTROL_BENCH_FIELDS, doc, errors, label="doc")
+    seeds = doc.get("seeds")
+    n_seeds = len(seeds) if isinstance(seeds, list) else 0
+
+    def check_arm(label: str, arm: object) -> float | None:
+        if not isinstance(arm, dict):
+            errors.append(f"{label}: not an object")
+            return None
+        p99s = arm.get("p99_by_seed")
+        if not isinstance(p99s, list) or len(p99s) != n_seeds:
+            errors.append(f"{label}.p99_by_seed: needs one entry per seed")
+        elif any(not isinstance(p, numbers.Integral) or p <= 0 for p in p99s):
+            errors.append(f"{label}.p99_by_seed: non-positive entries")
+        median = arm.get("median_p99")
+        if not isinstance(median, numbers.Real) or median <= 0:
+            errors.append(f"{label}.median_p99: {median!r} is not > 0")
+            return None
+        return float(median)
+
+    adaptive = doc.get("adaptive")
+    adaptive_median = check_arm("adaptive", adaptive)
+    if isinstance(adaptive, dict):
+        decisions = adaptive.get("decisions_by_seed")
+        if not isinstance(decisions, list) or len(decisions) != n_seeds:
+            errors.append("adaptive.decisions_by_seed: needs one entry per seed")
+        elif any(
+            not isinstance(d, numbers.Integral) or d <= 0 for d in decisions
+        ):
+            errors.append(
+                "adaptive.decisions_by_seed: the controller never decided "
+                f"anything ({decisions})"
+            )
+    statics = doc.get("statics")
+    static_medians = []
+    if isinstance(statics, list) and statics:
+        for index, arm in enumerate(statics):
+            median = check_arm(f"statics[{index}]", arm)
+            if median is not None:
+                static_medians.append(median)
+    else:
+        errors.append("statics must be a non-empty list")
+    best = doc.get("best_static")
+    if isinstance(best, dict) and static_medians:
+        if best.get("median_p99") != min(static_medians):
+            errors.append(
+                f"best_static.median_p99 {best.get('median_p99')!r} is not "
+                f"the grid minimum {min(static_medians)}"
+            )
+    # The claim the artifact exists to record: adaptivity beats every
+    # static technique/group-size point of the grid.
+    if adaptive_median is not None and static_medians:
+        if adaptive_median >= min(static_medians):
+            errors.append(
+                f"adaptive median p99 {adaptive_median} does not beat the "
+                f"best static {min(static_medians)}"
+            )
+    return errors
+
+
+def check_control_document(doc: dict) -> list[str]:
+    """Dispatch a ``repro.control/1`` document on its kind."""
+    if doc.get("kind") == "control_bench":
+        return check_control_bench_document(doc)
+    return check_controlled_document(doc)
+
+
 def check_service_point(
     index: int,
     point: object,
@@ -822,6 +1089,9 @@ def main(argv: list[str] | None = None) -> int:
     elif isinstance(doc, dict) and doc.get("schema") == QUERY_SCHEMA:
         errors = check_query_document(doc)
         schema = QUERY_SCHEMA
+    elif isinstance(doc, dict) and doc.get("schema") == CONTROL_SCHEMA:
+        errors = check_control_document(doc)
+        schema = CONTROL_SCHEMA
     else:
         errors = check_document(doc, args.require)
         schema = SCHEMA
@@ -871,6 +1141,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"OK: {path} matches {schema} "
                 f"(join_streaming, {len(doc['points'])} points, "
                 f"{len(doc['buffer_sweep'])} buffer configs)"
+            )
+    elif schema == CONTROL_SCHEMA:
+        if doc.get("kind") == "control_bench":
+            print(
+                f"OK: {path} matches {schema} "
+                f"(control_bench on {doc['scenario']!r}: adaptive median "
+                f"p99 {doc['adaptive']['median_p99']:g} vs best static "
+                f"{doc['best_static']['median_p99']:g})"
+            )
+        else:
+            decisions = sum(p["control"]["decisions"] for p in doc["points"])
+            print(
+                f"OK: {path} matches {schema} "
+                f"({doc['scenario']!r}, base {doc['base_schema']}, "
+                f"{len(doc['points'])} points, {decisions} decisions)"
             )
     else:
         n_points = sum(len(s["points"]) for s in doc["sweeps"].values())

@@ -33,6 +33,15 @@ Layers (bottom-up):
 * :mod:`repro.faults` — deterministic fault injection: seeded chaos
   schedules (latency spikes, shard outages, cache storms) replayed
   bit-identically against the serving layer or an offline bulk run.
+* :mod:`repro.control` — the adaptive control plane: a deterministic
+  tumbling-window feedback controller inside the serving loop that
+  switches technique, group size, batch deadline, and shard allocation
+  from the exported signals, every decision a cycle-stamped event.
+* :mod:`repro.scenario` — the declarative scenario DSL: versioned
+  ``repro.scenario/1`` JSON/YAML documents parsed into a frozen
+  :class:`~repro.scenario.ScenarioSpec` that unifies the service,
+  cluster, and SLO config surfaces (``file:scenario.yaml`` works
+  wherever a registry name does).
 * :mod:`repro.api` — the stable facade: :func:`~repro.api.
   run_experiment`, :func:`~repro.api.serve`, :func:`~repro.api.
   lookup_batch`, and :func:`~repro.api.inject_faults`, each returning
@@ -63,6 +72,7 @@ from repro.errors import (
     ReproError,
     SchedulerError,
     SimulationError,
+    SpecError,
     WorkloadError,
 )
 from repro.indexes import (
@@ -164,6 +174,14 @@ from repro.faults import (
     FaultSchedule,
     fault_profile_names,
     get_fault_profile,
+)
+from repro.control import AdaptiveController, ControllerConfig
+from repro.scenario import (
+    ScenarioSpec,
+    load_spec_file,
+    parse_spec_text,
+    resolve_scenario,
+    resolve_spec,
 )
 
 #: Names still importable from the package root but superseded by the
@@ -294,4 +312,12 @@ __all__ = [
     "FaultSchedule",
     "fault_profile_names",
     "get_fault_profile",
+    "SpecError",
+    "AdaptiveController",
+    "ControllerConfig",
+    "ScenarioSpec",
+    "load_spec_file",
+    "parse_spec_text",
+    "resolve_scenario",
+    "resolve_spec",
 ]

@@ -3,11 +3,14 @@
 Usage::
 
     python -m repro list                 # experiments, executors, scenarios
+    python -m repro list --json          # every scenario as its spec
+    python -m repro list file:my.yaml    # resolve/validate a spec file
     python -m repro table5 fig7          # run and print experiments
     python -m repro table5 --json        # machine-readable data documents
     python -m repro trace fig7 --out /tmp/t   # span-traced run artifacts
     python -m repro serve mixed          # online-serving load sweep
     python -m repro serve quick --json --seed 3
+    python -m repro serve file:scenario.yaml  # declarative scenario spec
     python -m repro plan --store main --dict-bytes 8388608   # operator plan
     python -m repro plan --strategy interleaved --json       # repro.query/1 doc
     python -m repro serve chaos --faults chaos   # fault-injected sweep
@@ -106,7 +109,101 @@ def _unknown(names: list[str]) -> int:
     return 2
 
 
-def _list_main() -> int:
+def _list_doc() -> dict:
+    """The machine-readable counterpart of the ``list`` text output.
+
+    Every registered scenario appears as its serialized
+    ``repro.scenario/1`` spec — the exact document ``python -m repro
+    serve file:...`` would accept back.
+    """
+    from repro.faults.schedule import fault_profile_names, get_fault_profile
+    from repro.interleaving.executor import (
+        WORKLOAD_KINDS,
+        executor_names,
+        get_executor,
+    )
+    from repro.scenario import ScenarioSpec
+    from repro.service.scenarios import SCENARIO_REGISTRY
+
+    return {
+        "schema": "repro.list/1",
+        "experiments": list(available_experiments()),
+        "executors": [
+            {
+                "name": name,
+                "default_group_size": get_executor(name).default_group_size,
+                "workload_kinds": list(get_executor(name).workload_kinds),
+            }
+            for name in executor_names()
+        ],
+        "workload_kinds": list(WORKLOAD_KINDS),
+        "scenarios": [
+            ScenarioSpec.from_scenario(scenario).to_dict()
+            for scenario in SCENARIO_REGISTRY.values()
+        ],
+        "fault_profiles": [
+            {"name": name, "description": get_fault_profile(name).description}
+            for name in fault_profile_names()
+        ],
+    }
+
+
+def _list_main(argv: list[str]) -> int:
+    """``python -m repro list [REF ...] [--json]``.
+
+    With no arguments, the human-readable inventory (unchanged).
+    ``--json`` emits the ``repro.list/1`` document, each registered
+    scenario serialized as its ``repro.scenario/1`` spec. Positional
+    references (registry names or ``file:spec.yaml``) resolve and
+    print just those specs; malformed specs exit 2.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro list",
+        description=(
+            "List experiments, executors, workload kinds, serving "
+            "scenarios, and fault profiles — or resolve specific "
+            "scenario references into repro.scenario/1 specs."
+        ),
+    )
+    parser.add_argument(
+        "refs",
+        nargs="*",
+        metavar="REF",
+        help=(
+            "scenario references to resolve and print as specs "
+            "(registry names or file:spec.{json,yaml})"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the repro.list/1 document as JSON instead of ASCII",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.errors import SpecError, WorkloadError
+    from repro.scenario import resolve_spec
+
+    if args.refs:
+        try:
+            specs = [resolve_spec(ref).to_dict() for ref in args.refs]
+        except (WorkloadError, SpecError) as error:
+            print(f"list: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            doc = {"schema": "repro.list/1", "scenarios": specs}
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for spec in specs:
+                print(json.dumps(spec, indent=2, sort_keys=True))
+        return 0
+    if args.json:
+        print(json.dumps(_list_doc(), indent=2, sort_keys=True))
+        return 0
+    return _list_text()
+
+
+def _list_text() -> int:
     """Print experiments, executors, workload kinds, and scenarios."""
     from repro.faults.schedule import fault_profile_names, get_fault_profile
     from repro.interleaving.executor import (
@@ -166,14 +263,15 @@ def _list_main() -> int:
 
 
 def _serve_main(argv: list[str]) -> int:
-    from repro.errors import ReproError, WorkloadError
+    from repro.errors import ReproError, SpecError, WorkloadError
     from repro.faults.schedule import fault_profile_names, get_fault_profile
+    from repro.scenario import resolve_scenario
     from repro.service.loadgen import (
         render_service_doc,
         run_scenario,
         run_traced_scenario,
     )
-    from repro.service.scenarios import get_scenario, scenario_names
+    from repro.service.scenarios import scenario_names
 
     parser = argparse.ArgumentParser(
         prog="python -m repro serve",
@@ -184,7 +282,11 @@ def _serve_main(argv: list[str]) -> int:
         ),
     )
     parser.add_argument(
-        "scenario", help=f"scenario name ({', '.join(scenario_names())})"
+        "scenario",
+        help=(
+            f"scenario name ({', '.join(scenario_names())}) or a "
+            "file:spec.{json,yaml} declarative scenario reference"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -221,11 +323,11 @@ def _serve_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     _configure_perf(args)
 
-    # Name resolution is a usage question — report and exit 2 before
-    # any simulation work starts.
+    # Name/spec resolution is a usage question — report and exit 2
+    # before any simulation work starts.
     try:
-        scenario = get_scenario(args.scenario)
-    except WorkloadError as error:
+        scenario = resolve_scenario(args.scenario)
+    except (WorkloadError, SpecError) as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
     try:
@@ -287,10 +389,11 @@ def _write_trace_artifacts(out_dir: str, traced: dict) -> list[str]:
 
 
 def _explain_main(argv: list[str]) -> int:
-    from repro.errors import ReproError, WorkloadError
+    from repro.errors import ReproError, SpecError, WorkloadError
     from repro.faults.schedule import fault_profile_names, get_fault_profile
+    from repro.scenario import resolve_scenario
     from repro.service.explain import explain_point, render_explain_doc
-    from repro.service.scenarios import get_scenario, scenario_names
+    from repro.service.scenarios import scenario_names
 
     parser = argparse.ArgumentParser(
         prog="python -m repro explain",
@@ -302,7 +405,11 @@ def _explain_main(argv: list[str]) -> int:
         ),
     )
     parser.add_argument(
-        "scenario", help=f"scenario name ({', '.join(scenario_names())})"
+        "scenario",
+        help=(
+            f"scenario name ({', '.join(scenario_names())}) or a "
+            "file:spec.{json,yaml} declarative scenario reference"
+        ),
     )
     parser.add_argument(
         "--pN",
@@ -348,11 +455,11 @@ def _explain_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     try:
-        scenario = get_scenario(args.scenario)
+        scenario = resolve_scenario(args.scenario)
         faults = (
             None if args.faults is None else get_fault_profile(args.faults)
         )
-    except WorkloadError as error:
+    except (WorkloadError, SpecError) as error:
         print(f"explain: {error}", file=sys.stderr)
         return 2
     try:
@@ -643,6 +750,8 @@ def _profile_main(argv: list[str]) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "list":
+        return _list_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "serve":
@@ -679,8 +788,8 @@ def main(argv: list[str] | None = None) -> int:
     _add_perf_options(parser)
     args = parser.parse_args(argv)
 
-    if args.experiments == ["list"]:
-        return _list_main()
+    if args.experiments == ["list"]:  # pragma: no cover - intercepted above
+        return _list_main([])
 
     unknown = [n for n in args.experiments if n not in available_experiments()]
     if unknown:

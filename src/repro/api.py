@@ -76,7 +76,9 @@ class ServeResult:
     """One serving sweep: the service/chaos data document, typed."""
 
     scenario: str
-    #: ``repro.service/1``, or ``repro.chaos/1`` when faults were live.
+    #: ``repro.service/1``; ``repro.chaos/1`` when faults were live;
+    #: ``repro.control/1`` when the adaptive controller ran (the
+    #: underlying shape is then named by ``doc["base_schema"]``).
     schema: str
     doc: dict
 
@@ -90,7 +92,7 @@ class ServeResult:
         """Whether a non-empty fault schedule shaped this run."""
         from repro.service.loadgen import CHAOS_SCHEMA
 
-        return self.schema == CHAOS_SCHEMA
+        return CHAOS_SCHEMA in (self.schema, self.doc.get("base_schema"))
 
     def point(self, technique: str, load_multiplier: float) -> dict:
         """The record for one (technique, load) pair."""
@@ -314,10 +316,22 @@ def run_experiment(
 
 
 def serve(
-    scenario, *, seed: int = 0, faults=None, jobs: int | None = None, cache=None
+    spec=None,
+    *,
+    scenario=None,
+    seed: int = 0,
+    faults=None,
+    jobs: int | None = None,
+    cache=None,
 ) -> ServeResult:
     """Run one serving scenario sweep (optionally fault-injected).
 
+    ``spec`` accepts any scenario reference — a registry name, a
+    ``file:scenario.yaml`` path, a ``repro.scenario/1`` dict, a
+    :class:`~repro.scenario.ScenarioSpec`, or a built
+    :class:`~repro.service.scenarios.Scenario` — and resolves it via
+    :func:`repro.scenario.resolve_scenario`. The old ``scenario=``
+    keyword still works but warns with ``DeprecationWarning``.
     ``faults`` accepts a profile name (``"chaos"``), a
     :class:`~repro.faults.schedule.FaultProfile`, or a ready-built
     :class:`~repro.faults.schedule.FaultSchedule`; ``None`` defers to
@@ -325,20 +339,28 @@ def serve(
     ``jobs``/``cache`` parallelise and memoise the per-(technique, load)
     points exactly as in :func:`run_experiment`.
     """
-    from repro.service.loadgen import run_scenario
+    from repro.service.loadgen import _shim_scenario_kwarg, run_scenario
 
+    spec = _shim_scenario_kwarg(spec, scenario, "serve")
     with _perf_scope(jobs, cache):
-        doc = run_scenario(scenario, seed=seed, faults=faults)
+        doc = run_scenario(spec, seed=seed, faults=faults)
     cls = ClusterServeResult if doc.get("kind") == "cluster" else ServeResult
     return cls(scenario=doc["scenario"], schema=doc["schema"], doc=doc)
 
 
 def serve_cluster(
-    scenario, *, seed: int = 0, faults=None, jobs: int | None = None, cache=None
+    spec=None,
+    *,
+    scenario=None,
+    seed: int = 0,
+    faults=None,
+    jobs: int | None = None,
+    cache=None,
 ) -> ClusterServeResult:
     """Run one multi-node cluster sweep (``repro.cluster/1``).
 
-    Like :func:`serve`, but insists the scenario is a
+    Like :func:`serve` (including the spec-reference surface and the
+    deprecated ``scenario=`` keyword), but insists the scenario is a
     :class:`~repro.cluster.scenarios.ClusterScenario` (``planet``,
     ``planet-quick``, ``cluster-steady``, or one you registered) and
     returns the cluster-typed result with per-node accessors.
@@ -347,9 +369,11 @@ def serve_cluster(
     a loud error instead of a silently single-node run.
     """
     from repro.cluster.loadgen import run_cluster_scenario
+    from repro.service.loadgen import _shim_scenario_kwarg
 
+    spec = _shim_scenario_kwarg(spec, scenario, "serve_cluster")
     with _perf_scope(jobs, cache):
-        doc = run_cluster_scenario(scenario, seed=seed, faults=faults)
+        doc = run_cluster_scenario(spec, seed=seed, faults=faults)
     return ClusterServeResult(
         scenario=doc["scenario"], schema=doc["schema"], doc=doc
     )

@@ -29,6 +29,7 @@ import hashlib
 
 import numpy as np
 
+from repro.control import CONTROL_SCHEMA
 from repro.errors import WorkloadError
 from repro.faults.schedule import FaultProfile, FaultSchedule, resolve_schedule
 from repro.obs.rtrace import RequestTracer
@@ -41,11 +42,11 @@ from repro.service.loadgen import (
     _fault_name,
     _point,
     _replace_config,
+    _resolve_ref,
     _slo_record,
     fault_horizon,
     sequential_capacity,
 )
-from repro.service.scenarios import get_scenario
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.cluster.scenarios import ClusterScenario
 from repro.cluster.server import ClusterReport, ClusterServer
@@ -174,6 +175,8 @@ def measure_cluster_point(
     if chaos:
         point.update(_chaos_point(report, schedule))
     point.update(_cluster_point(report))
+    if report.control is not None:
+        point["control"] = report.control
     outcome = {
         "point": point,
         "chaos": chaos,
@@ -219,9 +222,10 @@ def _cluster_doc(
 ):
     topology = scenario.topology()
     chaos = any(outcome["chaos"] for outcome in outcomes)
+    controlled = any("control" in outcome["point"] for outcome in outcomes)
     doc = {
         "kind": "cluster",
-        "schema": CLUSTER_SCHEMA,
+        "schema": CONTROL_SCHEMA if controlled else CLUSTER_SCHEMA,
         "scenario": scenario.name,
         "description": scenario.description,
         "arrival_kind": scenario.arrival_kind,
@@ -241,6 +245,9 @@ def _cluster_doc(
     }
     if chaos:
         doc["fault_profile"] = _fault_name(faults)
+    if controlled:
+        doc["base_schema"] = CLUSTER_SCHEMA
+        doc["controller"] = scenario.config.controller.to_dict()
     return doc
 
 
@@ -257,8 +264,7 @@ def run_cluster_scenario(
     fields — per-node counters, crossings — are the document's reason
     to exist, not a chaos add-on.
     """
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
+    scenario = _resolve_ref(scenario)
     if not isinstance(scenario, ClusterScenario):
         raise WorkloadError(
             f"scenario {scenario.name!r} is not a cluster scenario; "
@@ -285,8 +291,7 @@ def run_traced_cluster_scenario(
     Attempt spans carry node-tagged lanes (``"n2/s0"``), so ``repro
     explain`` shows *which replica* won a hedge.
     """
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
+    scenario = _resolve_ref(scenario)
     if faults is None:
         faults = scenario.fault_profile
     arch, capacity, cycles_per_lookup, outcomes = _cluster_sweep(
@@ -363,4 +368,6 @@ def render_cluster_doc(doc: dict) -> str:
     )
     if chaos:
         title += f", faults={doc['fault_profile']}"
+    if "controller" in doc:
+        title += f", controller W={doc['controller']['window_cycles']}"
     return format_table(headers, rows, title=title)

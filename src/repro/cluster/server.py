@@ -179,6 +179,10 @@ class ClusterServer(ServiceServer):
         super().__init__(
             table, config, arch=arch, seed=seed, faults=faults, tracer=tracer
         )
+        # Shard consolidation assumes one routing-free shard pool; the
+        # multi-node planner groups by key ownership instead, so the
+        # control plane only consolidates in the degenerate shape.
+        self._consolidate_ok = self._single_node
 
     # ------------------------------------------------------------------
     # Construction seams
@@ -330,7 +334,7 @@ class ClusterServer(ServiceServer):
 
     def _make_report(self, requests: list[Request], makespan: int) -> ClusterReport:
         return ClusterReport(
-            technique=self.executor.name,
+            technique=self._technique_name,
             config=self.config,
             requests=requests,
             makespan=makespan,
@@ -340,6 +344,7 @@ class ClusterServer(ServiceServer):
             n_nodes=self.config.n_nodes,
             replication=self.config.replication,
             interconnect=self.topology.as_dict(),
+            control=self._control_summary(makespan),
         )
 
     def _alive_nodes(self, at: int) -> frozenset | None:
@@ -379,7 +384,7 @@ class ClusterServer(ServiceServer):
             )
             if (
                 fault_delayed
-                and self.config.overflow_fallback
+                and self._overflow_armed
                 and self._injector is not None
             ):
                 overflow_start = max(trigger, self._overflow.busy_until)

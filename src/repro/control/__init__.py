@@ -1,0 +1,26 @@
+"""repro.control — the adaptive control plane for the serving layer.
+
+A deterministic tumbling-window feedback controller that moves the
+serving knobs (technique, Inequality-1 group size, batch deadline,
+shard and overflow-lane allocation) in response to already-exported
+signals, recording every decision as a cycle-stamped ``control.window``
+event. See :mod:`repro.control.controller`.
+"""
+
+from repro.control.controller import (
+    ACTION_NAMES,
+    CONTROL_EVENT,
+    CONTROL_SCHEMA,
+    SIGNAL_NAMES,
+    AdaptiveController,
+    ControllerConfig,
+)
+
+__all__ = [
+    "ACTION_NAMES",
+    "CONTROL_EVENT",
+    "CONTROL_SCHEMA",
+    "SIGNAL_NAMES",
+    "AdaptiveController",
+    "ControllerConfig",
+]

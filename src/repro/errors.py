@@ -57,6 +57,20 @@ class WorkloadError(ReproError):
     """A workload generator was asked for an impossible configuration."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative scenario spec failed validation.
+
+    Carries the dotted ``path`` of the offending field (for example
+    ``config.max_batch`` or ``arrival.kind``) so CLI and API callers can
+    point at the exact key in a JSON/YAML document rather than guessing
+    which of the nested sections was malformed.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
 class QueryError(ReproError):
     """A query plan was built or executed incorrectly."""
 

@@ -342,6 +342,58 @@ def _node_chaos(horizon: int, n_nodes: int, rng: random.Random) -> list[FaultEve
     return events
 
 
+def _phase_shift(horizon: int, n_shards: int, rng: random.Random) -> list[FaultEvent]:
+    """Alternating calm and stormy quarters of the horizon.
+
+    Quarters one and three are fault-free; quarters two and four pack
+    deep latency spikes and LFB shrink windows back to back. The regime
+    the run is in therefore *changes* mid-flight — which is exactly the
+    shape a static technique/group-size choice cannot be right for
+    everywhere, and the adaptive controller's benchmark case: deep
+    interleaving wins the calm phases, shallower groups and earlier
+    deadlines win the starved ones.
+    """
+    events: list[FaultEvent] = []
+    storms = (
+        (horizon // 4, horizon // 2),
+        ((3 * horizon) // 4, horizon),
+    )
+    for lo, hi in storms:
+        at = lo + rng.randint(500, 2_000)
+        while at < hi:
+            if rng.random() < 0.5:
+                events.append(
+                    LatencySpike(
+                        at=at,
+                        duration=rng.randint(6_000, 10_000),
+                        extra_latency=rng.choice((400, 600, 800)),
+                    )
+                )
+            else:
+                events.append(
+                    LfbShrink(
+                        at=at,
+                        duration=rng.randint(6_000, 10_000),
+                        capacity=rng.choice((2, 3)),
+                    )
+                )
+            at += rng.randint(5_000, 9_000)
+    return events
+
+
+register_fault_profile(
+    FaultProfile(
+        name="phase-shift",
+        description=(
+            "Alternating calm/storm horizon quarters (spikes + LFB "
+            "shrinks in the storms): the regime changes mid-run, so no "
+            "static configuration is right everywhere."
+        ),
+        builder=_phase_shift,
+    )
+)
+
+
 register_fault_profile(
     FaultProfile(
         name="cluster-chaos",

@@ -1,0 +1,36 @@
+"""repro.scenario — the declarative scenario DSL (``repro.scenario/1``).
+
+A versioned JSON/YAML scenario format parsed into a frozen
+:class:`ScenarioSpec` that unifies the service, cluster, and SLO-run
+config surfaces. ``python -m repro serve file:scenario.yaml`` works
+alongside registry names; see :mod:`repro.scenario.spec` for the
+format and :mod:`repro.scenario.io` for loading and resolution.
+"""
+
+from repro.scenario.io import (
+    FILE_PREFIX,
+    load_spec_file,
+    parse_spec_text,
+    resolve_scenario,
+    resolve_spec,
+)
+from repro.scenario.spec import (
+    SCENARIO_KINDS,
+    SCENARIO_SPEC_SCHEMA,
+    ScenarioSpec,
+    config_from_dict,
+    config_to_dict,
+)
+
+__all__ = [
+    "FILE_PREFIX",
+    "SCENARIO_KINDS",
+    "SCENARIO_SPEC_SCHEMA",
+    "ScenarioSpec",
+    "config_from_dict",
+    "config_to_dict",
+    "load_spec_file",
+    "parse_spec_text",
+    "resolve_scenario",
+    "resolve_spec",
+]

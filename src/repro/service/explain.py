@@ -21,8 +21,12 @@ from __future__ import annotations
 from repro.errors import SimulationError, WorkloadError
 from repro.obs.hist import exemplar_from_dict
 from repro.obs.rtrace import critical_path, trace_errors
-from repro.service.loadgen import measure_service_point, sequential_capacity
-from repro.service.scenarios import Scenario, get_scenario
+from repro.service.loadgen import (
+    _resolve_ref,
+    measure_service_point,
+    sequential_capacity,
+)
+from repro.service.scenarios import Scenario
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.workloads.generators import make_table
 
@@ -64,7 +68,7 @@ def _resolve_load(scenario: Scenario, load: float | None) -> float:
 
 
 def explain_point(
-    scenario: Scenario | str,
+    scenario,
     *,
     technique: str | None = None,
     load: float | None = None,
@@ -74,16 +78,21 @@ def explain_point(
 ) -> dict:
     """Explain the p-``q`` exemplar request of one sweep point.
 
-    ``technique`` defaults to CORO (or the scenario's last technique);
-    ``load`` to the scenario's highest multiplier — the corner where
-    tail latency is interesting. Returns the ``repro.explain/1``
-    document; raises :class:`WorkloadError` for names/loads the
-    scenario does not sweep and :class:`SimulationError` if the traced
-    re-run contradicts itself (which would be a tracer bug, not user
-    error).
+    ``scenario`` accepts any reference :func:`repro.scenario.
+    resolve_scenario` does (registry name, ``file:`` path, spec dict or
+    object, built scenario). ``technique`` defaults to CORO (or the
+    scenario's last technique); ``load`` to the scenario's highest
+    multiplier — the corner where tail latency is interesting. Returns
+    the ``repro.explain/1`` document; raises :class:`WorkloadError` for
+    names/loads the scenario does not sweep and
+    :class:`SimulationError` if the traced re-run contradicts itself
+    (which would be a tracer bug, not user error). When the scenario
+    configures the adaptive controller, the document grows a
+    ``"control"`` section — the point's cycle-stamped ``control.*``
+    window decisions — so the critical path can be read against what
+    the control plane did to the serving loop around it.
     """
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
+    scenario = _resolve_ref(scenario)
     technique = _resolve_technique(scenario, technique)
     load = _resolve_load(scenario, load)
     if faults is None:
@@ -141,7 +150,7 @@ def explain_point(
             + "; ".join(defects)
         )
     path = critical_path(trace)
-    return {
+    doc = {
         "kind": "explain",
         "schema": EXPLAIN_SCHEMA,
         "scenario": scenario.name,
@@ -155,6 +164,10 @@ def explain_point(
         "exemplar": exemplar.as_dict(),
         "critical_path": path,
     }
+    control = outcome["point"].get("control")
+    if control is not None:
+        doc["control"] = control
+    return doc
 
 
 def _fault_label(faults) -> str:
@@ -213,6 +226,32 @@ def render_explain_doc(doc: dict) -> str:
                 ],
                 attempt_rows,
                 title="dispatch attempts (* = winner)",
+            )
+        )
+    if "control" in doc:
+        control = doc["control"]
+        window_rows = [
+            [
+                w["window"],
+                w["start"],
+                w["end"],
+                w["signals"]["p99"],
+                w["signals"]["queue_depth"],
+                "; ".join(
+                    f"{k}={v}" for k, v in sorted(w["actions"].items())
+                )
+                or "-",
+            ]
+            for w in control["windows"]
+        ]
+        out.append(
+            format_table(
+                ["window", "start", "end", "p99", "queue", "actions"],
+                window_rows,
+                title=(
+                    f"control plane (W={control['window_cycles']}, "
+                    f"{control['decisions']} decision(s))"
+                ),
             )
         )
     return "\n\n".join(out)

@@ -22,13 +22,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import HASWELL, ArchSpec, scaled
+from repro.control import CONTROL_SCHEMA
+from repro.errors import WorkloadError
 from repro.faults.schedule import FaultProfile, FaultSchedule, resolve_schedule
 from repro.interleaving.executor import BulkLookup, get_executor
 from repro.obs.rtrace import RequestTracer
 from repro.obs.slo import SLO_SCHEMA
 from repro.perf import Task, default_runner
 from repro.service.arrivals import make_arrivals
-from repro.service.scenarios import Scenario, get_scenario
+from repro.service.scenarios import Scenario
 from repro.service.server import ServiceReport, ServiceServer
 from repro.sim.allocator import AddressSpaceAllocator
 from repro.sim.engine import ExecutionEngine
@@ -244,6 +246,8 @@ def measure_service_point(
     chaos = schedule is not None
     if chaos:
         point.update(_chaos_point(report, schedule))
+    if report.control is not None:
+        point["control"] = report.control
     outcome = {"point": point, "chaos": chaos, "slo": _slo_record(report, multiplier)}
     if tracer is not None:
         outcome["traces"] = tracer.traces()
@@ -285,9 +289,11 @@ def _sweep(scenario, seed, faults, trace=False):
 
 def _service_doc(scenario, seed, faults, arch, capacity, cycles_per_lookup, outcomes):
     chaos = any(outcome["chaos"] for outcome in outcomes)
+    controlled = any("control" in outcome["point"] for outcome in outcomes)
+    base_schema = CHAOS_SCHEMA if chaos else SERVICE_SCHEMA
     doc = {
         "kind": "service",
-        "schema": CHAOS_SCHEMA if chaos else SERVICE_SCHEMA,
+        "schema": CONTROL_SCHEMA if controlled else base_schema,
         "scenario": scenario.name,
         "description": scenario.description,
         "arrival_kind": scenario.arrival_kind,
@@ -301,29 +307,35 @@ def _service_doc(scenario, seed, faults, arch, capacity, cycles_per_lookup, outc
     }
     if chaos:
         doc["fault_profile"] = _fault_name(faults)
+    if controlled:
+        doc["base_schema"] = base_schema
+        doc["controller"] = scenario.config.controller.to_dict()
     return doc
 
 
 def run_scenario(
-    scenario: Scenario | str,
+    scenario,
     *,
     seed: int = 0,
     faults: FaultSchedule | FaultProfile | str | None = None,
 ) -> dict:
     """Run every (technique, load) point; return the data document.
 
-    ``faults`` overrides the scenario's default fault profile (a profile
-    name, a profile, or a ready-built schedule). A run whose schedule
-    resolves to empty — no chaos asked for, or the ``"none"`` profile —
-    emits a plain ``repro.service/1`` document bit-identical to a run
-    of a server without the fault machinery; a non-empty schedule
-    switches the document to ``repro.chaos/1``, whose points add the
-    fault/retry/hedge accounting. Every technique at the same load
-    multiplier replays the *identical* schedule (the horizon depends
-    only on the request count and the offered rate).
+    ``scenario`` accepts anything :func:`repro.scenario.resolve_scenario`
+    does — a registry name, a ``file:scenario.yaml`` reference, a spec
+    dict, a :class:`~repro.scenario.ScenarioSpec`, or a built
+    :class:`Scenario` — and funnels it through the validated spec round
+    trip. ``faults`` overrides the scenario's default fault profile (a
+    profile name, a profile, or a ready-built schedule). A run whose
+    schedule resolves to empty — no chaos asked for, or the ``"none"``
+    profile — emits a plain ``repro.service/1`` document bit-identical
+    to a run of a server without the fault machinery; a non-empty
+    schedule switches the document to ``repro.chaos/1``, whose points
+    add the fault/retry/hedge accounting. Every technique at the same
+    load multiplier replays the *identical* schedule (the horizon
+    depends only on the request count and the offered rate).
     """
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
+    scenario = _resolve_ref(scenario)
     if _is_cluster(scenario):
         from repro.cluster.loadgen import run_cluster_scenario
 
@@ -337,7 +349,7 @@ def run_scenario(
 
 
 def run_traced_scenario(
-    scenario: Scenario | str,
+    scenario,
     *,
     seed: int = 0,
     faults: FaultSchedule | FaultProfile | str | None = None,
@@ -350,8 +362,7 @@ def run_traced_scenario(
     ``{"traces": [...], "fault_timeline": {...}}`` — the inputs of
     :func:`repro.obs.rtrace.request_chrome_trace`.
     """
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
+    scenario = _resolve_ref(scenario)
     if _is_cluster(scenario):
         from repro.cluster.loadgen import run_traced_cluster_scenario
 
@@ -380,8 +391,9 @@ def run_traced_scenario(
 
 
 def run_slo_scenario(
-    scenario: Scenario | str,
+    spec=None,
     *,
+    scenario=None,
     seed: int = 0,
     faults: FaultSchedule | FaultProfile | str | None = None,
 ) -> dict:
@@ -390,12 +402,14 @@ def run_slo_scenario(
     Shares the sweep (and its result cache) with :func:`run_scenario`;
     the document carries, per (technique, load) point, the exemplar
     latency histogram, the per-lane execution histograms, and the
-    multi-window burn analysis of :mod:`repro.obs.slo`.
+    multi-window burn analysis of :mod:`repro.obs.slo`. ``spec``
+    accepts any reference :func:`repro.scenario.resolve_scenario` does;
+    the ``scenario=`` keyword remains as a deprecated alias.
     """
     from repro.errors import ConfigurationError
 
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
+    spec = _shim_scenario_kwarg(spec, scenario, "run_slo_scenario")
+    scenario = _resolve_ref(spec)
     if scenario.config.slo_cycles is None:
         raise ConfigurationError(
             f"scenario {scenario.name!r} has no slo_cycles: nothing to burn"
@@ -438,15 +452,43 @@ def _is_cluster(scenario) -> bool:
     return isinstance(scenario, ClusterScenario)
 
 
+def _resolve_ref(ref):
+    """Funnel any scenario reference through the spec surface (lazy)."""
+    from repro.scenario import resolve_scenario
+
+    return resolve_scenario(ref)
+
+
+def _shim_scenario_kwarg(spec, scenario, where: str):
+    """Support the deprecated ``scenario=`` keyword alongside ``spec``."""
+    if scenario is not None:
+        if spec is not None:
+            raise WorkloadError(
+                f"{where}() got both 'spec' and the deprecated 'scenario'"
+            )
+        import warnings
+
+        warnings.warn(
+            f"{where}(scenario=...) is deprecated; pass the reference "
+            "positionally or as spec=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        spec = scenario
+    if spec is None:
+        raise WorkloadError(f"{where}() needs a scenario reference")
+    return spec
+
+
 def render_service_doc(doc: dict) -> str:
     """Render a service document as the CLI's ASCII artifact."""
     from repro.analysis.reporting import format_table
 
-    if doc.get("schema") == "repro.cluster/1":
+    if "repro.cluster/1" in (doc.get("schema"), doc.get("base_schema")):
         from repro.cluster.loadgen import render_cluster_doc
 
         return render_cluster_doc(doc)
-    chaos = doc.get("schema") == CHAOS_SCHEMA
+    chaos = CHAOS_SCHEMA in (doc.get("schema"), doc.get("base_schema"))
     headers = [
         "technique",
         "xload",
@@ -494,4 +536,6 @@ def render_service_doc(doc: dict) -> str:
     )
     if chaos:
         title += f", faults={doc['fault_profile']}"
+    if "controller" in doc:
+        title += f", controller W={doc['controller']['window_cycles']}"
     return format_table(headers, rows, title=title)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import difflib
 from dataclasses import dataclass, field
 
+from repro.control import ControllerConfig
 from repro.errors import ConfigurationError, WorkloadError
 from repro.faults.schedule import get_fault_profile
 from repro.service.arrivals import ARRIVAL_KINDS
@@ -278,6 +279,76 @@ register_scenario(
             warmup_requests=16,
             slo_cycles=25_000,
             request_kind="plan",
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="controller-quick",
+        description=(
+            "CI control-plane smoke: the quick sweep served under the "
+            "adaptive controller — tumbling-window technique/group/"
+            "deadline/shard decisions, every one a cycle-stamped "
+            "control.* event. Seconds, not minutes."
+        ),
+        techniques=("CORO",),
+        loads=(0.5, 2.5),
+        table_bytes=2 << 20,
+        n_requests=160,
+        config=ServiceConfig(
+            max_batch=16,
+            max_wait_cycles=2500,
+            queue_capacity=48,
+            overload_policy="reject",
+            n_shards=2,
+            warmup_requests=16,
+            slo_cycles=25_000,
+            controller=ControllerConfig(
+                window_cycles=8_000,
+                techniques=("sequential", "CORO"),
+            ),
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="phase-shift",
+        description=(
+            "Bursty load over alternating calm/storm horizon quarters "
+            "(the phase-shift fault profile) with the adaptive "
+            "controller on: the regime changes mid-run, so the "
+            "controller's windowed deadline/group/overflow decisions — "
+            "not any one static technique/group choice — carry the "
+            "tail."
+        ),
+        arrival_kind="bursty",
+        arrival_params={"burst_cycles": 20_000, "gap_cycles": 30_000},
+        techniques=("CORO",),
+        loads=(1.2,),
+        table_bytes=2 << 20,
+        n_requests=240,
+        fault_profile="phase-shift",
+        config=ServiceConfig(
+            max_batch=16,
+            max_wait_cycles=2500,
+            queue_capacity=48,
+            overload_policy="reject",
+            n_shards=2,
+            warmup_requests=16,
+            slo_cycles=25_000,
+            max_retries=2,
+            retry_backoff_cycles=1500,
+            hedge_after_cycles=9000,
+            controller=ControllerConfig(
+                window_cycles=4_000,
+                # No technique candidates: under strongly bursty
+                # arrivals a lull switch to sequential eats the next
+                # burst's head (the window lag), so the deadline/group/
+                # overflow actuators carry this scenario.
+                consolidate_shards=False,
+            ),
         ),
     )
 )

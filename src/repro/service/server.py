@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import HASWELL, ArchSpec
+from repro.control import AdaptiveController, ControllerConfig
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.events import FAULT_KINDS
 from repro.faults.injector import FaultInjector
@@ -154,6 +155,10 @@ class ServiceConfig:
     #: the historic byte-stable path) or ``"plan"`` (a ``repro.query``
     #: streaming index-join plan per batch).
     request_kind: str = "lookup"
+    #: Attach a :class:`~repro.control.ControllerConfig` to run the
+    #: adaptive control plane; ``None`` (the default) keeps the server
+    #: bit-identical to the pre-control code path.
+    controller: ControllerConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -180,6 +185,12 @@ class ServiceConfig:
                 f"unknown request kind {self.request_kind!r}; expected "
                 f"one of {REQUEST_KINDS}"
             )
+        if self.controller is not None and not isinstance(
+            self.controller, ControllerConfig
+        ):
+            raise ConfigurationError(
+                "controller must be a ControllerConfig (or None)"
+            )
 
 
 @dataclass
@@ -196,6 +207,8 @@ class ServiceReport:
     exemplars: ExemplarHistogram | None = None
     #: Per-lane execution-cycle histograms ("shard0".., "overflow").
     shard_exemplars: dict[str, ExemplarHistogram] = field(default_factory=dict)
+    #: The control plane's decision stream (``None`` = no controller).
+    control: dict | None = None
     #: Ascending end-to-end latencies of batch-completed requests.
     latencies: list[int] = field(init=False)
     #: Ascending end-to-end latencies of shed (overflow-lane) requests.
@@ -384,6 +397,9 @@ class ServiceServer:
         self.tracer = tracer
         self.executor = get_executor(config.technique)
         self.group_size = config.group_size or self.executor.default_group_size
+        #: Report label: the *configured* technique, captured before any
+        #: online switching moves ``self.executor``.
+        self._technique_name = self.executor.name
         self.metrics = MetricsRegistry()
         rate = config.rate_limit_per_kcycle
         self.admission = AdmissionController(
@@ -416,6 +432,18 @@ class ServiceServer:
         # traffic degrades its own latency rather than the batched path's.
         # Fault schedules deliberately cannot target it.
         self._overflow = _Shard(ExecutionEngine(arch, seed=seed + 7919))
+
+        # Control-plane actuation points. With no controller these stay
+        # frozen at their configured values, so dispatch planning reads
+        # exactly what it read before the control plane existed.
+        self._active_shards = len(self.shards)
+        self._overflow_armed = config.overflow_fallback
+        self._consolidate_ok = True
+        self._controller = (
+            AdaptiveController(config.controller)
+            if config.controller is not None
+            else None
+        )
 
         # Chaos plumbing. An empty/absent schedule leaves the injector
         # unset, making the no-fault path bit-identical to a server
@@ -531,6 +559,8 @@ class ServiceServer:
 
     def _observe_answer(self, request: Request, lane: str) -> None:
         """Feed one answered request into the exemplar histograms."""
+        if self._controller is not None:
+            self._controller.on_answer(request.completion, request.latency)
         self.exemplars.observe(request.latency, request.trace_id)
         hist = self.shard_exemplars.get(lane)
         if hist is None:
@@ -563,6 +593,11 @@ class ServiceServer:
                 if self._injector is not None
                 else None
             )
+            next_control = (
+                self._controller.next_boundary()
+                if self._controller is not None
+                else None
+            )
             plan = self._plan_dispatch()
             dispatch_at = plan[0] if plan is not None else None
             if (
@@ -571,14 +606,19 @@ class ServiceServer:
                 and next_fault is None
                 and dispatch_at is None
             ):
+                # Window boundaries are not kept alive on their own:
+                # with no work left the run is over and the controller
+                # flushes its trailing windows from the report path.
                 break
             if next_arrival is not None and at_or_before(
-                next_arrival, dispatch_at, next_retry, next_fault
+                next_arrival, dispatch_at, next_retry, next_fault, next_control
             ):
                 now = max(now, arrivals.pop())
                 request = Request(index, values[index], arrival=now)
                 index += 1
                 requests.append(request)
+                if self._controller is not None:
+                    self._controller.on_arrival(now)
                 verdict = self.admission.offer(request)
                 if verdict == "shed":
                     completion = self._run_shed(request, now)
@@ -590,17 +630,27 @@ class ServiceServer:
                     arrivals.notify_completion(now)
                 continue
             if next_retry is not None and at_or_before(
-                next_retry, dispatch_at, next_fault
+                next_retry, dispatch_at, next_fault, next_control
             ):
                 now = max(now, next_retry)
                 self._release_retries(now)
                 continue
-            if next_fault is not None and at_or_before(next_fault, dispatch_at):
+            if next_fault is not None and at_or_before(
+                next_fault, dispatch_at, next_control
+            ):
                 now = max(now, next_fault)
                 for event in self._injector.apply_pending(now):
                     self._count(f"faults.{event.kind}")
                     if self.tracer.enabled:
                         self.tracer.on_fault_point(event)
+                continue
+            if next_control is not None and at_or_before(
+                next_control, dispatch_at
+            ):
+                # Roll the decision window *before* planning dispatch so
+                # a changed deadline/technique governs the next batch.
+                now = max(now, next_control)
+                self._controller.roll_to(now, self)
                 continue
             now = max(now, dispatch_at)
             completion = self._run_batch(now, plan, arrivals)
@@ -610,14 +660,22 @@ class ServiceServer:
     def _make_report(self, requests: list[Request], makespan: int) -> ServiceReport:
         """Assemble the run's report (the cluster layer widens this)."""
         return ServiceReport(
-            technique=self.executor.name,
+            technique=self._technique_name,
             config=self.config,
             requests=requests,
             makespan=makespan,
             metrics=self.metrics,
             exemplars=self.exemplars,
             shard_exemplars=self.shard_exemplars,
+            control=self._control_summary(makespan),
         )
+
+    def _control_summary(self, makespan: int) -> dict | None:
+        """Flush and serialize the control plane (``None`` = no controller)."""
+        if self._controller is None:
+            return None
+        self._controller.finish(makespan, self)
+        return self._controller.summary()
 
     def _plan_dispatch(self) -> tuple[int, int, int | None, bool] | None:
         """Plan the next feasible batch launch.
@@ -633,7 +691,8 @@ class ServiceServer:
         if trigger is None:
             return None
         best_key: tuple[int, int, int] | None = None
-        for idx, shard in enumerate(self.shards):
+        for idx in range(self._active_shards):
+            shard = self.shards[idx]
             start = max(trigger, shard.busy_until)
             if self._injector is not None:
                 start = self._injector.available_from(idx, start)
@@ -646,7 +705,7 @@ class ServiceServer:
         )
         if (
             fault_delayed
-            and self.config.overflow_fallback
+            and self._overflow_armed
             and self._injector is not None
         ):
             overflow_start = max(trigger, self._overflow.busy_until)
