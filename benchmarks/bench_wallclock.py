@@ -2,11 +2,12 @@
 
 Every other file in this suite measures *simulated* cycles, which the
 perf layer must leave bit-identical. This one measures what the layer is
-allowed to change: host seconds. It times the Figure 7 quick grid three
-ways — serial, parallel across worker processes, and replayed from a
-warm result cache — checks that all three produce identical simulated
-results, and writes the timings (plus micro-timings of the optimized
-hot loops) to ``benchmarks/results/BENCH_wallclock.json`` under the
+allowed to change: host seconds. It times the Figure 7 quick grid four
+ways — serial, parallel across worker processes, replayed from a warm
+result cache, and through the trace-compiled executor twins — checks
+that all four produce identical simulated results, and writes the
+timings (plus micro-timings of the optimized hot loops) to
+``benchmarks/results/BENCH_wallclock.json`` under the
 ``repro.wallclock/1`` schema.
 
 Assertions are calibrated to the host:
@@ -18,11 +19,17 @@ Assertions are calibrated to the host:
   recorded in the artifact so CI trend tracking can interpret the
   speedup field; on smaller hosts the assertion degrades to a serial
   floor (>= 0.5x) instead of disappearing — parallel mode must stay
-  correct and must not collapse, even when it cannot be faster.
+  correct and must not collapse, even when it cannot be faster;
+* the compiled-engine sweep must beat the serial generator sweep by
+  >= 5x on every host (single-process replay vs single-process
+  generators — no CPU-count dependence), with schedule staging warmed
+  first and reported separately in ``micro_timings_s``
+  (``schedule_compile_s`` vs ``compiled_replay_s``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
@@ -30,6 +37,11 @@ import time
 
 from repro import perf
 from repro.analysis import lookups_per_point, measure_binary_search
+from repro.interleaving.compiled import (
+    compiled_stats,
+    compiled_timings,
+    reset_compiled_stats,
+)
 from repro.config import HASWELL
 from repro.sim import ExecutionEngine
 from repro.sim.cache import SetAssociativeCache
@@ -64,11 +76,19 @@ def _point_fingerprint(point) -> tuple:
     )
 
 
-def _timed_sweep(jobs: int, cache, grid: list[dict], n: int):
+def _timed_sweep(jobs: int, cache, grid: list[dict], n: int, engine=None):
     runner = perf.SweepRunner(jobs=jobs, cache=cache)
+    common = {"n_lookups": n}
+    if engine is not None:
+        common["engine"] = engine
     start = time.perf_counter()
-    points = runner.map(measure_binary_search, grid, common={"n_lookups": n})
+    points = runner.map(measure_binary_search, grid, common=common)
     return time.perf_counter() - start, [_point_fingerprint(p) for p in points]
+
+
+def _grid_checksum(points: list[tuple]) -> str:
+    """Stable digest of a sweep's fingerprints (for cross-mode equality)."""
+    return hashlib.sha256(repr(points).encode()).hexdigest()[:16]
 
 
 def _micro_cache_lookup(repeats: int = 30_000) -> float:
@@ -118,32 +138,51 @@ def test_wallclock_speedup_and_cache(benchmark, record_table, tmp_path):
         cache = perf.ResultCache(tmp_path / "wallclock-cache")
         cold_s, cold_points = _timed_sweep(parallel_jobs, cache, grid, n)
         warm_s, warm_points = _timed_sweep(1, cache, grid, n)
+        # Compiled engine: one untimed pass stages (and validates) every
+        # schedule, then the timed pass measures pure replay — the
+        # staging cost is reported on its own in micro_timings_s.
+        reset_compiled_stats()
+        _timed_sweep(1, None, grid, n, engine="compiled")
+        compiled_s, compiled_points = _timed_sweep(
+            1, None, grid, n, engine="compiled"
+        )
         micro = {
             "cache_lookup_s": _micro_cache_lookup(),
             "engine_dispatch_s": _micro_dispatch(),
             "tlb_translate_s": _micro_translate(),
+            "schedule_compile_s": compiled_timings()["schedule_compile_s"],
+            "compiled_replay_s": compiled_timings()["replay_s"],
         }
         return {
             "serial_s": serial_s,
             "parallel_s": parallel_s,
             "cache_cold_s": cold_s,
             "cache_warm_s": warm_s,
+            "compiled_s": compiled_s,
             "points": {
                 "serial": serial_points,
                 "parallel": parallel_points,
                 "cold": cold_points,
                 "warm": warm_points,
+                "compiled": compiled_points,
             },
             "cache_stats": cache.as_dict(),
+            "compiled_stats": compiled_stats(),
             "micro": micro,
         }
 
     out = benchmark.pedantic(compute, rounds=1, iterations=1)
 
-    # Parallel execution and cache replay are pure host-side mechanisms:
-    # every mode must reproduce the serial sweep bit for bit.
-    for mode in ("parallel", "cold", "warm"):
+    # Parallel execution, cache replay, and trace-compiled replay are
+    # pure host-side mechanisms: every mode must reproduce the serial
+    # sweep bit for bit.
+    for mode in ("parallel", "cold", "warm", "compiled"):
         assert out["points"][mode] == out["points"]["serial"], mode
+    # Every grid point is compilable: any fallback means the compiled
+    # sweep silently measured the generator path.
+    assert out["compiled_stats"]["fallbacks"] == 0, (
+        f"compiled sweep fell back: {out['compiled_stats']['fallbacks_by_reason']}"
+    )
     # The warm pass replayed every point instead of simulating.
     assert out["cache_stats"]["hits"] >= len(grid)
     warm_speedup = out["cache_cold_s"] / out["cache_warm_s"]
@@ -162,6 +201,13 @@ def test_wallclock_speedup_and_cache(benchmark, record_table, tmp_path):
             f"parallel sweep {speedup:.2f}x of serial on {host_cpus} "
             f"CPU(s) — worse than the documented serial floor"
         )
+    # The compiled path races the serial generator sweep in the same
+    # single process, so the >= 5x bar arms on every host — including
+    # 1-CPU runners where the parallel assertion degrades to its floor.
+    compiled_speedup = out["serial_s"] / out["compiled_s"]
+    assert compiled_speedup >= 5, (
+        f"compiled engine only {compiled_speedup:.2f}x over serial generators"
+    )
 
     doc = {
         "schema": SCHEMA,
@@ -175,6 +221,11 @@ def test_wallclock_speedup_and_cache(benchmark, record_table, tmp_path):
         "cache_cold_s": round(out["cache_cold_s"], 4),
         "cache_warm_s": round(out["cache_warm_s"], 4),
         "cache_warm_speedup": round(warm_speedup, 2),
+        "compiled_s": round(out["compiled_s"], 4),
+        "compiled_speedup": round(compiled_speedup, 3),
+        "compiled_fallbacks": out["compiled_stats"]["fallbacks"],
+        "grid_checksum_serial": _grid_checksum(out["points"]["serial"]),
+        "grid_checksum_compiled": _grid_checksum(out["points"]["compiled"]),
         "micro_timings_s": {
             name: round(seconds, 5) for name, seconds in out["micro"].items()
         },
@@ -190,6 +241,8 @@ def test_wallclock_speedup_and_cache(benchmark, record_table, tmp_path):
         ["cache cold", f"{doc['cache_cold_s']:.2f}"],
         ["cache warm", f"{doc['cache_warm_s']:.2f}"],
         ["warm speedup", f"{doc['cache_warm_speedup']:.1f}x"],
+        ["compiled sweep", f"{doc['compiled_s']:.2f}"],
+        ["compiled speedup", f"{doc['compiled_speedup']:.2f}x"],
     ]
     from repro.analysis import format_table
 

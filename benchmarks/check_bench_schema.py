@@ -238,8 +238,18 @@ WALLCLOCK_FIELDS = {
     "cache_cold_s": numbers.Real,
     "cache_warm_s": numbers.Real,
     "cache_warm_speedup": numbers.Real,
+    "compiled_s": numbers.Real,
+    "compiled_speedup": numbers.Real,
+    "compiled_fallbacks": numbers.Integral,
+    "grid_checksum_serial": str,
+    "grid_checksum_compiled": str,
     "micro_timings_s": dict,
 }
+
+#: Timing splits the compiled engine must report in ``micro_timings_s``
+#: (staging vs replay — a missing key means the compiled sweep did not
+#: actually run through the trace-compiled path).
+COMPILED_MICRO_TIMINGS = ("schedule_compile_s", "compiled_replay_s")
 
 
 def check_wallclock_document(doc: dict) -> list[str]:
@@ -257,18 +267,50 @@ def check_wallclock_document(doc: dict) -> list[str]:
     # Semantic invariants: timings are positive, and — since replay does
     # no simulation — the warm cache pass beats the cold one by >= 10x
     # on any host.
-    for field in ("serial_s", "parallel_s", "cache_cold_s", "cache_warm_s"):
+    for field in (
+        "serial_s",
+        "parallel_s",
+        "cache_cold_s",
+        "cache_warm_s",
+        "compiled_s",
+        "compiled_speedup",
+    ):
         value = doc.get(field)
         if isinstance(value, numbers.Real) and value <= 0:
             errors.append(f"{field}: {value} is not > 0")
     warm = doc.get("cache_warm_speedup")
     if isinstance(warm, numbers.Real) and warm < 10:
         errors.append(f"cache_warm_speedup {warm} is below the 10x floor")
+    # Compiled coverage: every Figure 7 grid point must have replayed a
+    # staged schedule (fallbacks mean the speedup silently measured the
+    # generator path) and both engines must have produced the same grid.
+    fallbacks = doc.get("compiled_fallbacks")
+    if isinstance(fallbacks, numbers.Integral) and fallbacks != 0:
+        errors.append(
+            f"compiled_fallbacks: {fallbacks} grid runs fell back to the "
+            "generator path"
+        )
+    serial_sum = doc.get("grid_checksum_serial")
+    compiled_sum = doc.get("grid_checksum_compiled")
+    if (
+        isinstance(serial_sum, str)
+        and isinstance(compiled_sum, str)
+        and serial_sum != compiled_sum
+    ):
+        errors.append(
+            f"grid checksums differ: serial {serial_sum} vs compiled "
+            f"{compiled_sum} — compiled replay is not bit-identical"
+        )
     micro = doc.get("micro_timings_s")
     if isinstance(micro, dict):
         for name, seconds in micro.items():
             if not isinstance(seconds, numbers.Real) or seconds <= 0:
                 errors.append(f"micro_timings_s[{name!r}]: {seconds!r} is not > 0")
+        for name in COMPILED_MICRO_TIMINGS:
+            if name not in micro:
+                errors.append(
+                    f"micro_timings_s: missing compiled timing {name!r}"
+                )
     return errors
 
 
@@ -1115,7 +1157,8 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"OK: {path} matches {schema} "
             f"(speedup {doc['speedup']}x at jobs={doc['jobs']}, "
-            f"warm replay {doc['cache_warm_speedup']}x)"
+            f"warm replay {doc['cache_warm_speedup']}x, "
+            f"compiled {doc['compiled_speedup']}x)"
         )
     elif schema == SLO_SCHEMA:
         print(

@@ -18,6 +18,7 @@ Usage::
     python -m repro explain chaos-quick --pN 99   # p99 critical path
     python -m repro fig7 --jobs 4        # fan sweep points over 4 processes
     python -m repro fig7 --no-cache      # recompute instead of replaying
+    python -m repro fig3a --engine compiled   # trace-compiled replay path
     python -m repro profile fig7 --top 10   # cProfile one sweep point
     REPRO_BENCH_SCALE=full python -m repro fig3a   # paper's full grid
 
@@ -71,6 +72,23 @@ def _add_perf_options(parser: argparse.ArgumentParser) -> None:
         "--cache-clear",
         action="store_true",
         help="empty the result cache (REPRO_CACHE_DIR or ~/.cache/repro) first",
+    )
+
+
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    """Attach the executor-path knob (``--engine generators|compiled``)."""
+    from repro.interleaving.compiled import ENGINE_MODES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_MODES,
+        default=None,
+        help=(
+            "executor path: 'compiled' replays trace-compiled interleave "
+            "schedules where the shape supports it (counted generator "
+            "fallback otherwise); 'generators' forces the live coroutine "
+            "simulator (the default mode)"
+        ),
     )
 
 
@@ -320,6 +338,7 @@ def _serve_main(argv: list[str]) -> int:
         ),
     )
     _add_perf_options(parser)
+    _add_engine_option(parser)
     args = parser.parse_args(argv)
     _configure_perf(args)
 
@@ -338,15 +357,18 @@ def _serve_main(argv: list[str]) -> int:
         print(f"serve: {error}", file=sys.stderr)
         return 2
 
+    from repro.interleaving.compiled import use_engine
+
     try:
-        if args.trace_requests is None:
-            doc = run_scenario(scenario, seed=args.seed, faults=faults)
-        else:
-            doc, traced = run_traced_scenario(
-                scenario, seed=args.seed, faults=faults
-            )
-            for path in _write_trace_artifacts(args.trace_requests, traced):
-                print(f"trace artifact: {path}", file=sys.stderr)
+        with use_engine(args.engine):
+            if args.trace_requests is None:
+                doc = run_scenario(scenario, seed=args.seed, faults=faults)
+            else:
+                doc, traced = run_traced_scenario(
+                    scenario, seed=args.seed, faults=faults
+                )
+                for path in _write_trace_artifacts(args.trace_requests, traced):
+                    print(f"trace artifact: {path}", file=sys.stderr)
     except ReproError as error:
         print(f"serve failed: {error}", file=sys.stderr)
         return 1
@@ -704,6 +726,7 @@ def _profile_main(argv: list[str]) -> int:
         metavar="N",
         help="functions to print, by cumulative time (default 20)",
     )
+    _add_engine_option(parser)
     args = parser.parse_args(argv)
 
     if args.experiment not in available_experiments():
@@ -716,6 +739,11 @@ def _profile_main(argv: list[str]) -> int:
         size_grid,
     )
     from repro.errors import ReproError
+    from repro.interleaving.compiled import (
+        compiled_timings,
+        reset_compiled_stats,
+        use_engine,
+    )
 
     n = min(lookups_per_point(), 400)
     query_experiments = {"fig1", "fig8", "table1", "table2"}
@@ -725,26 +753,46 @@ def _profile_main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    engine_label = "" if args.engine is None else f", engine={args.engine}"
     if args.experiment in query_experiments:
         point = lambda: measure_query(  # noqa: E731
             size_grid()[-1], "main", "interleaved", n_predicates=n
         )
-        label = f"measure_query({size_grid()[-1]} B, main, interleaved, n={n})"
+        label = (
+            f"measure_query({size_grid()[-1]} B, main, interleaved, "
+            f"n={n}{engine_label})"
+        )
     else:
         size = 256 << 20 if args.experiment == "fig7" else size_grid()[-1]
         element = "string" if args.experiment == "fig3b" else "int"
         point = lambda: measure_binary_search(  # noqa: E731
             size, "CORO", element=element, n_lookups=n
         )
-        label = f"measure_binary_search({size} B, CORO, {element}, n={n})"
+        label = (
+            f"measure_binary_search({size} B, CORO, {element}, "
+            f"n={n}{engine_label})"
+        )
 
+    # Profile the path the flag asks for: with --engine compiled the
+    # point runs the trace-compiled replay, and the staging cost (a
+    # one-time compile) is reported separately from the replay cost so
+    # the profile is not misread as "compiled replay is slow".
+    reset_compiled_stats()
     try:
-        _result, report = profile_call(point, top=args.top)
+        with use_engine(args.engine):
+            _result, report = profile_call(point, top=args.top)
     except ReproError as error:
         print(f"profile failed: {error}", file=sys.stderr)
         return 1
     print(f"profiled point: {label}")
     print(report, end="")
+    timings = compiled_timings()
+    if timings["schedule_compile_s"] or timings["replay_s"]:
+        print(
+            f"compiled engine: schedule_compile_s="
+            f"{timings['schedule_compile_s']:.4f} "
+            f"replay_s={timings['replay_s']:.4f}"
+        )
     return 0
 
 
@@ -786,6 +834,7 @@ def main(argv: list[str] | None = None) -> int:
         help="print each experiment's data document as JSON instead of ASCII",
     )
     _add_perf_options(parser)
+    _add_engine_option(parser)
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:  # pragma: no cover - intercepted above
@@ -801,7 +850,7 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in args.experiments:
         try:
-            doc = run_experiment_data(name)
+            doc = run_experiment_data(name, engine=args.engine)
         except ReproError as error:
             print(f"{name} failed: {error}", file=sys.stderr)
             return 1

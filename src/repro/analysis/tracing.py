@@ -32,6 +32,7 @@ from repro.analysis.experiments import (
     run_binary_search_technique,
     warmed_engine,
 )
+from repro.interleaving.compiled import register_compiled_metrics
 from repro.interleaving.executor import BulkLookup, get_executor
 from repro.obs.export import run_summary, write_run_artifacts
 from repro.obs.spans import SpanRecorder
@@ -116,6 +117,10 @@ def traced_point(
         arch=arch,
         seed=seed,
     )
+    # Traced runs always take the generator path (span recording is a
+    # fallback reason for the compiled twins); mounting the counters
+    # makes that visible in the summary as ``compiled_fallbacks``.
+    register_compiled_metrics(engine.metrics)
     record = {
         "cycles": engine.clock,
         "issue_width": engine.cost.issue_width,

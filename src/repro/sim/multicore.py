@@ -160,9 +160,10 @@ class MultiCoreSystem:
         # load, so the reverse edge must stay lazy.
         from dataclasses import replace as _replace
 
-        from repro.interleaving.executor import BulkPipeline, get_executor
+        from repro.interleaving.compiled import resolve_executor
+        from repro.interleaving.executor import BulkPipeline
 
-        pipeline = BulkPipeline(get_executor(executor_name), batch_size)
+        pipeline = BulkPipeline(resolve_executor(executor_name), batch_size)
         engines = self.engines(seed)
         cores = []
         for index, engine in enumerate(engines):
